@@ -1,0 +1,23 @@
+"""E-A — design-choice ablations: branch-index pruning and Λ1 caching."""
+
+from repro.experiments import run_design_ablations
+
+
+def test_design_ablations(benchmark, real_datasets, scale, save_output):
+    """Measure the two implementation ablations called out in DESIGN.md."""
+    fingerprint = next(d for d in real_datasets if d.name == "Fingerprint")
+    output = benchmark.pedantic(
+        lambda: run_design_ablations(fingerprint, scale, tau_hat=5, gamma=0.8),
+        rounds=1,
+        iterations=1,
+    )
+    save_output(output)
+
+    data = output.data
+    # Pruning must never change the answers (it only removes graphs whose GBD
+    # already certifies GED > τ̂).
+    assert data["answers_identical"]
+    # Caching the Λ1 model across database graphs must not be slower than
+    # rebuilding it for every graph.
+    assert data["cached_seconds"] <= data["uncached_seconds"] * 1.5
+    assert data["plain_time"] > 0.0 and data["pruned_time"] > 0.0

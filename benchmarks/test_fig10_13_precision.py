@@ -1,0 +1,32 @@
+"""E-F10..13 — Figures 10–13: precision versus τ̂ on the four real datasets."""
+
+from repro.evaluation.reporting import format_series
+
+
+def test_fig10_13_precision_vs_tau(benchmark, effectiveness_results, save_output):
+    """Slice the precision series out of the shared effectiveness sweep."""
+    rendered_sections = []
+    for name, output in effectiveness_results.items():
+        tau_values = output.data["tau_values"]
+        precision = output.data["series"]["precision"]
+        rendered_sections.append(
+            format_series(f"Figures 10–13 — precision vs τ̂ on {name}", "τ̂", tau_values, precision)
+        )
+
+        # Every method reports a valid precision at every threshold.
+        for method, values in precision.items():
+            assert len(values) == len(tau_values)
+            assert all(0.0 <= value <= 1.0 for value in values), method
+
+        # GBDA's precision is not degenerate: at the smallest threshold it is
+        # strictly positive for at least one γ setting.
+        gbda_first = [values[0] for method, values in precision.items() if method.startswith("GBDA")]
+        assert max(gbda_first) > 0.0
+
+    class _Output:
+        name = "fig10_13_precision"
+        rendered = "\n\n".join(rendered_sections)
+        data = {}
+
+    save_output(_Output())
+    benchmark(lambda: sum(len(o.data["series"]["precision"]) for o in effectiveness_results.values()))

@@ -1,0 +1,40 @@
+"""E-F14..17 — Figures 14–17: recall versus τ̂ on the four real datasets."""
+
+from repro.evaluation.reporting import format_series
+
+
+def test_fig14_17_recall_vs_tau(benchmark, effectiveness_results, save_output):
+    """Slice the recall series out of the shared effectiveness sweep."""
+    rendered_sections = []
+    for name, output in effectiveness_results.items():
+        tau_values = output.data["tau_values"]
+        recall = output.data["series"]["recall"]
+        rendered_sections.append(
+            format_series(f"Figures 14–17 — recall vs τ̂ on {name}", "τ̂", tau_values, recall)
+        )
+
+        # The paper's structural observation: LSAP solves the assignment
+        # exactly, its estimate is a lower bound of GED, hence recall = 1 at
+        # every threshold.
+        assert all(value == 1.0 for value in recall["LSAP"]), name
+
+        # GBDA keeps high recall overall (the posterior filter is designed to
+        # trade some precision, not to systematically miss answers): at this
+        # reduced scale we require a mean recall of at least 0.6 for the
+        # loosest γ setting and at least 0.4 for every setting.
+        for method, values in recall.items():
+            if method.startswith("GBDA"):
+                assert sum(values) / len(values) >= 0.4, (name, method, values)
+        loosest = min(
+            (method for method in recall if method.startswith("GBDA")),
+            key=lambda label: float(label.split("=")[1].rstrip(")")),
+        )
+        assert sum(recall[loosest]) / len(recall[loosest]) >= 0.6, (name, recall[loosest])
+
+    class _Output:
+        name = "fig14_17_recall"
+        rendered = "\n\n".join(rendered_sections)
+        data = {}
+
+    save_output(_Output())
+    benchmark(lambda: sum(len(o.data["series"]["recall"]) for o in effectiveness_results.values()))

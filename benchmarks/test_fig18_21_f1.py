@@ -1,0 +1,34 @@
+"""E-F18..21 — Figures 18–21: F1-score versus τ̂ on the four real datasets."""
+
+from repro.evaluation.reporting import format_series
+
+
+def test_fig18_21_f1_vs_tau(benchmark, effectiveness_results, save_output):
+    """Slice the F1 series out of the shared effectiveness sweep."""
+    rendered_sections = []
+    for name, output in effectiveness_results.items():
+        tau_values = output.data["tau_values"]
+        f1 = output.data["series"]["f1"]
+        rendered_sections.append(
+            format_series(f"Figures 18–21 — F1 vs τ̂ on {name}", "τ̂", tau_values, f1)
+        )
+
+        for method, values in f1.items():
+            assert all(0.0 <= value <= 1.0 for value in values), method
+
+        # Headline shape: GBDA's best F1 beats the Seriation baseline on every
+        # dataset, and is competitive with (within 25% of) the best baseline.
+        gbda_best = max(
+            max(values) for method, values in f1.items() if method.startswith("GBDA")
+        )
+        assert gbda_best > max(f1["Seriation"]) - 1e-9, name
+        best_baseline = max(max(values) for method, values in f1.items() if not method.startswith("GBDA"))
+        assert gbda_best >= 0.75 * best_baseline, (name, gbda_best, best_baseline)
+
+    class _Output:
+        name = "fig18_21_f1"
+        rendered = "\n\n".join(rendered_sections)
+        data = {}
+
+    save_output(_Output())
+    benchmark(lambda: sum(len(o.data["series"]["f1"]) for o in effectiveness_results.values()))

@@ -1,0 +1,38 @@
+"""E-F22..25 — Figures 22–25: F1 of GBDA versus GBDA-V1 (α ∈ {10, 50})."""
+
+
+def test_fig22_25_gbda_vs_v1(benchmark, variant_results, save_output):
+    """Check the GBDA-vs-V1 comparison produced by the shared variant sweep."""
+    rendered = []
+    for name, output in variant_results.items():
+        rendered.append(output.rendered)
+        series = output.data["series"]
+        tau_values = output.data["tau_values"]
+
+        v1_labels = [label for label in series if label.startswith("V1")]
+        assert v1_labels, "the sweep must include GBDA-V1 configurations"
+        for label in ["GBDA"] + v1_labels:
+            assert len(series[label]) == len(tau_values)
+            assert all(0.0 <= value <= 1.0 for value in series[label])
+
+        # Paper shape: for small thresholds GBDA is at least as good as V1
+        # (using the per-pair extended order cannot hurt); allow a small
+        # tolerance for sampling noise at this reduced scale.
+        small_positions = [i for i, tau in enumerate(tau_values) if tau <= 4]
+        for label in v1_labels:
+            for position in small_positions:
+                assert series["GBDA"][position] >= series[label][position] - 0.15, (
+                    name,
+                    label,
+                    tau_values[position],
+                )
+
+    joined = "\n\n".join(rendered)
+
+    class _Output:
+        name = "fig22_25_variant_v1"
+        rendered = joined
+        data = {}
+
+    save_output(_Output())
+    benchmark(lambda: sum(len(o.data["series"]) for o in variant_results.values()))

@@ -1,0 +1,33 @@
+"""E-F26..29 — Figures 26–29: F1 of GBDA versus GBDA-V2 (w ∈ {0.1, 0.5})."""
+
+
+def test_fig26_29_gbda_vs_v2(benchmark, variant_results, save_output):
+    """Check the GBDA-vs-V2 comparison produced by the shared variant sweep."""
+    rendered = []
+    for name, output in variant_results.items():
+        rendered.append(output.rendered)
+        series = output.data["series"]
+        tau_values = output.data["tau_values"]
+
+        v2_labels = [label for label in series if label.startswith("V2")]
+        assert v2_labels, "the sweep must include GBDA-V2 configurations"
+        for label in v2_labels:
+            assert len(series[label]) == len(tau_values)
+            assert all(0.0 <= value <= 1.0 for value in series[label])
+
+        # Paper shape: averaged over the threshold sweep, GBDA (the unweighted
+        # GBD) performs at least as well as the distorted VGBD variants.
+        gbda_mean = sum(series["GBDA"]) / len(series["GBDA"])
+        for label in v2_labels:
+            v2_mean = sum(series[label]) / len(series[label])
+            assert gbda_mean >= v2_mean - 0.15, (name, label, gbda_mean, v2_mean)
+
+    joined = "\n\n".join(rendered)
+
+    class _Output:
+        name = "fig26_29_variant_v2"
+        rendered = joined
+        data = {}
+
+    save_output(_Output())
+    benchmark(lambda: sum(len(o.data["series"]) for o in variant_results.values()))

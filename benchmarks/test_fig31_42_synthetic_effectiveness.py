@@ -1,0 +1,31 @@
+"""E-F31..42 — Figures 31–42: precision/recall/F1 vs graph size on Syn-1."""
+
+from repro.experiments import run_effectiveness_synthetic
+
+
+def test_fig31_42_effectiveness_vs_graph_size(benchmark, scale, save_output):
+    """Regenerate the Appendix-J figures at τ̂ = 20 and check their shapes."""
+    output = benchmark.pedantic(
+        lambda: run_effectiveness_synthetic(scale, tau_hat=20, family_size=4),
+        rounds=1,
+        iterations=1,
+    )
+    save_output(output)
+
+    sizes = output.data["sizes"]
+    series = output.data["series"]
+
+    for metric in ("precision", "recall", "f1"):
+        for method, values in series[metric].items():
+            assert len(values) == len(sizes), (metric, method)
+            assert all(0.0 <= value <= 1.0 for value in values), (metric, method)
+
+    # LSAP's recall stays 1.0 at every graph size (lower-bound property).
+    assert all(value == 1.0 for value in series["recall"]["LSAP"])
+
+    # GBDA's precision does not vary wildly with γ (the paper highlights its
+    # robustness to the probability threshold).
+    gbda_precisions = [values for method, values in series["precision"].items() if method.startswith("GBDA")]
+    for position in range(len(sizes)):
+        column = [values[position] for values in gbda_precisions]
+        assert max(column) - min(column) <= 0.6

@@ -1,0 +1,24 @@
+"""E-F5 — Figure 5: sampled vs inferred GBD prior on the Fingerprint dataset."""
+
+from repro.experiments import run_figure5_gbd_prior_fit
+
+
+def test_fig5_gbd_prior_fit(benchmark, real_datasets, scale, save_output):
+    """Regenerate Figure 5 and benchmark the driver."""
+    fingerprint = next(d for d in real_datasets if d.name == "Fingerprint")
+    output = benchmark.pedantic(
+        lambda: run_figure5_gbd_prior_fit(scale, dataset=fingerprint), rounds=1, iterations=1
+    )
+    save_output(output)
+
+    sampled = output.data["sampled"]
+    inferred = output.data["inferred"]
+    assert len(sampled) == len(inferred)
+    # The inferred mixture must track the sampled histogram: its mode should
+    # fall within one unit of the empirical mode (the paper's Figure 5 shows
+    # the red curve following the blue histogram).
+    empirical_mode = sampled.index(max(sampled))
+    inferred_mode = inferred.index(max(inferred))
+    assert abs(empirical_mode - inferred_mode) <= 2
+    # And it integrates to (almost) one over the plotted range.
+    assert 0.5 <= sum(inferred) <= 1.05

@@ -1,0 +1,23 @@
+"""E-F6 — Figure 6: the Jeffreys prior of GEDs over the (τ, |V'1|) grid."""
+
+from repro.experiments import run_figure6_ged_prior_matrix
+
+
+def test_fig6_ged_prior_matrix(benchmark, real_datasets, scale, save_output):
+    """Regenerate Figure 6 and benchmark the driver."""
+    fingerprint = next(d for d in real_datasets if d.name == "Fingerprint")
+    output = benchmark.pedantic(
+        lambda: run_figure6_ged_prior_matrix(scale, dataset=fingerprint, max_tau=8),
+        rounds=1,
+        iterations=1,
+    )
+    save_output(output)
+
+    matrix = output.data["matrix"]
+    orders = output.data["orders"]
+    assert len(orders) >= 1
+    # Columns are probability distributions over τ.
+    for column_index in range(len(orders)):
+        column = [matrix[tau][column_index] for tau in matrix]
+        assert abs(sum(column) - 1.0) < 1e-6
+        assert all(value >= 0.0 for value in column)

@@ -1,0 +1,31 @@
+"""E-F7 — Figure 7: average query time on the real datasets, GBDA vs competitors."""
+
+from repro.db.database import GraphDatabase
+from repro.core.search import GBDASearch
+from repro.experiments import run_figure7_time_real
+
+
+def test_fig7_query_time_on_real_datasets(benchmark, real_datasets, scale, save_output):
+    """Regenerate Figure 7 and benchmark a single GBDA online query."""
+    output = run_figure7_time_real(scale, datasets=real_datasets, gbda_tau_values=(1, 5, 10))
+    save_output(output)
+
+    series = output.data["series"]
+    dataset_names = output.data["datasets"]
+    assert len(dataset_names) == len(real_datasets)
+
+    # Headline shape: GBDA answers queries faster than LSAP and Seriation on
+    # every real dataset (the paper's Figure 7 finding).
+    for position in range(len(dataset_names)):
+        gbda_best = min(series[f"GBDA(τ̂={tau})"][position] for tau in (1, 5, 10))
+        assert gbda_best < series["LSAP"][position]
+        assert gbda_best < series["Seriation"][position]
+
+    # Benchmark kernel: one online GBDA query on the Fingerprint look-alike.
+    fingerprint = next(d for d in real_datasets if d.name == "Fingerprint")
+    database = GraphDatabase(fingerprint.database_graphs, name="Fingerprint")
+    search = GBDASearch(
+        database, max_tau=10, num_prior_pairs=scale.prior_pairs, seed=scale.seed
+    ).fit()
+    query = fingerprint.query_graphs[0]
+    benchmark(lambda: search.search(query, tau_hat=5, gamma=0.9))

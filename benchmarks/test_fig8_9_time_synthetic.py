@@ -1,0 +1,41 @@
+"""E-F8/F9 — Figures 8 & 9: query time versus graph size on Syn-1 and Syn-2."""
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.datasets import make_syn1
+from repro.db.database import GraphDatabase
+from repro.experiments import run_figure8_9_time_synthetic
+
+
+@pytest.mark.parametrize("scale_free", [True, False], ids=["fig8_syn1", "fig9_syn2"])
+def test_fig8_9_query_time_vs_graph_size(benchmark, scale, save_output, scale_free):
+    """Regenerate Figure 8 (Syn-1) / Figure 9 (Syn-2) and check the scaling shape."""
+    output = run_figure8_9_time_synthetic(
+        scale, scale_free=scale_free, tau_values=(10, 20, 30), family_size=4
+    )
+    save_output(output)
+
+    sizes = output.data["sizes"]
+    series = output.data["series"]
+
+    # Headline shape: the competitors' time grows much faster with n than
+    # GBDA's, so at the largest size GBDA (τ̂ = 10) is the fastest method and
+    # its growth factor is smaller than LSAP's.
+    gbda = series["GBDA(τ̂=10)"]
+    lsap = series["LSAP"]
+    assert gbda[-1] < lsap[-1]
+    gbda_growth = gbda[-1] / max(gbda[0], 1e-9)
+    lsap_growth = lsap[-1] / max(lsap[0], 1e-9)
+    assert gbda_growth < lsap_growth * 1.5, (
+        "GBDA's online time must scale more gently with n than the cubic LSAP baseline"
+    )
+
+    # Benchmark kernel: one GBDA query on the largest synthetic size.
+    dataset = make_syn1(
+        sizes=(max(sizes),), families_per_size=1, family_size=4, max_distance=10, seed=scale.seed
+    )
+    database = GraphDatabase(dataset.database_graphs)
+    search = GBDASearch(database, max_tau=10, num_prior_pairs=20, seed=scale.seed).fit()
+    query = dataset.query_graphs[0]
+    benchmark(lambda: search.search(query, tau_hat=10, gamma=0.9))

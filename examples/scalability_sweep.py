@@ -1,0 +1,72 @@
+"""Scalability sweep: online query time as graphs grow (Figures 8 & 9 in miniature).
+
+GBDA's online stage costs ``O(nd + τ̂³)`` per database graph, versus
+``O(n³)`` for the exact LSAP solution, ``O(n² log n²)`` for Greedy-Sort, and
+``O(n·m²)``-ish for spectral seriation.  This example sweeps the graph size
+on scale-free synthetic graphs with known GEDs and prints the measured query
+time of every method, so the crossover is visible directly in the terminal.
+
+Run with:  python examples/scalability_sweep.py          (default sizes)
+           python examples/scalability_sweep.py 200 400  (custom sizes)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.baselines import GreedySortGED, LSAPGED, SeriationGED
+from repro.core.search import GBDASearch
+from repro.datasets import make_syn1
+from repro.db.database import GraphDatabase
+from repro.evaluation.reporting import format_series
+
+
+def measure(sizes) -> None:
+    tau_hat = 10
+    series = {"GBDA": [], "LSAP": [], "Greedy-Sort": [], "Seriation": []}
+
+    for size in sizes:
+        dataset = make_syn1(
+            sizes=(size,), families_per_size=1, family_size=5, queries_per_size=1,
+            max_distance=tau_hat, seed=3,
+        )
+        database = GraphDatabase(dataset.database_graphs, name=f"syn1-{size}")
+        query = dataset.query_graphs[0]
+
+        search = GBDASearch(database, max_tau=tau_hat, num_prior_pairs=20, seed=0).fit()
+        start = time.perf_counter()
+        gbda_answer = search.search(query, tau_hat=tau_hat, gamma=0.8)
+        series["GBDA"].append(time.perf_counter() - start)
+
+        for name, estimator in (
+            ("LSAP", LSAPGED()),
+            ("Greedy-Sort", GreedySortGED()),
+            ("Seriation", SeriationGED()),
+        ):
+            start = time.perf_counter()
+            for entry in database:
+                estimator.estimate(query, entry.graph)
+            series[name].append(time.perf_counter() - start)
+
+        print(
+            f"size={size:>5}: GBDA answered in {series['GBDA'][-1] * 1000:7.1f} ms "
+            f"({gbda_answer.size} matches), LSAP needed {series['LSAP'][-1] * 1000:9.1f} ms"
+        )
+
+    print()
+    print(format_series("Query time (seconds) vs graph size", "size", list(sizes), series))
+    print()
+    print(
+        "Expected shape (cf. Figures 8-9): the gap between GBDA and the cubic/quadratic\n"
+        "competitors widens as the graphs grow; at the largest size GBDA is fastest."
+    )
+
+
+def main() -> None:
+    sizes = [int(argument) for argument in sys.argv[1:]] or [50, 100, 200]
+    measure(sizes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose pip/setuptools cannot
+perform PEP 660 editable installs (e.g. offline machines without the
+``wheel`` package), via ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

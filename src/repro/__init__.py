@@ -1,0 +1,76 @@
+"""repro — reproduction of "An Efficient Probabilistic Approach for Graph Similarity Search".
+
+The library implements GBDA (Graph Branch Distance Approximation): a
+probabilistic filter for graph similarity search under Graph Edit Distance.
+Its three layers are exposed here for convenience:
+
+* the graph substrate (:class:`~repro.graphs.Graph` and edit operations),
+* the GBDA core (:func:`~repro.core.graph_branch_distance`,
+  :class:`~repro.core.GBDASearch`, priors, and the probabilistic model),
+* the competitor baselines and the evaluation harness used to regenerate the
+  paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import Graph, GraphDatabase, GBDASearch, SimilarityQuery
+>>> g1 = Graph.from_dicts({0: "A", 1: "B"}, {(0, 1): "x"})
+>>> g2 = Graph.from_dicts({0: "A", 1: "B"}, {(0, 1): "y"})
+>>> database = GraphDatabase([g1, g2])
+>>> search = GBDASearch(database, max_tau=3, num_prior_pairs=10).fit()
+>>> answer = search.search(g1, tau_hat=1, gamma=0.5)
+"""
+
+from repro.graphs.graph import Graph, VIRTUAL_LABEL
+from repro.core.gbd import graph_branch_distance, variant_graph_branch_distance
+from repro.core.branches import Branch, branches_of, branch_multiset
+from repro.core.search import GBDASearch, SearchResult
+from repro.core.variants import GBDAV1Search, GBDAV2Search
+from repro.core.gbd_prior import GBDPrior
+from repro.core.ged_prior import GEDPrior
+from repro.core.estimator import GBDAEstimator
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery, QueryAnswer
+from repro.baselines import (
+    AStarGED,
+    BranchFilterGED,
+    EstimatorSearch,
+    GreedySortGED,
+    LSAPGED,
+    SeriationGED,
+    exact_ged,
+)
+from repro.datasets.registry import Dataset, build_dataset
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "VIRTUAL_LABEL",
+    "Branch",
+    "branches_of",
+    "branch_multiset",
+    "graph_branch_distance",
+    "variant_graph_branch_distance",
+    "GBDASearch",
+    "SearchResult",
+    "GBDAV1Search",
+    "GBDAV2Search",
+    "GBDPrior",
+    "GEDPrior",
+    "GBDAEstimator",
+    "GraphDatabase",
+    "SimilarityQuery",
+    "QueryAnswer",
+    "AStarGED",
+    "exact_ged",
+    "LSAPGED",
+    "GreedySortGED",
+    "SeriationGED",
+    "BranchFilterGED",
+    "EstimatorSearch",
+    "Dataset",
+    "build_dataset",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Baseline GED computations and the competitor search methods.
+
+* :mod:`repro.baselines.ged_exact` — exact GED via A* search (small graphs).
+* :mod:`repro.baselines.lsap` — bipartite/LSAP GED estimation (Riesen & Bunke);
+  the exact assignment cost is a lower bound on GED.
+* :mod:`repro.baselines.greedy_sort` — Greedy-Sort-GED (quadratic-time greedy
+  assignment, no bound guarantee).
+* :mod:`repro.baselines.seriation` — spectral graph seriation GED estimation.
+* :mod:`repro.baselines.branch_filter` — branch-count lower-bound filter
+  (Zheng et al.), used as an extra structural baseline and by the ablations.
+* :mod:`repro.baselines.base` — the shared threshold-search wrapper that
+  turns any pairwise estimator into a similarity-search method.
+"""
+
+from repro.baselines.base import EstimatorSearch, PairwiseGEDEstimator
+from repro.baselines.ged_exact import AStarGED, exact_ged
+from repro.baselines.lsap import LSAPGED, lsap_lower_bound, lsap_upper_bound
+from repro.baselines.greedy_sort import GreedySortGED
+from repro.baselines.seriation import SeriationGED
+from repro.baselines.branch_filter import BranchFilterGED, branch_lower_bound
+
+__all__ = [
+    "PairwiseGEDEstimator",
+    "EstimatorSearch",
+    "AStarGED",
+    "exact_ged",
+    "LSAPGED",
+    "lsap_lower_bound",
+    "lsap_upper_bound",
+    "GreedySortGED",
+    "SeriationGED",
+    "BranchFilterGED",
+    "branch_lower_bound",
+]

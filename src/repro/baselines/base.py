@@ -1,0 +1,81 @@
+"""Shared scaffolding for the competitor search methods.
+
+Every baseline (LSAP, Greedy-Sort-GED, Graph Seriation, exact A*) is a
+*pairwise estimator*: given two graphs it produces an estimated GED.  Turning
+such an estimator into a similarity-search method is uniform — accept every
+database graph whose estimated distance is at most the threshold ``τ̂`` —
+so the logic lives here once and each baseline only supplies its
+``estimate`` method.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.db.database import GraphDatabase
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import SearchError
+from repro.graphs.graph import Graph
+
+__all__ = ["PairwiseGEDEstimator", "EstimatorSearch"]
+
+
+class PairwiseGEDEstimator:
+    """Interface of a pairwise graph-edit-distance estimator."""
+
+    #: Human-readable method name used in reports and plots.
+    method_name = "estimator"
+
+    def estimate(self, g1: Graph, g2: Graph) -> float:
+        """Return an estimate of ``GED(g1, g2)``."""
+        raise NotImplementedError
+
+    def __call__(self, g1: Graph, g2: Graph) -> float:
+        return self.estimate(g1, g2)
+
+
+class EstimatorSearch:
+    """Similarity search driven by a pairwise GED estimator.
+
+    Accepts every database graph ``G`` with ``estimate(Q, G) <= τ̂``.  When
+    the underlying estimator is a lower bound of GED (exact LSAP), the answer
+    is a superset of the true answer set (recall = 1); when it is an upper
+    bound, the answer is a subset (precision = 1).
+    """
+
+    def __init__(self, database: GraphDatabase, estimator: PairwiseGEDEstimator) -> None:
+        if len(database) == 0:
+            raise SearchError("cannot build a search over an empty database")
+        self.database = database
+        self.estimator = estimator
+
+    @property
+    def method_name(self) -> str:
+        """Name of the wrapped estimator."""
+        return self.estimator.method_name
+
+    def query(self, query: SimilarityQuery) -> QueryAnswer:
+        """Answer one similarity query by thresholding the pairwise estimates."""
+        start = time.perf_counter()
+        scores: Dict[int, float] = {}
+        accepted: List[int] = []
+        for entry in self.database:
+            estimate = self.estimator.estimate(query.query_graph, entry.graph)
+            scores[entry.graph_id] = estimate
+            if estimate <= query.tau_hat:
+                accepted.append(entry.graph_id)
+        elapsed = time.perf_counter() - start
+        return QueryAnswer(
+            method=self.method_name,
+            accepted_ids=frozenset(accepted),
+            scores=scores,
+            elapsed_seconds=elapsed,
+        )
+
+    def search(self, query_graph: Graph, tau_hat: int) -> QueryAnswer:
+        """Convenience wrapper mirroring :meth:`GBDASearch.search`."""
+        return self.query(SimilarityQuery(query_graph, tau_hat))
+
+    def __repr__(self) -> str:
+        return f"<EstimatorSearch method={self.method_name} |D|={len(self.database)}>"

@@ -1,0 +1,41 @@
+"""Greedy-Sort-GED: approximate GED via sorted greedy assignment.
+
+Riesen, Ferrer & Bunke (2015) observe that the exact Hungarian solution of
+the LSAP cost matrix is often unnecessary: committing the globally cheapest
+(row, column) pairs greedily produces assignments whose induced edit costs
+are close to — and frequently better estimates of — the true GED, at
+``O(n² log n²)`` instead of ``O(n³)``.
+
+The estimate returned here is the *assignment cost* of the greedy solution
+(the paper's competitor has no bound guarantee in either direction, and our
+experiments reproduce exactly that behaviour: higher precision than LSAP,
+recall below 1).
+"""
+
+from __future__ import annotations
+
+from repro.assignment.greedy import sorted_greedy_assignment
+from repro.assignment.hungarian import assignment_cost
+from repro.baselines.base import PairwiseGEDEstimator
+from repro.baselines.lsap import build_cost_matrix
+from repro.graphs.graph import Graph
+
+__all__ = ["GreedySortGED", "greedy_sort_estimate"]
+
+
+def greedy_sort_estimate(g1: Graph, g2: Graph) -> float:
+    """GED estimate: cost of the sorted-greedy assignment over the LSAP matrix."""
+    matrix, _, _ = build_cost_matrix(g1, g2)
+    if not matrix:
+        return 0.0
+    assignment = sorted_greedy_assignment(matrix)
+    return assignment_cost(matrix, assignment)
+
+
+class GreedySortGED(PairwiseGEDEstimator):
+    """The Greedy-Sort-GED competitor of the paper."""
+
+    method_name = "Greedy-Sort"
+
+    def estimate(self, g1: Graph, g2: Graph) -> float:
+        return greedy_sort_estimate(g1, g2)

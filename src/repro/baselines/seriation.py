@@ -1,0 +1,107 @@
+"""Graph Seriation GED estimation (spectral, Robles-Kelly & Hancock style).
+
+The seriation competitor converts each graph into a one-dimensional vertex
+sequence using the leading eigenvector of its adjacency matrix (the
+"seriation" order), reads off the sequence of vertex labels along that
+order, and estimates the GED of two graphs by the string edit distance of
+their label sequences (weighted by the leading-eigenvalue gap, which carries
+the structural information the label sequence alone misses).
+
+This is a faithful, laptop-scale stand-in for the probabilistic seriation
+model of [13]: it shares the defining pipeline (adjacency spectrum →
+seriation order → sequence comparison), the ``O(n²)`` spectral extraction
+and the ``O(n·m)`` sequence alignment, which is all the paper's evaluation
+exercises (query time scaling and precision/recall of the thresholded
+estimate).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.baselines.base import PairwiseGEDEstimator
+from repro.graphs.graph import Graph
+
+__all__ = ["SeriationGED", "seriation_sequence", "seriation_estimate"]
+
+
+def _adjacency_matrix(graph: Graph) -> Tuple[np.ndarray, List]:
+    """Dense 0/1 adjacency matrix and the vertex ordering used for its rows."""
+    vertices = sorted(graph.vertices(), key=str)
+    index = {v: i for i, v in enumerate(vertices)}
+    matrix = np.zeros((len(vertices), len(vertices)), dtype=float)
+    for u, v, _label in graph.edges():
+        i, j = index[u], index[v]
+        matrix[i, j] = 1.0
+        matrix[j, i] = 1.0
+    return matrix, vertices
+
+
+def seriation_sequence(graph: Graph) -> Tuple[List, float]:
+    """Return the seriation-ordered vertex label sequence and the leading eigenvalue.
+
+    The seriation order sorts vertices by their component in the leading
+    eigenvector of the adjacency matrix (ties broken by degree then label),
+    which is the standard spectral seriation of the cited work.
+    """
+    if graph.num_vertices == 0:
+        return [], 0.0
+    matrix, vertices = _adjacency_matrix(graph)
+    if graph.num_vertices == 1:
+        return [graph.vertex_label(vertices[0])], 0.0
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    leading_index = int(np.argmax(eigenvalues))
+    leading_value = float(eigenvalues[leading_index])
+    leading_vector = eigenvectors[:, leading_index]
+    # eigenvectors are defined up to sign; fix the sign so the order is stable
+    if leading_vector.sum() < 0:
+        leading_vector = -leading_vector
+    order = sorted(
+        range(len(vertices)),
+        key=lambda i: (-leading_vector[i], -matrix[i].sum(), str(graph.vertex_label(vertices[i]))),
+    )
+    labels = [graph.vertex_label(vertices[i]) for i in order]
+    return labels, leading_value
+
+
+def _sequence_edit_distance(seq_a: List, seq_b: List) -> int:
+    """Classic Levenshtein distance between two label sequences (O(n·m))."""
+    if not seq_a:
+        return len(seq_b)
+    if not seq_b:
+        return len(seq_a)
+    previous = list(range(len(seq_b) + 1))
+    for i, label_a in enumerate(seq_a, start=1):
+        current = [i] + [0] * len(seq_b)
+        for j, label_b in enumerate(seq_b, start=1):
+            substitution = previous[j - 1] + (0 if label_a == label_b else 1)
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, substitution)
+        previous = current
+    return previous[-1]
+
+
+def seriation_estimate(g1: Graph, g2: Graph) -> float:
+    """GED estimate from the seriation sequences of both graphs.
+
+    The label-sequence edit distance accounts for vertex-level differences;
+    the leading-eigenvalue gap (rounded) is added as a structural term so
+    that graphs with identical label sequences but different connectivity do
+    not collapse to distance zero.
+    """
+    sequence1, eigenvalue1 = seriation_sequence(g1)
+    sequence2, eigenvalue2 = seriation_sequence(g2)
+    label_term = _sequence_edit_distance(sequence1, sequence2)
+    structure_term = abs(eigenvalue1 - eigenvalue2)
+    edge_term = abs(g1.num_edges - g2.num_edges)
+    return float(label_term) + max(structure_term, float(edge_term))
+
+
+class SeriationGED(PairwiseGEDEstimator):
+    """The Graph Seriation competitor of the paper."""
+
+    method_name = "Seriation"
+
+    def estimate(self, g1: Graph, g2: Graph) -> float:
+        return seriation_estimate(g1, g2)

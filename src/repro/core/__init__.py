@@ -1,0 +1,39 @@
+"""Core contribution of the paper: branches, GBD, and the GBDA model.
+
+The public entry points most users need are:
+
+* :func:`repro.core.gbd.graph_branch_distance` — the Graph Branch Distance
+  (Definition 4), computable in ``O(nd)`` time.
+* :class:`repro.core.estimator.GBDAEstimator` — the posterior
+  ``Pr[GED <= tau_hat | GBD = phi]`` of Section V.
+* :class:`repro.core.search.GBDASearch` — Algorithm 1 (offline priors +
+  online probabilistic filtering).
+"""
+
+from repro.core.branches import Branch, branch_multiset, branches_of
+from repro.core.gbd import (
+    branch_intersection_size,
+    graph_branch_distance,
+    variant_graph_branch_distance,
+)
+from repro.core.estimator import GBDAEstimator
+from repro.core.gbd_prior import GBDPrior
+from repro.core.ged_prior import GEDPrior
+from repro.core.search import GBDASearch, SearchResult
+from repro.core.variants import GBDAV1Search, GBDAV2Search
+
+__all__ = [
+    "Branch",
+    "branches_of",
+    "branch_multiset",
+    "graph_branch_distance",
+    "variant_graph_branch_distance",
+    "branch_intersection_size",
+    "GBDAEstimator",
+    "GBDPrior",
+    "GEDPrior",
+    "GBDASearch",
+    "SearchResult",
+    "GBDAV1Search",
+    "GBDAV2Search",
+]

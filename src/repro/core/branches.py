@@ -1,0 +1,119 @@
+"""Branch structures (Definition 2) and branch isomorphism (Definition 3).
+
+A *branch* rooted at vertex ``v`` is the pair ``B(v) = (L(v), N(v))`` where
+``L(v)`` is the vertex label and ``N(v)`` is the sorted multiset of labels of
+the edges incident to ``v``.  The sorted multiset of all branches of a graph
+``G`` is denoted ``B_G``.
+
+Two branches are isomorphic iff both their root labels and their sorted edge
+label multisets coincide — for our canonical tuple representation this is
+plain equality, which is what makes the multiset-intersection computation of
+GBD a linear merge of two sorted lists.
+
+In practice (per the paper, Section III) each branch is stored as a list of
+strings whose first element is the vertex label and whose remaining elements
+are the sorted edge labels; we store an immutable, hashable tuple with the
+same layout so branches can live in ``Counter`` multisets and be compared
+lexicographically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Hashable, Iterator, List, Tuple
+
+from repro.graphs.graph import Graph
+
+Label = Hashable
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Branch:
+    """The branch rooted at a single vertex.
+
+    Attributes
+    ----------
+    vertex_label:
+        ``L(v)`` — the label of the root vertex.
+    edge_labels:
+        ``N(v)`` — the sorted tuple of labels of edges incident to the root.
+    """
+
+    vertex_label: Label
+    edge_labels: Tuple[Label, ...]
+
+    @property
+    def degree(self) -> int:
+        """Degree of the root vertex (size of the incident-edge multiset)."""
+        return len(self.edge_labels)
+
+    def as_strings(self) -> List[str]:
+        """Return the list-of-strings encoding described in Section III."""
+        return [str(self.vertex_label)] + [str(label) for label in self.edge_labels]
+
+    def canonical_key(self) -> Tuple:
+        """Return a hashable key that identifies the branch up to isomorphism."""
+        return (self.vertex_label, self.edge_labels)
+
+    def is_isomorphic_to(self, other: "Branch") -> bool:
+        """Branch isomorphism of Definition 3 (equality of label and multiset)."""
+        return self.canonical_key() == other.canonical_key()
+
+    def __str__(self) -> str:
+        edge_part = ", ".join(str(label) for label in self.edge_labels)
+        return f"{{{self.vertex_label}; {edge_part}}}"
+
+
+def branch_of(graph: Graph, vertex) -> Branch:
+    """Extract the branch ``B(v)`` rooted at ``vertex``."""
+    labels = sorted(graph.incident_edge_labels(vertex), key=_sort_key)
+    return Branch(vertex_label=graph.vertex_label(vertex), edge_labels=tuple(labels))
+
+
+def branches_of(graph: Graph) -> List[Branch]:
+    """Return the sorted list of all branches of ``graph`` (``B_G``).
+
+    The list is sorted by the branches' natural (lexicographic) order so the
+    multiset-intersection of two branch collections can be computed with a
+    single linear merge, keeping GBD at the paper's ``O(nd)`` bound.
+    """
+    return sorted(
+        (branch_of(graph, vertex) for vertex in graph.vertices()),
+        key=_branch_sort_key,
+    )
+
+
+def branch_multiset(graph: Graph) -> Counter:
+    """Return ``B_G`` as a ``Counter`` keyed by canonical branch keys.
+
+    The ``Counter`` view is what the GBD computation and the branch index of
+    the graph database use; the sorted-list view of :func:`branches_of` is
+    kept for faithfulness to the paper's storage description and for
+    human-readable output.
+    """
+    counts: Counter = Counter()
+    for vertex in graph.vertices():
+        counts[branch_of(graph, vertex).canonical_key()] += 1
+    return counts
+
+
+def iter_branches(graph: Graph) -> Iterator[Tuple[object, Branch]]:
+    """Yield ``(vertex, branch)`` pairs for every vertex of the graph."""
+    for vertex in graph.vertices():
+        yield vertex, branch_of(graph, vertex)
+
+
+def _sort_key(label: Label) -> Tuple[str, str]:
+    """Total order over labels of arbitrary hashable types.
+
+    Mirrors the lexicographic ordering the paper borrows from
+    ``std::lexicographical_compare`` while staying robust to mixed label
+    types (ints vs strings) that Python 3 refuses to compare directly.
+    """
+    return (type(label).__name__, str(label))
+
+
+def _branch_sort_key(branch: Branch) -> Tuple:
+    """Sort key for whole branches: root label first, then edge labels."""
+    return (_sort_key(branch.vertex_label), tuple(_sort_key(label) for label in branch.edge_labels))

@@ -1,0 +1,223 @@
+"""Closed forms of Ω1–Ω4 and their τ-derivatives (Appendix C/E/F/G/H).
+
+The four factors of the conditional ``Λ1 = Pr[GBD = ϕ | GED = τ]`` are
+
+* ``Ω1(x, τ)``   — probability that a uniformly random minimal edit script of
+  length τ on the extended graph relabels exactly ``x`` vertices (and hence
+  ``τ - x`` edges).  Hypergeometric over the ``|V'| + C(|V'|, 2)`` editable
+  elements of the complete extended graph (Lemma 1).
+* ``Ω2(m, x, τ)`` — probability that the ``τ - x`` relabelled edges cover
+  exactly ``m`` vertices; an inclusion–exclusion count over edge subsets of
+  the complete graph (Lemma 2).
+* ``Ω3(r, ϕ)``   — probability that ``r`` relabelled branches produce a
+  branch distance of exactly ``ϕ``; the ball-pair colouring model with ``D``
+  equiprobable branch types (Lemma 3).
+* ``Ω4(x, r, m)`` — probability that the ``x`` relabelled vertices and the
+  ``m`` edge-covered vertices overlap so that exactly ``r`` branches are
+  touched; hypergeometric (Lemma 4).
+
+All values are exact :class:`fractions.Fraction` numbers.  The τ-derivatives
+``dΩ1/dτ`` and ``dΩ2/dτ`` follow the Gamma-function continuation of the
+binomial coefficients; we implement the analytically consistent form (the
+log-derivative of each binomial factor expressed through digamma functions)
+rather than transcribing Equations (36)–(41) literally, because the printed
+equations contain obvious typos (e.g. ``H(v(v+1)/2 - 2τ)`` where the
+continuation of ``C(v(v+1)/2, τ)`` requires ``H(v(v+1)/2 - τ)``).  The two
+agree in structure and produce the same qualitative Jeffreys prior.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from functools import lru_cache
+from typing import Tuple
+
+from repro.core.combinatorics import binomial, digamma, hypergeometric_pmf, multiset_coefficient
+
+__all__ = [
+    "branch_type_count",
+    "omega1",
+    "omega2",
+    "omega3",
+    "omega4",
+    "omega1_dtau",
+    "omega2_dtau",
+]
+
+
+def branch_type_count(extended_order: int, num_vertex_labels: int, num_edge_labels: int) -> int:
+    """Number ``D`` of possible branch types (Equation 33).
+
+    ``D = |LV| * C(|V'| + |LE| - 1, |LE|)`` — the number of ways to label the
+    root vertex times the number of multisets of edge labels.  The virtual
+    label is accounted for by the paper's convention of counting
+    ``|LV| + 1`` / ``|LE| + 1`` label choices inside the derivation; we follow
+    Equation (33) literally and guard against degenerate alphabets.
+    """
+    effective_vertex_labels = max(num_vertex_labels, 1)
+    effective_edge_labels = max(num_edge_labels, 1)
+    count = effective_vertex_labels * multiset_coefficient(extended_order, effective_edge_labels)
+    return max(count, 2)
+
+
+@lru_cache(maxsize=262144)
+def omega1(x: int, tau: int, extended_order: int) -> Fraction:
+    """``Ω1(x, τ) = H(x; v + C(v, 2), v, τ)`` (Lemma 1, Equation 28).
+
+    Probability that a uniformly chosen set of ``τ`` relabelled elements of
+    the complete extended graph on ``v`` vertices contains exactly ``x``
+    vertices (the rest being edges).
+    """
+    if x < 0 or x > tau:
+        return Fraction(0)
+    v = extended_order
+    population = v + binomial(v, 2)
+    return hypergeometric_pmf(x, population, v, tau)
+
+
+@lru_cache(maxsize=262144)
+def omega2(m: int, x: int, tau: int, extended_order: int) -> Fraction:
+    """``Ω2(m, x, τ) = Pr[Z = m | Y = τ - x]`` (Lemma 2, Equation 29).
+
+    Probability that ``τ - x`` distinct edges drawn uniformly from the
+    complete graph on ``v`` vertices cover exactly ``m`` vertices.  Computed
+    with the exact inclusion–exclusion formula
+
+    ``C(C(v,2), τ-x)^{-1} * Σ_t (-1)^{m-t} C(v, m) C(m, t) C(C(t,2), τ-x)``.
+    """
+    v = extended_order
+    y = tau - x
+    if y < 0 or m < 0 or m > v:
+        return Fraction(0)
+    total_edges = binomial(v, 2)
+    denominator = binomial(total_edges, y)
+    if denominator == 0:
+        # No way to pick y edges at all; define the degenerate distribution
+        # to concentrate on m == 0 so the factor stays a proper pmf.
+        return Fraction(1) if (m == 0 and y == 0) else Fraction(0)
+    if y == 0:
+        return Fraction(1) if m == 0 else Fraction(0)
+    numerator = 0
+    choose_v_m = binomial(v, m)
+    for t in range(m + 1):
+        term = choose_v_m * binomial(m, t) * binomial(binomial(t, 2), y)
+        if (m - t) % 2 == 1:
+            numerator -= term
+        else:
+            numerator += term
+    if numerator <= 0:
+        return Fraction(0)
+    return Fraction(numerator, denominator)
+
+
+@lru_cache(maxsize=262144)
+def omega3(r: int, phi: int, branch_types: int) -> Fraction:
+    """``Ω3(r, ϕ) = C(r, r-ϕ) (D-1)^ϕ / D^r`` (Lemma 3, Equation 30).
+
+    Probability that exactly ``ϕ`` of the ``r`` relabelled branches end up
+    different from their originals when each relabelled branch is assigned a
+    uniformly random type among ``D`` possibilities.
+
+    For very large ``D`` (rich label alphabets) the exact ratio involves
+    integers with thousands of digits while its value is representable in a
+    double to full precision, so a log-space float evaluation is used instead
+    of exact big-integer arithmetic.
+    """
+    if phi < 0 or phi > r:
+        return Fraction(0)
+    if r == 0:
+        return Fraction(1) if phi == 0 else Fraction(0)
+    d = branch_types
+    if d > 10**6:
+        log_value = math.log(binomial(r, r - phi)) + phi * math.log(d - 1) - r * math.log(d)
+        return Fraction(math.exp(log_value)) if log_value > -745.0 else Fraction(0)
+    return Fraction(binomial(r, r - phi) * (d - 1) ** phi, d**r)
+
+
+@lru_cache(maxsize=262144)
+def omega4(x: int, r: int, m: int, extended_order: int) -> Fraction:
+    """``Ω4(x, r, m) = H(x + m - r; v, m, x)`` (Lemma 4, Equation 31).
+
+    Probability that the set of ``x`` relabelled vertices intersects the set
+    of ``m`` edge-covered vertices in exactly ``x + m - r`` vertices, i.e.
+    the union — the number of touched branches — has size ``r``.
+    """
+    overlap = x + m - r
+    if overlap < 0 or overlap > min(x, m):
+        return Fraction(0)
+    return hypergeometric_pmf(overlap, extended_order, m, x)
+
+
+# --------------------------------------------------------------------------- #
+# τ-derivatives (Gamma-function continuation) for the Jeffreys prior
+# --------------------------------------------------------------------------- #
+def _log_binomial_dk(n: int, k: int) -> float:
+    """``d/dk log C(n, k)`` at integer points via digamma: ``psi(n-k+1) - psi(k+1)``."""
+    return digamma(n - k + 1.0) - digamma(k + 1.0)
+
+
+@lru_cache(maxsize=262144)
+def omega1_dtau(x: int, tau: int, extended_order: int) -> Fraction:
+    """Analytic ``dΩ1/dτ`` (continuation of Equation 36).
+
+    ``Ω1 = C(v, x) C(E, τ-x) / C(v+E, τ)`` with ``E = C(v, 2)``; its
+    τ-derivative is ``Ω1 * [d/dτ log C(E, τ-x) - d/dτ log C(v+E, τ)]``.
+    The digamma factors are converted to rationals so the result composes
+    exactly with the other Ω factors.
+    """
+    value = omega1(x, tau, extended_order)
+    if value == 0:
+        return Fraction(0)
+    v = extended_order
+    total_edges = binomial(v, 2)
+    log_derivative = _log_binomial_dk(total_edges, tau - x) - _log_binomial_dk(v + total_edges, tau)
+    return value * Fraction(log_derivative).limit_denominator(10**12)
+
+
+@lru_cache(maxsize=262144)
+def omega2_dtau(m: int, x: int, tau: int, extended_order: int) -> Fraction:
+    """Analytic ``dΩ2/dτ`` (continuation of Equation 37).
+
+    Differentiates each inclusion–exclusion term
+    ``C(v,m) C(m,t) C(C(t,2), τ-x) / C(C(v,2), τ-x)`` separately:
+    the τ-derivative of its logarithm is
+    ``d/dτ log C(C(t,2), τ-x) - d/dτ log C(C(v,2), τ-x)``.
+    Terms whose binomial vanishes contribute zero.
+    """
+    v = extended_order
+    y = tau - x
+    if y < 0 or m < 0 or m > v:
+        return Fraction(0)
+    total_edges = binomial(v, 2)
+    denominator = binomial(total_edges, y)
+    if denominator == 0 or y == 0:
+        return Fraction(0)
+    choose_v_m = binomial(v, m)
+    log_derivative_denom = _log_binomial_dk(total_edges, y)
+    result = Fraction(0)
+    for t in range(m + 1):
+        pairs = binomial(t, 2)
+        numerator_term = choose_v_m * binomial(m, t) * binomial(pairs, y)
+        if numerator_term == 0:
+            continue
+        term_value = Fraction(numerator_term, denominator)
+        if (m - t) % 2 == 1:
+            term_value = -term_value
+        log_derivative = _log_binomial_dk(pairs, y) - log_derivative_denom
+        result += term_value * Fraction(log_derivative).limit_denominator(10**12)
+    return result
+
+
+def omega_support(tau: int, extended_order: int) -> Tuple[range, range, range]:
+    """Return the (x, m, r) summation ranges used when assembling Λ1.
+
+    Follows Section VI-B: ``x ∈ [0, τ]``, ``m ∈ [0, min(2τ, v)]``,
+    ``r ∈ [0, min(3τ, v)]``.
+    """
+    v = extended_order
+    return (
+        range(0, tau + 1),
+        range(0, min(2 * tau, v) + 1),
+        range(0, min(3 * tau, v) + 1),
+    )

@@ -1,0 +1,158 @@
+"""GBDA ablation variants V1 and V2 (Section VII-D).
+
+* **GBDA-V1** replaces the per-pair extended order ``|V'1| = max(|V_Q|,
+  |V_G|)`` in Λ1 and Λ3 with the *average* vertex count of a small sample of
+  ``α`` database graphs.  It trades per-pair fidelity for an even cheaper
+  online stage; the paper shows it loses F1 for small thresholds (τ̂ ≤ 4).
+* **GBDA-V2** replaces the GBD with the weighted variant VGBD
+  (Equation 26) with a user-chosen weight ``w`` when computing Λ1 and Λ2.
+
+Both variants reuse the entire GBDA machinery and only override the two
+hooks that differ, so their code doubles as documentation of exactly where
+the ablations deviate from Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.core.branches import branch_multiset
+from repro.core.search import GBDASearch, SearchResult
+from repro.db.database import GraphDatabase
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import SearchError
+from repro.stats.sampling import sample_items, sample_pairs
+
+__all__ = ["GBDAV1Search", "GBDAV2Search"]
+
+
+class GBDAV1Search(GBDASearch):
+    """GBDA-V1: fixed extended order taken from a database sample.
+
+    Parameters
+    ----------
+    alpha:
+        Number of database graphs sampled to compute the average vertex
+        count used as the (single) extended order |V'1|.
+    """
+
+    method_name = "GBDA-V1"
+
+    def __init__(self, database: GraphDatabase, *, alpha: int = 50, **kwargs) -> None:
+        super().__init__(database, **kwargs)
+        if alpha < 1:
+            raise SearchError("GBDA-V1 requires a positive sample size α")
+        self.alpha = int(alpha)
+        self.fixed_extended_order: Optional[int] = None
+
+    def fit(self, *, extended_orders=None) -> "GBDAV1Search":
+        rng = random.Random(self.seed)
+        sampled = sample_items(self.database.graphs(), self.alpha, seed=rng)
+        average_vertices = sum(graph.num_vertices for graph in sampled) / len(sampled)
+        self.fixed_extended_order = max(int(round(average_vertices)), 1)
+        # Λ3 only needs the single fixed order; Λ2 is unchanged.
+        super().fit(extended_orders=[self.fixed_extended_order])
+        return self
+
+    def query(self, query: SimilarityQuery) -> SearchResult:
+        """Identical to Algorithm 1 except every pair uses the fixed |V'1|."""
+        self._require_fitted()
+        if query.tau_hat > self.max_tau:
+            raise SearchError(
+                f"τ̂={query.tau_hat} exceeds the pre-computed maximum {self.max_tau}"
+            )
+        start = time.perf_counter()
+        query_branches = branch_multiset(query.query_graph)
+        gbd_values: Dict[int, int] = {}
+        posteriors: Dict[int, float] = {}
+        accepted: List[int] = []
+        for entry in self.database:
+            gbd_value = self.database.gbd_to(
+                query.query_graph, entry.graph_id, query_branches=query_branches
+            )
+            gbd_values[entry.graph_id] = gbd_value
+            posterior = self.estimator.posterior(
+                gbd_value, query.tau_hat, self.fixed_extended_order
+            )
+            posteriors[entry.graph_id] = posterior
+            if posterior >= query.gamma:
+                accepted.append(entry.graph_id)
+        elapsed = time.perf_counter() - start
+        answer = QueryAnswer(
+            method=self.method_name,
+            accepted_ids=frozenset(accepted),
+            scores=dict(posteriors),
+            elapsed_seconds=elapsed,
+        )
+        return SearchResult(answer=answer, gbd_values=gbd_values, posteriors=posteriors)
+
+
+class GBDAV2Search(GBDASearch):
+    """GBDA-V2: the weighted VGBD of Equation (26) replaces GBD everywhere.
+
+    Parameters
+    ----------
+    weight:
+        The multiplier ``w`` applied to the branch-intersection size.  The
+        paper evaluates ``w ∈ {0.1, 0.5}``.
+    """
+
+    method_name = "GBDA-V2"
+
+    def __init__(self, database: GraphDatabase, *, weight: float = 0.5, **kwargs) -> None:
+        super().__init__(database, **kwargs)
+        if weight < 0:
+            raise SearchError("the VGBD weight must be non-negative")
+        self.weight = float(weight)
+
+    def fit(self, *, extended_orders=None) -> "GBDAV2Search":
+        super().fit(extended_orders=extended_orders)
+        # Re-fit Λ2 on VGBD samples: the prior must describe the statistic
+        # actually observed online (Section VII-D).
+        graphs = self.database.graphs()
+        rng = random.Random(self.seed)
+        pair_ids = sample_pairs(list(range(len(graphs))), self.num_prior_pairs, seed=rng)
+        vgbd_samples = []
+        for i, j in pair_ids:
+            value = self.database.vgbd_to(graphs[i], j, self.weight)
+            vgbd_samples.append(int(math.floor(value + 0.5)))
+        if vgbd_samples:
+            self.gbd_prior.fit_from_samples(
+                vgbd_samples, max_value=self.database.max_vertices
+            )
+        return self
+
+    def query(self, query: SimilarityQuery) -> SearchResult:
+        """Algorithm 1 with VGBD in Steps 2 and 3."""
+        self._require_fitted()
+        if query.tau_hat > self.max_tau:
+            raise SearchError(
+                f"τ̂={query.tau_hat} exceeds the pre-computed maximum {self.max_tau}"
+            )
+        start = time.perf_counter()
+        query_branches = branch_multiset(query.query_graph)
+        gbd_values: Dict[int, int] = {}
+        posteriors: Dict[int, float] = {}
+        accepted: List[int] = []
+        for entry in self.database:
+            vgbd_value = self.database.vgbd_to(
+                query.query_graph, entry.graph_id, self.weight, query_branches=query_branches
+            )
+            rounded = max(int(math.floor(vgbd_value + 0.5)), 0)
+            gbd_values[entry.graph_id] = rounded
+            extended_order = max(query.query_graph.num_vertices, entry.num_vertices)
+            posterior = self.estimator.posterior(rounded, query.tau_hat, extended_order)
+            posteriors[entry.graph_id] = posterior
+            if posterior >= query.gamma:
+                accepted.append(entry.graph_id)
+        elapsed = time.perf_counter() - start
+        answer = QueryAnswer(
+            method=self.method_name,
+            accepted_ids=frozenset(accepted),
+            scores=dict(posteriors),
+            elapsed_seconds=elapsed,
+        )
+        return SearchResult(answer=answer, gbd_values=gbd_values, posteriors=posteriors)

@@ -1,0 +1,133 @@
+"""Parser for IAM graph-database files (GXL graphs, CXL collection indexes).
+
+The IAM Graph Database Repository distributes each dataset as a directory of
+GXL files (one graph each) plus CXL index files listing the graphs of each
+split.  This module parses those formats so the genuine AIDS / Fingerprint /
+GREC data can be dropped into the experiments when a copy is available —
+the offline look-alike generators are used otherwise.
+
+Only the features the experiments need are supported: node/edge elements,
+string/float/int attribute values, and the ``chem``/``type`` style symbolic
+labels the three datasets use.  Numeric attributes are concatenated into a
+single composite label because GBDA (and all the baselines in this
+repository) operate on symbolic labels.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+__all__ = ["parse_gxl", "parse_gxl_file", "parse_cxl_index", "load_iam_directory"]
+
+
+def _attribute_value(attr_element: ElementTree.Element) -> str:
+    """Extract the value of a GXL ``<attr>`` element as a string."""
+    for child in attr_element:
+        tag = child.tag.lower()
+        if tag in ("string", "int", "float", "double", "bool"):
+            return (child.text or "").strip()
+    return (attr_element.text or "").strip()
+
+
+def _composite_label(attributes: Dict[str, str], preferred: Sequence[str]) -> str:
+    """Build a single symbolic label from a GXL attribute dictionary.
+
+    Preferred keys (``chem``, ``type``, ``symbol``, ...) are used alone when
+    present; otherwise all attributes are concatenated in key order so that
+    distinct attribute combinations stay distinguishable.
+    """
+    for key in preferred:
+        if key in attributes and attributes[key] != "":
+            return attributes[key]
+    if not attributes:
+        return "node"
+    return "|".join(f"{key}={attributes[key]}" for key in sorted(attributes))
+
+
+def parse_gxl(text: str, *, name: Optional[str] = None) -> Graph:
+    """Parse one GXL document (as text) into a :class:`Graph`."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise DatasetError(f"invalid GXL document: {exc}") from exc
+
+    graph_element = root.find("graph")
+    if graph_element is None:
+        graph_element = root if root.tag == "graph" else None
+    if graph_element is None:
+        raise DatasetError("GXL document does not contain a <graph> element")
+
+    graph = Graph(name=name or graph_element.get("id"))
+    for node in graph_element.findall("node"):
+        node_id = node.get("id")
+        if node_id is None:
+            raise DatasetError("GXL node without an id attribute")
+        attributes = {attr.get("name", ""): _attribute_value(attr) for attr in node.findall("attr")}
+        label = _composite_label(attributes, preferred=("chem", "type", "symbol", "label"))
+        graph.add_vertex(node_id, label)
+
+    for edge in graph_element.findall("edge"):
+        source = edge.get("from")
+        target = edge.get("to")
+        if source is None or target is None:
+            raise DatasetError("GXL edge without from/to attributes")
+        if source == target:
+            continue  # simple graphs: skip self-loops
+        attributes = {attr.get("name", ""): _attribute_value(attr) for attr in edge.findall("attr")}
+        label = _composite_label(attributes, preferred=("valence", "type", "frequency", "label"))
+        if not graph.has_edge(source, target):
+            graph.add_edge(source, target, label)
+    return graph
+
+
+def parse_gxl_file(path: PathLike) -> Graph:
+    """Parse one ``.gxl`` file into a :class:`Graph` (named after the file stem)."""
+    path = Path(path)
+    return parse_gxl(path.read_text(encoding="utf-8"), name=path.stem)
+
+
+def parse_cxl_index(path: PathLike) -> List[str]:
+    """Parse a CXL collection index and return the listed GXL file names."""
+    path = Path(path)
+    try:
+        root = ElementTree.fromstring(path.read_text(encoding="utf-8"))
+    except ElementTree.ParseError as exc:
+        raise DatasetError(f"invalid CXL index {path}: {exc}") from exc
+    files = []
+    for print_element in root.iter("print"):
+        file_name = print_element.get("file")
+        if file_name:
+            files.append(file_name)
+    return files
+
+
+def load_iam_directory(
+    directory: PathLike,
+    *,
+    index_file: Optional[PathLike] = None,
+    limit: Optional[int] = None,
+) -> List[Graph]:
+    """Load every GXL graph from a directory (optionally filtered by a CXL index)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"{directory} is not a directory")
+    if index_file is not None:
+        names = parse_cxl_index(index_file)
+        paths = [directory / name for name in names]
+    else:
+        paths = sorted(directory.glob("*.gxl"))
+    if limit is not None:
+        paths = paths[:limit]
+    graphs = []
+    for path in paths:
+        if not path.exists():
+            raise DatasetError(f"GXL file listed in the index does not exist: {path}")
+        graphs.append(parse_gxl_file(path))
+    return graphs

@@ -1,0 +1,181 @@
+"""Graph database storage: graphs plus pre-computed branch multisets.
+
+:class:`GraphDatabase` is the container every search method in this
+repository operates on.  Each stored graph keeps:
+
+* the :class:`~repro.graphs.graph.Graph` itself,
+* its branch multiset (Definition 2) for ``O(nd)`` GBD computation,
+* its vertex/edge counts for the extended-order computation.
+
+The database also tracks the union label alphabets ``LV``/``LE`` (needed by
+the branch-type count ``D`` of the probabilistic model) and exposes the
+GBD between a query graph and any member in ``O(nd)`` using the cached
+branch multisets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.branches import branch_multiset
+from repro.core.gbd import graph_branch_distance, variant_graph_branch_distance
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph, union_label_alphabets
+
+__all__ = ["GraphDatabase", "StoredGraph"]
+
+
+@dataclass(frozen=True)
+class StoredGraph:
+    """A database entry: the graph and its pre-computed auxiliary structures."""
+
+    graph_id: int
+    graph: Graph
+    branches: Counter
+    num_vertices: int
+    num_edges: int
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying graph (falls back to the numeric id)."""
+        return self.graph.name or f"g{self.graph_id}"
+
+
+class GraphDatabase:
+    """An in-memory collection of labeled graphs with pre-computed branches.
+
+    Parameters
+    ----------
+    graphs:
+        Initial graphs to add.
+    name:
+        Optional database name (used in reports).
+    """
+
+    def __init__(self, graphs: Optional[Iterable[Graph]] = None, *, name: str = "database") -> None:
+        self.name = name
+        self._entries: List[StoredGraph] = []
+        self._vertex_labels: set = set()
+        self._edge_labels: set = set()
+        if graphs is not None:
+            for graph in graphs:
+                self.add(graph)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, graph: Graph) -> int:
+        """Add a graph; pre-compute its branch multiset; return its id."""
+        graph_id = len(self._entries)
+        entry = StoredGraph(
+            graph_id=graph_id,
+            graph=graph,
+            branches=branch_multiset(graph),
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
+        self._entries.append(entry)
+        self._vertex_labels |= graph.vertex_label_set()
+        self._edge_labels |= graph.edge_label_set()
+        return graph_id
+
+    def extend(self, graphs: Iterable[Graph]) -> List[int]:
+        """Add several graphs and return their ids."""
+        return [self.add(graph) for graph in graphs]
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StoredGraph]:
+        return iter(self._entries)
+
+    def __getitem__(self, graph_id: int) -> StoredGraph:
+        try:
+            return self._entries[graph_id]
+        except IndexError as exc:
+            raise DatasetError(f"graph id {graph_id} is out of range") from exc
+
+    def graphs(self) -> List[Graph]:
+        """Return the stored graphs (in id order)."""
+        return [entry.graph for entry in self._entries]
+
+    def entries(self) -> Sequence[StoredGraph]:
+        """Return the stored entries (in id order)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # label alphabets and statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertex_labels(self) -> int:
+        """Size of the union vertex-label alphabet ``|LV|``."""
+        return max(len(self._vertex_labels), 1)
+
+    @property
+    def num_edge_labels(self) -> int:
+        """Size of the union edge-label alphabet ``|LE|``."""
+        return max(len(self._edge_labels), 1)
+
+    @property
+    def max_vertices(self) -> int:
+        """Largest ``|V|`` among the stored graphs (0 for an empty database)."""
+        return max((entry.num_vertices for entry in self._entries), default=0)
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree across all stored graphs."""
+        total_vertices = sum(entry.num_vertices for entry in self._entries)
+        total_edges = sum(entry.num_edges for entry in self._entries)
+        if total_vertices == 0:
+            return 0.0
+        return 2.0 * total_edges / total_vertices
+
+    def label_alphabets(self):
+        """Return ``(LV, LE)`` as frozensets (recomputed from the graphs)."""
+        return union_label_alphabets(self.graphs())
+
+    # ------------------------------------------------------------------ #
+    # distances against a query graph
+    # ------------------------------------------------------------------ #
+    def gbd_to(self, query: Graph, graph_id: int, *, query_branches: Optional[Counter] = None) -> int:
+        """GBD between ``query`` and the stored graph ``graph_id`` (cached branches)."""
+        entry = self[graph_id]
+        branches_q = branch_multiset(query) if query_branches is None else query_branches
+        return graph_branch_distance(
+            query, entry.graph, branches1=branches_q, branches2=entry.branches
+        )
+
+    def vgbd_to(
+        self,
+        query: Graph,
+        graph_id: int,
+        weight: float,
+        *,
+        query_branches: Optional[Counter] = None,
+    ) -> float:
+        """Variant GBD (Equation 26) between ``query`` and a stored graph."""
+        entry = self[graph_id]
+        branches_q = branch_multiset(query) if query_branches is None else query_branches
+        return variant_graph_branch_distance(
+            query, entry.graph, weight, branches1=branches_q, branches2=entry.branches
+        )
+
+    def distinct_extended_orders(self, query: Graph) -> Dict[int, List[int]]:
+        """Group stored graph ids by the extended order they induce with ``query``.
+
+        The online stage of GBDA re-uses the Λ1 model across all graphs with
+        the same ``max(|V_Q|, |V_G|)``; this helper exposes that grouping.
+        """
+        groups: Dict[int, List[int]] = {}
+        for entry in self._entries:
+            order = max(query.num_vertices, entry.num_vertices)
+            groups.setdefault(order, []).append(entry.graph_id)
+        return groups
+
+    def __repr__(self) -> str:
+        return f"<GraphDatabase {self.name!r} |D|={len(self)}>"

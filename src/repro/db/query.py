@@ -1,0 +1,69 @@
+"""Query objects and answers shared by all similarity-search methods.
+
+A :class:`SimilarityQuery` captures the inputs of the stated graph
+similarity search problem (query graph ``Q``, similarity threshold ``τ̂``,
+and — for probabilistic methods — the probability threshold ``γ``), and a
+:class:`QueryAnswer` captures one method's output so the evaluation layer
+can compute precision/recall/F1 uniformly across GBDA and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.exceptions import SearchError
+from repro.graphs.graph import Graph
+
+__all__ = ["SimilarityQuery", "QueryAnswer"]
+
+
+@dataclass(frozen=True)
+class SimilarityQuery:
+    """Inputs of one graph similarity search (Problem Statement, Section I)."""
+
+    query_graph: Graph
+    tau_hat: int
+    gamma: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.tau_hat < 0:
+            raise SearchError("the similarity threshold τ̂ must be non-negative")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise SearchError("the probability threshold γ must lie in [0, 1]")
+
+
+@dataclass
+class QueryAnswer:
+    """The result set returned by one method for one query.
+
+    Attributes
+    ----------
+    method:
+        Human-readable method name (``"GBDA"``, ``"LSAP"``, ...).
+    accepted_ids:
+        The ids of the database graphs reported as similar.
+    scores:
+        Optional per-graph scores (posterior probabilities for GBDA,
+        estimated GEDs for the baselines); useful for diagnostics.
+    elapsed_seconds:
+        Online wall-clock time spent answering the query.
+    """
+
+    method: str
+    accepted_ids: FrozenSet[int]
+    scores: Dict[int, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of graphs in the answer set."""
+        return len(self.accepted_ids)
+
+    def contains(self, graph_id: int) -> bool:
+        """Whether a database graph id is part of the answer."""
+        return graph_id in self.accepted_ids
+
+    def score_of(self, graph_id: int) -> Optional[float]:
+        """Return the recorded score of a graph id, if any."""
+        return self.scores.get(graph_id)

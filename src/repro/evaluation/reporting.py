@@ -1,0 +1,97 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables are printed as aligned columns, figures (which are line plots
+in the paper) are printed as series — one row per x-value with one column
+per method/parameter combination — so that shapes and crossovers can be read
+directly from the pytest output and from the committed logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Union
+
+Number = Union[int, float, str, bool]
+
+__all__ = ["Table", "format_table", "format_series"]
+
+
+def _format_cell(value: Number) -> str:
+    """Render one cell: floats get 4 significant digits, the rest is str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table with a title."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Number]] = field(default_factory=list)
+
+    def add_row(self, *values: Number) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_mapping(self, mapping: Mapping[str, Number]) -> None:
+        """Append one row given as a column-name → value mapping."""
+        self.add_row(*[mapping.get(column, "") for column in self.columns])
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[Number]]) -> str:
+    """Format a table with a title line, a header, and aligned columns."""
+    header = [str(column) for column in columns]
+    rendered_rows = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines = [f"== {title} ==", render_line(header), render_line(["-" * width for width in widths])]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+) -> str:
+    """Format a "figure" as a table: one row per x-value, one column per series.
+
+    ``series`` maps a series name (e.g. ``"GBDA(γ=0.9)"``) to its y-values,
+    which must align with ``x_values``.
+    """
+    columns = [x_label] + list(series)
+    rows: List[List[Number]] = []
+    for index, x_value in enumerate(x_values):
+        row: List[Number] = [x_value]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return format_table(title, columns, rows)

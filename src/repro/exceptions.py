@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+downstream users can catch library failures with a single ``except`` clause
+while still being able to distinguish individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or mutation."""
+
+
+class DuplicateVertexError(GraphError):
+    """Raised when adding a vertex whose identifier already exists."""
+
+
+class MissingVertexError(GraphError, KeyError):
+    """Raised when referencing a vertex identifier that does not exist."""
+
+
+class DuplicateEdgeError(GraphError):
+    """Raised when adding an edge that already exists (simple graphs only)."""
+
+
+class MissingEdgeError(GraphError, KeyError):
+    """Raised when referencing an edge that does not exist."""
+
+
+class SelfLoopError(GraphError):
+    """Raised when adding a self-loop, which simple graphs forbid."""
+
+
+class InvalidLabelError(GraphError, ValueError):
+    """Raised when a label is invalid (e.g. the reserved virtual label)."""
+
+
+class EditOperationError(ReproError):
+    """Raised when a graph edit operation cannot be applied."""
+
+
+class ModelError(ReproError):
+    """Base class for probabilistic-model failures."""
+
+
+class PriorNotFittedError(ModelError):
+    """Raised when a prior is queried before being fitted/pre-computed."""
+
+
+class EstimationError(ModelError):
+    """Raised when the posterior estimation cannot be computed."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, parsed, or validated."""
+
+
+class SearchError(ReproError):
+    """Raised when a similarity-search query is malformed or fails."""
+
+
+class AssignmentError(ReproError):
+    """Raised when an assignment-problem instance is malformed."""
+
+
+class ConvergenceError(ModelError):
+    """Raised when an iterative fitting procedure fails to converge."""

@@ -1,0 +1,54 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each module exposes one or more ``run_*`` functions returning an
+:class:`~repro.experiments.config.ExperimentOutput` containing structured
+results plus a rendered plain-text table/series.  The benchmark harness
+(``benchmarks/``) calls these drivers, times their online kernels with
+pytest-benchmark, and writes the rendered output to ``results/`` so that the
+paper-versus-measured comparison in ``EXPERIMENTS.md`` can be refreshed with
+a single pytest run.
+"""
+
+from repro.experiments.config import (
+    ExperimentOutput,
+    ReproductionScale,
+    SMALL_SCALE,
+    DEFAULT_SCALE,
+    dataset_suite,
+)
+from repro.experiments.datasets_experiment import run_table3
+from repro.experiments.offline_experiment import (
+    run_table4_gbd_prior_costs,
+    run_table5_ged_prior_costs,
+    run_figure5_gbd_prior_fit,
+    run_figure6_ged_prior_matrix,
+)
+from repro.experiments.efficiency_experiment import (
+    run_figure7_time_real,
+    run_figure8_9_time_synthetic,
+)
+from repro.experiments.effectiveness_experiment import (
+    run_effectiveness_real,
+    run_effectiveness_synthetic,
+)
+from repro.experiments.variants_experiment import run_variant_comparison
+from repro.experiments.ablations import run_design_ablations
+
+__all__ = [
+    "ExperimentOutput",
+    "ReproductionScale",
+    "SMALL_SCALE",
+    "DEFAULT_SCALE",
+    "dataset_suite",
+    "run_table3",
+    "run_table4_gbd_prior_costs",
+    "run_table5_ged_prior_costs",
+    "run_figure5_gbd_prior_fit",
+    "run_figure6_ged_prior_matrix",
+    "run_figure7_time_real",
+    "run_figure8_9_time_synthetic",
+    "run_effectiveness_real",
+    "run_effectiveness_synthetic",
+    "run_variant_comparison",
+    "run_design_ablations",
+]

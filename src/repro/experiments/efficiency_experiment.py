@@ -1,0 +1,117 @@
+"""Figures 7, 8 and 9: online query efficiency of GBDA versus the competitors.
+
+* Figure 7 — average query response time on the real datasets for GBDA with
+  τ̂ ∈ {1, 5, 10} against LSAP, Greedy-Sort and Seriation.
+* Figures 8/9 — average query time versus the number of vertices on the
+  Syn-1 (scale-free) and Syn-2 (random) datasets for τ̂ ∈ {10, 20, 30}.
+
+The expected *shape* (the paper's finding): GBDA is faster than every
+competitor on the real datasets, and on synthetic graphs its advantage grows
+with the graph size because its online cost is ``O(nd + τ̂³)`` versus the
+competitors' ``O(n³)`` / ``O(n² log n²)`` / ``O(n·m²)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.greedy_sort import GreedySortGED
+from repro.baselines.lsap import LSAPGED
+from repro.baselines.seriation import SeriationGED
+from repro.datasets.registry import Dataset
+from repro.evaluation.reporting import format_series
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.config import ExperimentOutput, ReproductionScale, SMALL_SCALE, dataset_suite
+
+__all__ = ["run_figure7_time_real", "run_figure8_9_time_synthetic"]
+
+
+def _baselines():
+    return [LSAPGED(), GreedySortGED(), SeriationGED()]
+
+
+def run_figure7_time_real(
+    scale: ReproductionScale = SMALL_SCALE,
+    *,
+    datasets: Optional[Sequence[Dataset]] = None,
+    gbda_tau_values: Sequence[int] = (1, 5, 10),
+    gamma: float = 0.9,
+) -> ExperimentOutput:
+    """Regenerate Figure 7: average query time per real dataset and method."""
+    if datasets is None:
+        datasets = dataset_suite(scale, include_synthetic=False)
+
+    dataset_names: List[str] = []
+    series: Dict[str, List[float]] = {}
+    for dataset in datasets:
+        dataset_names.append(dataset.name)
+        runner = ExperimentRunner(dataset, max_queries=scale.max_queries)
+        search = runner.gbda(
+            max_tau=max(gbda_tau_values), num_prior_pairs=scale.prior_pairs, seed=scale.seed
+        )
+        for tau_hat in gbda_tau_values:
+            label = f"GBDA(τ̂={tau_hat})"
+            result = runner.run_gbda(search, tau_hat, gamma, method_label=label)
+            series.setdefault(label, []).append(result.average_query_seconds)
+        for estimator in _baselines():
+            result = runner.run_baseline(estimator, max(gbda_tau_values))
+            series.setdefault(estimator.method_name, []).append(result.average_query_seconds)
+
+    rendered = format_series(
+        "Figure 7 — average query time (seconds) on the real datasets",
+        "dataset",
+        dataset_names,
+        series,
+    )
+    return ExperimentOutput(
+        name="fig7", rendered=rendered, data={"datasets": dataset_names, "series": series}
+    )
+
+
+def run_figure8_9_time_synthetic(
+    scale: ReproductionScale = SMALL_SCALE,
+    *,
+    scale_free: bool = True,
+    tau_values: Sequence[int] = (10, 20, 30),
+    gamma: float = 0.9,
+    family_size: Optional[int] = None,
+) -> ExperimentOutput:
+    """Regenerate Figure 8 (Syn-1) or Figure 9 (Syn-2): query time versus graph size."""
+    from repro.datasets import make_syn1, make_syn2
+
+    builder = make_syn1 if scale_free else make_syn2
+    figure_name = "fig8" if scale_free else "fig9"
+    family_size = family_size or scale.family_size
+
+    sizes = list(scale.synthetic_sizes)
+    series: Dict[str, List[float]] = {}
+    for size in sizes:
+        dataset = builder(
+            sizes=(size,),
+            families_per_size=1,
+            family_size=family_size,
+            queries_per_size=1,
+            max_distance=min(max(tau_values), 30),
+            seed=scale.seed,
+        )
+        runner = ExperimentRunner(dataset, max_queries=1)
+        search = runner.gbda(
+            max_tau=max(tau_values), num_prior_pairs=min(scale.prior_pairs, 100), seed=scale.seed
+        )
+        for tau_hat in tau_values:
+            label = f"GBDA(τ̂={tau_hat})"
+            result = runner.run_gbda(search, tau_hat, gamma, method_label=label)
+            series.setdefault(label, []).append(result.average_query_seconds)
+        for estimator in _baselines():
+            result = runner.run_baseline(estimator, max(tau_values))
+            series.setdefault(estimator.method_name, []).append(result.average_query_seconds)
+
+    title = (
+        "Figure 8 — query time vs graph size on Syn-1 (scale-free)"
+        if scale_free
+        else "Figure 9 — query time vs graph size on Syn-2 (random)"
+    )
+    rendered = format_series(title, "graph size", sizes, series)
+    return ExperimentOutput(
+        name=figure_name, rendered=rendered, data={"sizes": sizes, "series": series}
+    )

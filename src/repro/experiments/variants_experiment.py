@@ -1,0 +1,85 @@
+"""Figures 22–29: GBDA versus its ablation variants GBDA-V1 and GBDA-V2.
+
+The paper compares the F1-score of GBDA against
+
+* **GBDA-V1** with sample sizes α ∈ {10, 50, 100} (Figures 22–25), and
+* **GBDA-V2** with VGBD weights w ∈ {0.1, 0.5} (Figures 26–29),
+
+on all four real datasets at γ = 0.9.  Expected shape: GBDA is at least as
+good as both variants for small thresholds (τ̂ ≤ 5) and roughly ties for
+larger thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.variants import GBDAV1Search, GBDAV2Search
+from repro.datasets.registry import Dataset
+from repro.evaluation.reporting import format_series
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.config import ExperimentOutput, ReproductionScale, SMALL_SCALE
+
+__all__ = ["run_variant_comparison"]
+
+
+def run_variant_comparison(
+    dataset: Dataset,
+    scale: ReproductionScale = SMALL_SCALE,
+    *,
+    tau_values: Optional[Sequence[int]] = None,
+    gamma: float = 0.9,
+    alpha_values: Sequence[int] = (10, 50, 100),
+    weight_values: Sequence[float] = (0.1, 0.5),
+) -> ExperimentOutput:
+    """F1 of GBDA vs GBDA-V1(α) and GBDA-V2(w) on one dataset (Figures 22–29)."""
+    tau_values = list(tau_values if tau_values is not None else scale.real_tau_values)
+    runner = ExperimentRunner(dataset, max_queries=scale.max_queries)
+
+    # GBDA reference curve
+    reference = runner.gbda(
+        max_tau=max(tau_values), num_prior_pairs=scale.prior_pairs, seed=scale.seed
+    )
+    f1_series: Dict[str, List[float]] = {"GBDA": []}
+    for tau_hat in tau_values:
+        f1_series["GBDA"].append(runner.run_gbda(reference, tau_hat, gamma).f1)
+
+    # GBDA-V1 with varying α
+    for alpha in alpha_values:
+        label = f"V1(α={alpha})"
+        search = GBDAV1Search(
+            runner.database,
+            alpha=alpha,
+            max_tau=max(tau_values),
+            num_prior_pairs=scale.prior_pairs,
+            seed=scale.seed,
+        ).fit()
+        f1_series[label] = [
+            runner.run_gbda(search, tau_hat, gamma, method_label=label).f1 for tau_hat in tau_values
+        ]
+
+    # GBDA-V2 with varying weight
+    for weight in weight_values:
+        label = f"V2(w={weight})"
+        search = GBDAV2Search(
+            runner.database,
+            weight=weight,
+            max_tau=max(tau_values),
+            num_prior_pairs=scale.prior_pairs,
+            seed=scale.seed,
+        ).fit()
+        f1_series[label] = [
+            runner.run_gbda(search, tau_hat, gamma, method_label=label).f1 for tau_hat in tau_values
+        ]
+
+    rendered = format_series(
+        f"Figures 22–29 — F1 of GBDA vs variants on {dataset.name} (γ={gamma})",
+        "τ̂",
+        tau_values,
+        f1_series,
+    )
+    return ExperimentOutput(
+        name=f"variants_{dataset.name.lower()}",
+        rendered=rendered,
+        data={"tau_values": tau_values, "series": f1_series},
+    )

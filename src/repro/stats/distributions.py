@@ -1,0 +1,59 @@
+"""Normal distribution helpers and the continuity correction of Section V-B.
+
+The GBD prior ``Λ2 = Pr[GBD = ϕ]`` is obtained by fitting a Gaussian Mixture
+Model to sampled (continuous-valued after smoothing) GBDs and then
+integrating the mixture density over the unit interval ``[ϕ - 0.5, ϕ + 0.5]``
+(Equation 14) — the textbook continuity correction for approximating a
+discrete distribution by a continuous one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["normal_pdf", "normal_cdf", "normal_interval_probability", "continuity_corrected_pmf"]
+
+_SQRT_2 = math.sqrt(2.0)
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def normal_pdf(x: float, mean: float, std: float) -> float:
+    """Probability density of the normal distribution ``N(mean, std^2)`` at ``x``."""
+    if std <= 0:
+        raise ValueError("standard deviation must be positive")
+    z = (x - mean) / std
+    return math.exp(-0.5 * z * z) / (std * _SQRT_2PI)
+
+
+def normal_cdf(x: float, mean: float, std: float) -> float:
+    """Cumulative distribution of ``N(mean, std^2)`` at ``x`` via the error function."""
+    if std <= 0:
+        raise ValueError("standard deviation must be positive")
+    return 0.5 * (1.0 + math.erf((x - mean) / (std * _SQRT_2)))
+
+
+def normal_interval_probability(low: float, high: float, mean: float, std: float) -> float:
+    """Probability that a ``N(mean, std^2)`` variable falls inside ``[low, high]``."""
+    if high < low:
+        low, high = high, low
+    return max(normal_cdf(high, mean, std) - normal_cdf(low, mean, std), 0.0)
+
+
+def continuity_corrected_pmf(
+    value: int,
+    weights: Sequence[float],
+    means: Sequence[float],
+    stds: Sequence[float],
+) -> float:
+    """Equation (14): ``Pr[X = value] = ∫_{value-0.5}^{value+0.5} Σ_i π_i N(x; μ_i, σ_i) dx``.
+
+    ``weights``, ``means`` and ``stds`` describe the mixture components.
+    """
+    if not (len(weights) == len(means) == len(stds)):
+        raise ValueError("mixture parameter sequences must have equal length")
+    low, high = value - 0.5, value + 0.5
+    probability = 0.0
+    for weight, mean, std in zip(weights, means, stds):
+        probability += weight * normal_interval_probability(low, high, mean, std)
+    return probability

@@ -1,0 +1,85 @@
+"""Shared fixtures: the paper's running-example graphs and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def paper_g1() -> Graph:
+    """Graph G1 of Figure 1 (Example 1/2 of the paper)."""
+    return Graph.from_dicts(
+        {"v1": "A", "v2": "C", "v3": "B"},
+        {("v1", "v2"): "y", ("v1", "v3"): "y", ("v2", "v3"): "z"},
+        name="G1",
+    )
+
+
+@pytest.fixture
+def paper_g2() -> Graph:
+    """Graph G2 of Figure 1 (Example 1/2 of the paper)."""
+    return Graph.from_dicts(
+        {"u1": "B", "u2": "A", "u3": "A", "u4": "C"},
+        {("u1", "u3"): "x", ("u1", "u4"): "z", ("u2", "u4"): "y"},
+        name="G2",
+    )
+
+
+@pytest.fixture
+def example4_g1() -> Graph:
+    """Graph G1' of Figure 4 (Example 4), without the virtual edges."""
+    return Graph.from_dicts(
+        {"v1": "A", "v2": "B", "v3": "C"},
+        {("v1", "v2"): "x", ("v1", "v3"): "y"},
+        name="Example4-G1",
+    )
+
+
+@pytest.fixture
+def example4_g2() -> Graph:
+    """Graph G2' of Figure 4 (Example 4), without the virtual edges."""
+    return Graph.from_dicts(
+        {"u1": "A", "u2": "B", "u3": "C"},
+        {("u1", "u2"): "y", ("u1", "u3"): "x"},
+        name="Example4-G2",
+    )
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """A small labelled triangle used by many structural tests."""
+    return Graph.from_dicts(
+        {0: "A", 1: "B", 2: "C"},
+        {(0, 1): "x", (1, 2): "y", (0, 2): "z"},
+        name="triangle",
+    )
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A labelled path on four vertices."""
+    return Graph.from_dicts(
+        {0: "A", 1: "B", 2: "A", 3: "C"},
+        {(0, 1): "x", (1, 2): "x", (2, 3): "y"},
+        name="path4",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_fingerprint_dataset():
+    """A tiny Fingerprint-like dataset shared by the integration tests."""
+    from repro.datasets import make_fingerprint_like
+
+    return make_fingerprint_like(num_templates=6, family_size=6, queries_per_family=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def fitted_search(small_fingerprint_dataset):
+    """A fitted GBDA search over the tiny Fingerprint-like dataset."""
+    from repro.core.search import GBDASearch
+    from repro.db.database import GraphDatabase
+
+    database = GraphDatabase(small_fingerprint_dataset.database_graphs, name="Fingerprint")
+    return GBDASearch(database, max_tau=6, num_prior_pairs=200, seed=1).fit()

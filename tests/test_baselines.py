@@ -1,0 +1,156 @@
+"""Tests for the baseline GED estimators (LSAP, Greedy-Sort, Seriation, Branch-LB)."""
+
+import pytest
+
+from repro.baselines.base import EstimatorSearch
+from repro.baselines.branch_filter import BranchFilterGED, branch_lower_bound
+from repro.baselines.ged_exact import exact_ged
+from repro.baselines.greedy_sort import GreedySortGED, greedy_sort_estimate
+from repro.baselines.lsap import LSAPGED, build_cost_matrix, lsap_lower_bound, lsap_upper_bound
+from repro.baselines.seriation import SeriationGED, seriation_estimate, seriation_sequence
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.exceptions import SearchError
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.graph import Graph
+
+
+def _small_pairs():
+    """A handful of small random graph pairs with computable exact GED."""
+    pairs = []
+    for seed in range(4):
+        g1 = random_labeled_graph(6, 7, seed=seed)
+        g2 = random_labeled_graph(6, 7, seed=seed + 100)
+        pairs.append((g1, g2))
+    # also near-identical pairs
+    base = random_labeled_graph(7, 9, seed=7)
+    close = base.copy()
+    close.relabel_vertex(0, "ZZ")
+    pairs.append((base, close))
+    return pairs
+
+
+class TestLSAP:
+    def test_cost_matrix_shape(self, paper_g1, paper_g2):
+        matrix, vertices1, vertices2 = build_cost_matrix(paper_g1, paper_g2)
+        assert len(matrix) == len(vertices1) + len(vertices2) == 7
+        assert all(len(row) == 7 for row in matrix)
+
+    def test_identical_graphs_have_zero_bound(self, triangle):
+        assert lsap_lower_bound(triangle, triangle.copy()) == pytest.approx(0.0)
+        assert lsap_upper_bound(triangle, triangle.copy()) == pytest.approx(0.0)
+
+    def test_lower_bound_never_exceeds_exact_ged(self):
+        for g1, g2 in _small_pairs():
+            exact = exact_ged(g1, g2)
+            assert lsap_lower_bound(g1, g2) <= exact + 1e-9
+
+    def test_upper_bound_never_below_exact_ged(self):
+        for g1, g2 in _small_pairs():
+            exact = exact_ged(g1, g2)
+            assert lsap_upper_bound(g1, g2) >= exact - 1e-9
+
+    def test_lower_bound_at_most_upper_bound(self):
+        for g1, g2 in _small_pairs():
+            assert lsap_lower_bound(g1, g2) <= lsap_upper_bound(g1, g2) + 1e-9
+
+    def test_estimator_bound_selection(self, paper_g1, paper_g2):
+        lower = LSAPGED("lower").estimate(paper_g1, paper_g2)
+        upper = LSAPGED("upper").estimate(paper_g1, paper_g2)
+        assert lower <= upper
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LSAPGED("middle")
+
+    def test_empty_graphs(self):
+        assert lsap_lower_bound(Graph(), Graph()) == 0.0
+
+    def test_method_name(self):
+        assert LSAPGED().method_name == "LSAP"
+
+
+class TestGreedySort:
+    def test_identical_graphs_estimate_zero(self, triangle):
+        assert greedy_sort_estimate(triangle, triangle.copy()) == pytest.approx(0.0)
+
+    def test_estimate_at_least_lsap_lower_bound(self):
+        for g1, g2 in _small_pairs():
+            assert greedy_sort_estimate(g1, g2) >= lsap_lower_bound(g1, g2) - 1e-9
+
+    def test_symmetric_in_roles_for_equal_sizes(self, paper_g1):
+        other = paper_g1.copy()
+        other.relabel_edge("v1", "v2", "q")
+        forward = greedy_sort_estimate(paper_g1, other)
+        backward = greedy_sort_estimate(other, paper_g1)
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    def test_estimator_wrapper(self, paper_g1, paper_g2):
+        assert GreedySortGED().estimate(paper_g1, paper_g2) > 0
+        assert GreedySortGED().method_name == "Greedy-Sort"
+
+
+class TestSeriation:
+    def test_sequence_length_equals_vertex_count(self, paper_g2):
+        sequence, eigenvalue = seriation_sequence(paper_g2)
+        assert len(sequence) == 4
+        assert eigenvalue > 0
+
+    def test_empty_and_singleton_graphs(self):
+        assert seriation_sequence(Graph()) == ([], 0.0)
+        single = Graph.from_dicts({0: "A"}, {})
+        assert seriation_sequence(single) == (["A"], 0.0)
+
+    def test_identical_graphs_estimate_zero(self, triangle):
+        assert seriation_estimate(triangle, triangle.copy()) == pytest.approx(0.0)
+
+    def test_estimate_positive_for_different_graphs(self, paper_g1, paper_g2):
+        assert seriation_estimate(paper_g1, paper_g2) > 0
+
+    def test_estimate_symmetric(self, paper_g1, paper_g2):
+        assert seriation_estimate(paper_g1, paper_g2) == pytest.approx(
+            seriation_estimate(paper_g2, paper_g1)
+        )
+
+    def test_label_change_detected(self, triangle):
+        other = triangle.copy()
+        other.relabel_vertex(0, "Z")
+        assert seriation_estimate(triangle, other) >= 1.0
+
+    def test_estimator_wrapper(self):
+        assert SeriationGED().method_name == "Seriation"
+
+
+class TestBranchFilter:
+    def test_lower_bound_property_on_small_pairs(self):
+        for g1, g2 in _small_pairs():
+            assert branch_lower_bound(g1, g2) <= exact_ged(g1, g2) + 1e-9
+
+    def test_paper_example(self, paper_g1, paper_g2):
+        assert branch_lower_bound(paper_g1, paper_g2) == 2  # ceil(3 / 2)
+
+    def test_estimator_wrapper(self, paper_g1, paper_g2):
+        assert BranchFilterGED().estimate(paper_g1, paper_g2) == 2
+
+
+class TestEstimatorSearch:
+    def test_threshold_search_accepts_close_graphs(self, triangle):
+        near = triangle.copy()
+        near.relabel_vertex(0, "Z")
+        far = random_labeled_graph(8, 12, seed=5, vertex_labels=["Q"], edge_labels=["qq"])
+        database = GraphDatabase([near, far])
+        search = EstimatorSearch(database, LSAPGED())
+        answer = search.query(SimilarityQuery(triangle, tau_hat=1))
+        assert 0 in answer.accepted_ids
+        assert 1 not in answer.accepted_ids
+        assert answer.method == "LSAP"
+        assert answer.elapsed_seconds >= 0.0
+
+    def test_scores_recorded_for_every_graph(self, triangle):
+        database = GraphDatabase([triangle.copy(), random_labeled_graph(5, 5, seed=1)])
+        answer = EstimatorSearch(database, BranchFilterGED()).search(triangle, tau_hat=2)
+        assert set(answer.scores) == {0, 1}
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SearchError):
+            EstimatorSearch(GraphDatabase([]), LSAPGED())

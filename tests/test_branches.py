@@ -1,0 +1,85 @@
+"""Tests for branch structures and branch isomorphism (Definitions 2 & 3)."""
+
+from collections import Counter
+
+from repro.core.branches import Branch, branch_multiset, branch_of, branches_of, iter_branches
+from repro.graphs.graph import Graph
+
+
+class TestBranchExtraction:
+    def test_paper_example2_branches_of_g1(self, paper_g1):
+        """Example 2: B(v1)={A; y,y}, B(v2)={C; y,z}, B(v3)={B; y,z}."""
+        assert branch_of(paper_g1, "v1") == Branch("A", ("y", "y"))
+        assert branch_of(paper_g1, "v2") == Branch("C", ("y", "z"))
+        assert branch_of(paper_g1, "v3") == Branch("B", ("y", "z"))
+
+    def test_paper_example2_branches_of_g2(self, paper_g2):
+        """Example 2: B(u1)={B; x,z}, B(u2)={A; y}, B(u3)={A; x}, B(u4)={C; y,z}."""
+        assert branch_of(paper_g2, "u1") == Branch("B", ("x", "z"))
+        assert branch_of(paper_g2, "u2") == Branch("A", ("y",))
+        assert branch_of(paper_g2, "u3") == Branch("A", ("x",))
+        assert branch_of(paper_g2, "u4") == Branch("C", ("y", "z"))
+
+    def test_isolated_vertex_branch(self):
+        graph = Graph.from_dicts({0: "Z"}, {})
+        assert branch_of(graph, 0) == Branch("Z", ())
+
+    def test_edge_labels_are_sorted(self):
+        graph = Graph.from_dicts(
+            {0: "A", 1: "B", 2: "C", 3: "D"},
+            {(0, 1): "z", (0, 2): "a", (0, 3): "m"},
+        )
+        assert branch_of(graph, 0).edge_labels == ("a", "m", "z")
+
+    def test_branches_of_returns_sorted_list(self, paper_g2):
+        branches = branches_of(paper_g2)
+        assert len(branches) == 4
+        keys = [(b.vertex_label, b.edge_labels) for b in branches]
+        assert keys == sorted(keys, key=lambda item: (str(item[0]), [str(x) for x in item[1]]))
+
+    def test_iter_branches_covers_every_vertex(self, paper_g1):
+        pairs = dict(iter_branches(paper_g1))
+        assert set(pairs) == {"v1", "v2", "v3"}
+
+
+class TestBranchProperties:
+    def test_degree_property(self, paper_g1):
+        assert branch_of(paper_g1, "v1").degree == 2
+
+    def test_as_strings_layout(self, paper_g1):
+        assert branch_of(paper_g1, "v1").as_strings() == ["A", "y", "y"]
+
+    def test_str_rendering(self, paper_g1):
+        assert str(branch_of(paper_g1, "v2")) == "{C; y, z}"
+
+    def test_isomorphism_is_equality_of_canonical_keys(self, paper_g1, paper_g2):
+        assert branch_of(paper_g1, "v2").is_isomorphic_to(branch_of(paper_g2, "u4"))
+        assert not branch_of(paper_g1, "v1").is_isomorphic_to(branch_of(paper_g2, "u2"))
+
+    def test_branches_are_hashable_and_orderable(self):
+        a = Branch("A", ("x",))
+        b = Branch("A", ("y",))
+        assert len({a, b, Branch("A", ("x",))}) == 2
+        assert sorted([b, a]) == [a, b]
+
+
+class TestBranchMultiset:
+    def test_multiset_counts_duplicates(self):
+        graph = Graph.from_dicts({0: "A", 1: "A"}, {})
+        counts = branch_multiset(graph)
+        assert counts == Counter({("A", ()): 2})
+
+    def test_paper_example2_intersection_size(self, paper_g1, paper_g2):
+        counts1 = branch_multiset(paper_g1)
+        counts2 = branch_multiset(paper_g2)
+        intersection = sum((counts1 & counts2).values())
+        assert intersection == 1, "only B(v2) ≃ B(u4) is shared (Example 2)"
+
+    def test_multiset_size_equals_vertex_count(self, paper_g1, paper_g2):
+        assert sum(branch_multiset(paper_g1).values()) == 3
+        assert sum(branch_multiset(paper_g2).values()) == 4
+
+    def test_mixed_label_types_do_not_crash_sorting(self):
+        graph = Graph.from_dicts({0: "A", 1: 7}, {(0, 1): 3})
+        branches = branches_of(graph)
+        assert len(branches) == 2

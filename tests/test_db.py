@@ -1,0 +1,136 @@
+"""Tests for the graph database layer: storage, branch index, catalog, queries."""
+
+import pytest
+
+from repro.core.gbd import graph_branch_distance
+from repro.db.catalog import DatabaseCatalog
+from repro.db.database import GraphDatabase
+from repro.db.index import BranchInvertedIndex
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import DatasetError, SearchError
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def small_database(triangle, path_graph, paper_g1, paper_g2):
+    return GraphDatabase([triangle, path_graph, paper_g1, paper_g2], name="unit-test")
+
+
+class TestGraphDatabase:
+    def test_ids_are_assigned_in_order(self, small_database, triangle):
+        assert len(small_database) == 4
+        assert small_database[0].graph is triangle
+        assert small_database[0].graph_id == 0
+
+    def test_add_returns_id_and_extend_appends(self):
+        database = GraphDatabase()
+        first = database.add(random_labeled_graph(4, 4, seed=0))
+        ids = database.extend([random_labeled_graph(4, 4, seed=1)])
+        assert first == 0
+        assert ids == [1]
+
+    def test_branches_precomputed(self, small_database, paper_g1):
+        from repro.core.branches import branch_multiset
+
+        assert small_database[2].branches == branch_multiset(paper_g1)
+
+    def test_label_alphabet_sizes(self, small_database):
+        assert small_database.num_vertex_labels == 3  # A, B, C across all graphs
+        assert small_database.num_edge_labels == 3
+
+    def test_max_vertices_and_average_degree(self, small_database):
+        assert small_database.max_vertices == 4
+        assert small_database.average_degree > 0
+
+    def test_gbd_to_matches_direct_computation(self, small_database, paper_g1, paper_g2):
+        assert small_database.gbd_to(paper_g1, 3) == graph_branch_distance(paper_g1, paper_g2)
+
+    def test_vgbd_to(self, small_database, paper_g1):
+        assert small_database.vgbd_to(paper_g1, 3, weight=0.5) == pytest.approx(3.5)
+
+    def test_out_of_range_id_rejected(self, small_database, paper_g1):
+        with pytest.raises(DatasetError):
+            small_database[99]
+
+    def test_distinct_extended_orders_grouping(self, small_database, paper_g1):
+        groups = small_database.distinct_extended_orders(paper_g1)
+        assert set(groups) == {3, 4}
+        assert sorted(sum(groups.values(), [])) == [0, 1, 2, 3]
+
+    def test_stored_graph_name_fallback(self):
+        database = GraphDatabase([Graph()])
+        assert database[0].name == "g0"
+
+    def test_iteration_and_graphs_accessor(self, small_database):
+        assert len(list(small_database)) == 4
+        assert len(small_database.graphs()) == 4
+        assert len(small_database.entries()) == 4
+
+
+class TestBranchInvertedIndex:
+    def test_intersection_sizes_match_pairwise_computation(self, small_database, paper_g1):
+        index = BranchInvertedIndex(small_database)
+        sizes = index.intersection_sizes(paper_g1)
+        from repro.core.branches import branch_multiset
+        from repro.core.gbd import branch_intersection_size
+
+        query_branches = branch_multiset(paper_g1)
+        for entry in small_database:
+            expected = branch_intersection_size(query_branches, entry.branches)
+            assert sizes.get(entry.graph_id, 0) == expected
+
+    def test_gbd_all_matches_direct_gbd(self, small_database, paper_g1):
+        index = BranchInvertedIndex(small_database)
+        gbds = index.gbd_all(paper_g1)
+        for entry in small_database:
+            assert gbds[entry.graph_id] == graph_branch_distance(paper_g1, entry.graph)
+
+    def test_candidate_pruning_keeps_all_true_answers(self, small_database, paper_g1):
+        index = BranchInvertedIndex(small_database)
+        tau_hat = 2
+        survivors = set(index.candidates_by_gbd_bound(paper_g1, tau_hat))
+        # Any graph with GED <= tau_hat satisfies GBD <= 2*tau_hat and must survive.
+        gbds = index.gbd_all(paper_g1)
+        for graph_id, gbd in gbds.items():
+            if gbd <= 2 * tau_hat:
+                assert graph_id in survivors
+
+    def test_postings_and_statistics(self, small_database, paper_g1):
+        index = BranchInvertedIndex(small_database)
+        assert index.num_distinct_branches > 0
+        some_key = next(iter(small_database[2].branches))
+        postings = index.postings(some_key)
+        assert any(graph_id == 2 for graph_id, _count in postings)
+        assert index.postings(("missing", ())) == []
+
+
+class TestDatabaseCatalog:
+    def test_catalog_row_structure(self, small_database, paper_g1):
+        catalog = DatabaseCatalog.from_database(small_database, queries=[paper_g1], scale_free=True)
+        row = catalog.as_row()
+        assert row["Data Set"] == "unit-test"
+        assert row["|D|"] == 4
+        assert row["|Q|"] == 1
+        assert row["Vm"] == 4
+        assert row["Scale-free"] == "Yes"
+
+    def test_scale_free_flag_estimated_when_not_forced(self, small_database):
+        catalog = DatabaseCatalog.from_database(small_database)
+        assert catalog.scale_free in (True, False)
+
+
+class TestQueryObjects:
+    def test_similarity_query_validation(self, triangle):
+        with pytest.raises(SearchError):
+            SimilarityQuery(triangle, tau_hat=-1)
+        with pytest.raises(SearchError):
+            SimilarityQuery(triangle, tau_hat=1, gamma=1.5)
+
+    def test_query_answer_helpers(self):
+        answer = QueryAnswer(method="x", accepted_ids=frozenset({1, 2}), scores={1: 0.9})
+        assert answer.size == 2
+        assert answer.contains(1)
+        assert not answer.contains(3)
+        assert answer.score_of(1) == 0.9
+        assert answer.score_of(3) is None

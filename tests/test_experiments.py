@@ -1,0 +1,114 @@
+"""Tests for the experiment drivers (fast, tiny-scale runs)."""
+
+import pytest
+
+from repro.datasets import make_fingerprint_like
+from repro.experiments import (
+    ReproductionScale,
+    run_design_ablations,
+    run_effectiveness_real,
+    run_figure5_gbd_prior_fit,
+    run_figure6_ged_prior_matrix,
+    run_figure7_time_real,
+    run_table3,
+    run_table4_gbd_prior_costs,
+    run_table5_ged_prior_costs,
+    run_variant_comparison,
+    dataset_suite,
+)
+from repro.experiments.config import SMALL_SCALE, ExperimentOutput
+
+TINY = ReproductionScale(
+    real_templates=3,
+    family_size=4,
+    synthetic_sizes=(20,),
+    max_queries=1,
+    prior_pairs=40,
+    real_tau_values=(1, 3),
+    synthetic_tau_values=(5,),
+    gamma_values=(0.8,),
+    real_max_vertices=15,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets():
+    return dataset_suite(TINY, include_synthetic=False)
+
+
+@pytest.fixture(scope="module")
+def tiny_fingerprint():
+    return make_fingerprint_like(num_templates=3, family_size=4, max_vertices=15, seed=1)
+
+
+class TestConfig:
+    def test_presets_are_consistent(self):
+        assert SMALL_SCALE.real_templates <= 10
+        assert SMALL_SCALE.prior_pairs >= 100
+        assert len(SMALL_SCALE.gamma_values) == 3
+
+    def test_dataset_suite_names(self, tiny_datasets):
+        assert [d.name for d in tiny_datasets] == ["AIDS", "Fingerprint", "GREC", "AASD"]
+
+    def test_vertex_cap_applied(self, tiny_datasets):
+        for dataset in tiny_datasets:
+            assert max(g.num_vertices for g in dataset.database_graphs) <= 15 + TINY.family_size
+
+    def test_output_str(self):
+        output = ExperimentOutput(name="x", rendered="hello")
+        assert str(output) == "hello"
+
+
+class TestTableDrivers:
+    def test_table3(self, tiny_datasets):
+        output = run_table3(TINY, datasets=tiny_datasets)
+        assert "Table III" in output.rendered
+        assert set(output.data["measured"]) == {"AIDS", "Fingerprint", "GREC", "AASD"}
+
+    def test_table4(self, tiny_fingerprint):
+        output = run_table4_gbd_prior_costs(TINY, datasets=[tiny_fingerprint])
+        assert "Table IV" in output.rendered
+        assert output.data["Fingerprint"]["pairs"] > 0
+
+    def test_table5(self, tiny_fingerprint):
+        output = run_table5_ged_prior_costs(TINY, datasets=[tiny_fingerprint], max_tau=4)
+        assert "Table V" in output.rendered
+        assert output.data["Fingerprint"]["orders"] >= 1
+
+
+class TestFigureDrivers:
+    def test_figure5(self, tiny_fingerprint):
+        output = run_figure5_gbd_prior_fit(TINY, dataset=tiny_fingerprint, max_value=10)
+        assert len(output.data["sampled"]) == len(output.data["inferred"]) == 10
+
+    def test_figure6(self, tiny_fingerprint):
+        output = run_figure6_ged_prior_matrix(TINY, dataset=tiny_fingerprint, max_tau=3)
+        matrix = output.data["matrix"]
+        for column_index in range(len(output.data["orders"])):
+            column = [matrix[tau][column_index] for tau in matrix]
+            assert abs(sum(column) - 1.0) < 1e-6
+
+    def test_figure7(self, tiny_fingerprint):
+        output = run_figure7_time_real(TINY, datasets=[tiny_fingerprint], gbda_tau_values=(1, 3))
+        series = output.data["series"]
+        assert "LSAP" in series and "GBDA(τ̂=1)" in series
+        assert all(len(values) == 1 for values in series.values())
+
+    def test_effectiveness_real(self, tiny_fingerprint):
+        output = run_effectiveness_real(tiny_fingerprint, TINY, tau_values=(1, 3), gamma_values=(0.8,))
+        series = output.data["series"]
+        assert set(series) == {"precision", "recall", "f1"}
+        assert all(value == 1.0 for value in series["recall"]["LSAP"])
+
+    def test_variant_comparison(self, tiny_fingerprint):
+        output = run_variant_comparison(
+            tiny_fingerprint, TINY, tau_values=(1, 3), alpha_values=(5,), weight_values=(0.5,)
+        )
+        series = output.data["series"]
+        assert "GBDA" in series and "V1(α=5)" in series and "V2(w=0.5)" in series
+
+    def test_design_ablations(self, tiny_fingerprint):
+        output = run_design_ablations(tiny_fingerprint, TINY, tau_hat=3, gamma=0.8)
+        assert output.data["answers_identical"]
+        assert output.data["plain_time"] > 0

@@ -1,0 +1,93 @@
+"""Tests for the exact A* GED computation."""
+
+import pytest
+
+from repro.baselines.ged_exact import AStarGED, exact_ged
+from repro.exceptions import SearchError
+from repro.graphs.edit_ops import EditPath, RelabelEdge, RelabelVertex
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.graph import Graph
+
+
+class TestExactGED:
+    def test_identical_graphs(self, triangle):
+        assert exact_ged(triangle, triangle.copy()) == 0
+
+    def test_paper_example1(self, paper_g1, paper_g2):
+        """Example 1: GED(G1, G2) = 3 (delete edge, add vertex, add edge)."""
+        assert exact_ged(paper_g1, paper_g2) == 3
+
+    def test_paper_example4(self, example4_g1, example4_g2):
+        """Example 4: GED = 2 (two edge relabels or two vertex relabels)."""
+        assert exact_ged(example4_g1, example4_g2) == 2
+
+    def test_single_vertex_relabel(self, triangle):
+        other = triangle.copy()
+        other.relabel_vertex(0, "Z")
+        assert exact_ged(triangle, other) == 1
+
+    def test_single_edge_relabel(self, triangle):
+        other = triangle.copy()
+        other.relabel_edge(0, 1, "q")
+        assert exact_ged(triangle, other) == 1
+
+    def test_single_edge_deletion(self, triangle):
+        other = triangle.copy()
+        other.remove_edge(0, 1)
+        assert exact_ged(triangle, other) == 1
+
+    def test_vertex_insertion_with_edge(self, triangle):
+        other = triangle.copy()
+        other.add_vertex(3, "D")
+        other.add_edge(3, 0, "w")
+        assert exact_ged(triangle, other) == 2
+
+    def test_symmetry(self, paper_g1, paper_g2):
+        assert exact_ged(paper_g1, paper_g2) == exact_ged(paper_g2, paper_g1)
+
+    def test_empty_graphs(self):
+        assert exact_ged(Graph(), Graph()) == 0
+
+    def test_empty_versus_triangle(self, triangle):
+        # three vertex insertions + three edge insertions
+        assert exact_ged(Graph(), triangle) == 6
+
+    def test_ged_upper_bounded_by_applied_edit_path_length(self, triangle):
+        path = EditPath([RelabelVertex(0, "Z"), RelabelEdge(1, 2, "q")])
+        target = path.apply_to(triangle)
+        assert exact_ged(triangle, target) <= len(path)
+
+    def test_ged_between_random_small_graphs_is_symmetric(self):
+        g1 = random_labeled_graph(5, 6, seed=1)
+        g2 = random_labeled_graph(5, 6, seed=2)
+        assert exact_ged(g1, g2) == exact_ged(g2, g1)
+
+    def test_max_vertices_guard(self):
+        big = random_labeled_graph(20, 30, seed=0)
+        with pytest.raises(SearchError):
+            exact_ged(big, big.copy())
+
+    def test_expansion_budget_guard(self):
+        g1 = random_labeled_graph(9, 16, seed=3)
+        g2 = random_labeled_graph(9, 16, seed=4)
+        with pytest.raises(SearchError):
+            exact_ged(g1, g2, max_expansions=5)
+
+    def test_upper_bound_prunes_but_preserves_answer(self, paper_g1, paper_g2):
+        assert exact_ged(paper_g1, paper_g2, upper_bound=10) == 3
+
+
+class TestAStarEstimator:
+    def test_wraps_exact_value(self, paper_g1, paper_g2):
+        estimator = AStarGED()
+        assert estimator.estimate(paper_g1, paper_g2) == 3.0
+        assert estimator(paper_g1, paper_g2) == 3.0
+
+    def test_respects_vertex_limit(self):
+        estimator = AStarGED(max_vertices=4)
+        big = random_labeled_graph(6, 8, seed=0)
+        with pytest.raises(SearchError):
+            estimator.estimate(big, big.copy())
+
+    def test_method_name(self):
+        assert AStarGED().method_name == "A*-exact"

@@ -1,0 +1,123 @@
+"""Tests for the random labeled graph generators and networkx interop."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    from_networkx,
+    random_labeled_graph,
+    scale_free_labeled_graph,
+    to_networkx,
+)
+from repro.graphs.validation import validate_graph
+
+
+class TestRandomLabeledGraph:
+    def test_vertex_and_edge_counts(self):
+        graph = random_labeled_graph(20, 30, seed=1)
+        assert graph.num_vertices == 20
+        assert graph.num_edges >= 19, "connected generator wires a spanning structure"
+
+    def test_connectivity(self):
+        graph = random_labeled_graph(30, 45, seed=2, connected=True)
+        assert graph.is_connected()
+
+    def test_disconnected_allowed(self):
+        graph = random_labeled_graph(30, 0, seed=2, connected=False)
+        assert graph.num_edges == 0
+
+    def test_edge_count_clamped_to_simple_graph_maximum(self):
+        graph = random_labeled_graph(5, 100, seed=3)
+        assert graph.num_edges <= 10
+
+    def test_reproducibility(self):
+        a = random_labeled_graph(15, 20, seed=42)
+        b = random_labeled_graph(15, 20, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_labeled_graph(15, 20, seed=1)
+        b = random_labeled_graph(15, 20, seed=2)
+        assert a != b
+
+    def test_labels_come_from_alphabets(self):
+        graph = random_labeled_graph(10, 12, vertex_labels=["Q"], edge_labels=["e"], seed=0)
+        assert graph.vertex_label_set() == frozenset({"Q"})
+        assert graph.edge_label_set() <= frozenset({"e"})
+
+    def test_rng_instance_accepted(self):
+        rng = random.Random(7)
+        graph = random_labeled_graph(10, 12, seed=rng)
+        assert graph.num_vertices == 10
+
+    def test_empty_and_singleton(self):
+        assert random_labeled_graph(0, 0, seed=0).num_vertices == 0
+        assert random_labeled_graph(1, 5, seed=0).num_edges == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_labeled_graph(-1, 0)
+
+    def test_output_is_valid(self):
+        graph = random_labeled_graph(25, 40, seed=5)
+        validate_graph(graph, require_connected=True)
+
+
+class TestScaleFreeLabeledGraph:
+    def test_connectivity_and_size(self):
+        graph = scale_free_labeled_graph(100, edges_per_vertex=2, seed=1)
+        assert graph.num_vertices == 100
+        assert graph.is_connected()
+
+    def test_hub_emerges(self):
+        graph = scale_free_labeled_graph(300, edges_per_vertex=3, seed=2)
+        assert graph.max_degree() >= 3 * graph.average_degree(), "heavy-tailed degrees expected"
+
+    def test_reproducibility(self):
+        a = scale_free_labeled_graph(50, seed=9)
+        b = scale_free_labeled_graph(50, seed=9)
+        assert a == b
+
+    def test_edges_per_vertex_validation(self):
+        with pytest.raises(ValueError):
+            scale_free_labeled_graph(10, edges_per_vertex=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            scale_free_labeled_graph(-5)
+
+    def test_average_degree_bounded_by_parameter(self):
+        graph = scale_free_labeled_graph(200, edges_per_vertex=3, seed=4)
+        assert graph.average_degree() <= 2 * 3 + 1
+
+    def test_output_is_valid(self):
+        graph = scale_free_labeled_graph(60, seed=6)
+        validate_graph(graph, require_connected=True)
+
+
+class TestNetworkxInterop:
+    def test_round_trip_preserves_structure(self, triangle):
+        nx_graph = to_networkx(triangle)
+        back = from_networkx(nx_graph)
+        assert back == triangle
+
+    def test_to_networkx_attributes(self, triangle):
+        nx_graph = to_networkx(triangle)
+        assert nx_graph.nodes[0]["label"] == "A"
+        assert nx_graph.edges[0, 1]["label"] == "x"
+
+    def test_from_networkx_defaults(self):
+        nx_graph = nx.path_graph(4)
+        graph = from_networkx(nx_graph, default_vertex_label="V", default_edge_label="E")
+        assert graph.num_vertices == 4
+        assert graph.vertex_label(0) == "V"
+        assert graph.edge_label(0, 1) == "E"
+
+    def test_from_networkx_drops_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        nx_graph.add_edge(0, 1)
+        graph = from_networkx(nx_graph)
+        assert graph.num_edges == 1

@@ -1,0 +1,93 @@
+"""Tests for the from-scratch Gaussian Mixture Model (EM)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.stats.gmm import GaussianMixtureModel
+
+
+def _two_cluster_sample(n=400, seed=0):
+    rng = random.Random(seed)
+    data = [rng.gauss(2.0, 0.5) for _ in range(n // 2)]
+    data += [rng.gauss(8.0, 1.0) for _ in range(n // 2)]
+    return data
+
+
+class TestFitting:
+    def test_two_clusters_recovered(self):
+        model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
+        means = sorted(component.mean for component in model.components)
+        assert means[0] == pytest.approx(2.0, abs=0.5)
+        assert means[1] == pytest.approx(8.0, abs=0.8)
+
+    def test_weights_sum_to_one(self):
+        model = GaussianMixtureModel(3, seed=2).fit(_two_cluster_sample())
+        assert sum(c.weight for c in model.components) == pytest.approx(1.0)
+
+    def test_fit_is_reproducible_with_seed(self):
+        data = _two_cluster_sample()
+        a = GaussianMixtureModel(2, seed=5).fit(data)
+        b = GaussianMixtureModel(2, seed=5).fit(data)
+        assert [c.mean for c in a.components] == pytest.approx([c.mean for c in b.components])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConvergenceError):
+            GaussianMixtureModel(2).fit([])
+
+    def test_constant_sample_does_not_crash(self):
+        model = GaussianMixtureModel(3, seed=0).fit([4.0] * 50)
+        assert len(model.components) == 1
+        assert model.components[0].mean == pytest.approx(4.0)
+
+    def test_more_components_than_distinct_values(self):
+        model = GaussianMixtureModel(5, seed=0).fit([1.0, 2.0, 1.0, 2.0])
+        assert len(model.components) <= 2
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureModel(0)
+
+    def test_log_likelihood_recorded(self):
+        model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
+        assert model.log_likelihood_ is not None
+        assert model.n_iterations_ >= 1
+
+
+class TestQueries:
+    def test_pdf_integrates_to_roughly_one(self):
+        model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
+        step = 0.05
+        grid = [i * step for i in range(-200, 400)]
+        integral = sum(model.pdf(x) * step for x in grid)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_discrete_probabilities_sum_to_roughly_one(self):
+        model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
+        total = sum(model.discrete_probability(value) for value in range(-5, 25))
+        assert total == pytest.approx(1.0, abs=0.02)
+
+    def test_discrete_probability_peaks_near_cluster_means(self):
+        model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
+        assert model.discrete_probability(2) > model.discrete_probability(5)
+        assert model.discrete_probability(8) > model.discrete_probability(5)
+
+    def test_queries_before_fit_raise(self):
+        model = GaussianMixtureModel(2)
+        with pytest.raises(ConvergenceError):
+            model.pdf(0.0)
+        with pytest.raises(ConvergenceError):
+            model.discrete_probability(0)
+
+    def test_sampling_from_fitted_model(self):
+        model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
+        samples = model.sample(200, seed=3)
+        assert len(samples) == 200
+        assert 0.0 < sum(samples) / len(samples) < 10.0
+
+    def test_repr(self):
+        unfitted = GaussianMixtureModel(2)
+        assert "unfitted" in repr(unfitted)
+        fitted = GaussianMixtureModel(1, seed=0).fit([1.0, 2.0, 3.0])
+        assert "π=" in repr(fitted)

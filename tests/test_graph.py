@@ -1,0 +1,197 @@
+"""Unit tests for the labeled simple undirected graph data structure."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateVertexError,
+    InvalidLabelError,
+    MissingEdgeError,
+    MissingVertexError,
+    SelfLoopError,
+)
+from repro.graphs.graph import Graph, VIRTUAL_LABEL, edge_key, union_label_alphabets
+
+
+class TestVertexOperations:
+    def test_add_and_query_vertex(self):
+        graph = Graph()
+        graph.add_vertex("v1", "A")
+        assert graph.has_vertex("v1")
+        assert graph.vertex_label("v1") == "A"
+        assert graph.num_vertices == 1
+
+    def test_add_duplicate_vertex_raises(self):
+        graph = Graph()
+        graph.add_vertex("v1", "A")
+        with pytest.raises(DuplicateVertexError):
+            graph.add_vertex("v1", "B")
+
+    def test_virtual_label_rejected_on_ordinary_vertices(self):
+        graph = Graph()
+        with pytest.raises(InvalidLabelError):
+            graph.add_vertex("v1", VIRTUAL_LABEL)
+
+    def test_virtual_label_allowed_when_requested(self):
+        graph = Graph()
+        graph.add_vertex("v1", VIRTUAL_LABEL, allow_virtual=True)
+        assert graph.vertex_label("v1") == VIRTUAL_LABEL
+
+    def test_missing_vertex_label_raises(self):
+        graph = Graph()
+        with pytest.raises(MissingVertexError):
+            graph.vertex_label("nope")
+
+    def test_relabel_vertex(self):
+        graph = Graph()
+        graph.add_vertex("v1", "A")
+        graph.relabel_vertex("v1", "B")
+        assert graph.vertex_label("v1") == "B"
+
+    def test_relabel_missing_vertex_raises(self):
+        graph = Graph()
+        with pytest.raises(MissingVertexError):
+            graph.relabel_vertex("v1", "B")
+
+    def test_remove_isolated_vertex(self):
+        graph = Graph()
+        graph.add_vertex("v1", "A")
+        graph.remove_vertex("v1")
+        assert not graph.has_vertex("v1")
+
+    def test_remove_non_isolated_vertex_rejected(self, triangle):
+        with pytest.raises(SelfLoopError):
+            triangle.remove_vertex(0)
+
+    def test_remove_missing_vertex_raises(self):
+        graph = Graph()
+        with pytest.raises(MissingVertexError):
+            graph.remove_vertex("v1")
+
+    def test_vertex_iteration(self, triangle):
+        assert sorted(triangle.vertices()) == [0, 1, 2]
+        assert dict(triangle.vertex_items()) == {0: "A", 1: "B", 2: "C"}
+
+
+class TestEdgeOperations:
+    def test_add_and_query_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0), "edges are undirected"
+        assert triangle.edge_label(0, 1) == "x"
+        assert triangle.edge_label(1, 0) == "x"
+        assert triangle.num_edges == 3
+
+    def test_add_edge_missing_endpoint_raises(self):
+        graph = Graph()
+        graph.add_vertex(0, "A")
+        with pytest.raises(MissingVertexError):
+            graph.add_edge(0, 1, "x")
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        graph.add_vertex(0, "A")
+        with pytest.raises(SelfLoopError):
+            graph.add_edge(0, 0, "x")
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(DuplicateEdgeError):
+            triangle.add_edge(1, 0, "w")
+
+    def test_virtual_edge_label_rejected(self):
+        graph = Graph()
+        graph.add_vertex(0, "A")
+        graph.add_vertex(1, "B")
+        with pytest.raises(InvalidLabelError):
+            graph.add_edge(0, 1, VIRTUAL_LABEL)
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(MissingEdgeError):
+            triangle.remove_edge(0, 99)
+
+    def test_relabel_edge_updates_adjacency(self, triangle):
+        triangle.relabel_edge(0, 1, "w")
+        assert triangle.edge_label(0, 1) == "w"
+        assert list(triangle.incident_edge_labels(0)).count("w") == 1
+
+    def test_relabel_missing_edge_raises(self, triangle):
+        with pytest.raises(MissingEdgeError):
+            triangle.relabel_edge(0, 99, "w")
+
+    def test_edge_key_is_order_independent(self):
+        assert edge_key(1, 2) == edge_key(2, 1)
+
+
+class TestStructureQueries:
+    def test_degree_and_average_degree(self, triangle, path_graph):
+        assert triangle.degree(0) == 2
+        assert triangle.average_degree() == pytest.approx(2.0)
+        assert path_graph.degree(0) == 1
+        assert path_graph.degree(1) == 2
+        assert path_graph.average_degree() == pytest.approx(1.5)
+
+    def test_max_degree(self, path_graph):
+        assert path_graph.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_incident_edge_labels(self, triangle):
+        assert sorted(triangle.incident_edge_labels(0)) == ["x", "z"]
+
+    def test_neighbors(self, path_graph):
+        assert sorted(path_graph.neighbors(1)) == [0, 2]
+
+    def test_connected_components(self):
+        graph = Graph()
+        for v in range(4):
+            graph.add_vertex(v, "A")
+        graph.add_edge(0, 1, "x")
+        components = graph.connected_components()
+        assert len(components) == 3
+        assert not graph.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert Graph().is_connected()
+
+    def test_label_sets(self, triangle):
+        assert triangle.vertex_label_set() == frozenset({"A", "B", "C"})
+        assert triangle.edge_label_set() == frozenset({"x", "y", "z"})
+
+    def test_union_label_alphabets(self, triangle, path_graph):
+        vertex_labels, edge_labels = union_label_alphabets([triangle, path_graph])
+        assert vertex_labels == frozenset({"A", "B", "C"})
+        assert edge_labels == frozenset({"x", "y", "z"})
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.relabel_vertex(0, "Z")
+        assert triangle.vertex_label(0) == "A"
+        assert clone.vertex_label(0) == "Z"
+
+    def test_identical_graphs_compare_equal(self, triangle):
+        assert triangle == triangle.copy()
+
+    def test_different_labels_compare_unequal(self, triangle):
+        other = triangle.copy()
+        other.relabel_edge(0, 1, "w")
+        assert triangle != other
+
+    def test_equality_with_non_graph(self, triangle):
+        assert triangle != 42
+
+    def test_dunder_protocols(self, triangle):
+        assert len(triangle) == 3
+        assert 0 in triangle
+        assert sorted(iter(triangle)) == [0, 1, 2]
+        assert "Graph" in repr(triangle)
+
+    def test_from_dicts_round_trip(self):
+        graph = Graph.from_dicts({0: "A", 1: "B"}, {(0, 1): "x"}, name="g")
+        assert graph.num_vertices == 2
+        assert graph.edge_label(0, 1) == "x"
+        assert graph.name == "g"

@@ -1,0 +1,112 @@
+"""Tests for the IAM GXL/CXL parser."""
+
+import pytest
+
+from repro.datasets.iam import load_iam_directory, parse_cxl_index, parse_gxl, parse_gxl_file
+from repro.exceptions import DatasetError
+
+SAMPLE_GXL = """<?xml version="1.0" encoding="UTF-8"?>
+<gxl>
+  <graph id="molecule_1" edgeids="false" edgemode="undirected">
+    <node id="_0"><attr name="chem"><string>C</string></attr></node>
+    <node id="_1"><attr name="chem"><string>N</string></attr></node>
+    <node id="_2"><attr name="chem"><string>O</string></attr></node>
+    <edge from="_0" to="_1"><attr name="valence"><int>1</int></attr></edge>
+    <edge from="_1" to="_2"><attr name="valence"><int>2</int></attr></edge>
+  </graph>
+</gxl>
+"""
+
+SAMPLE_GXL_NO_PREFERRED = """<gxl>
+  <graph id="g">
+    <node id="a"><attr name="x"><float>1.5</float></attr><attr name="y"><float>2.5</float></attr></node>
+    <node id="b"><attr name="x"><float>3.0</float></attr><attr name="y"><float>2.5</float></attr></node>
+    <edge from="a" to="b"/>
+    <edge from="b" to="b"/>
+  </graph>
+</gxl>
+"""
+
+SAMPLE_CXL = """<?xml version="1.0"?>
+<GraphCollection>
+  <fingerprints base="/" classmodel="henry">
+    <print file="molecule_1.gxl" class="active"/>
+    <print file="molecule_2.gxl" class="inactive"/>
+  </fingerprints>
+</GraphCollection>
+"""
+
+
+class TestGxlParsing:
+    def test_nodes_edges_and_labels(self):
+        graph = parse_gxl(SAMPLE_GXL)
+        assert graph.name == "molecule_1"
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.vertex_label("_0") == "C"
+        assert graph.edge_label("_0", "_1") == "1"
+
+    def test_composite_labels_when_no_preferred_attribute(self):
+        graph = parse_gxl(SAMPLE_GXL_NO_PREFERRED)
+        assert graph.vertex_label("a") == "x=1.5|y=2.5"
+        assert graph.num_edges == 1, "self-loops are dropped"
+        assert graph.edge_label("a", "b") == "node" or graph.edge_label("a", "b") != ""
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_gxl("<gxl><graph>")
+
+    def test_document_without_graph_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_gxl("<gxl></gxl>")
+
+    def test_node_without_id_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_gxl("<gxl><graph><node/></graph></gxl>")
+
+    def test_edge_without_endpoints_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_gxl('<gxl><graph><node id="a"/><edge to="a"/></graph></gxl>')
+
+    def test_parse_file_uses_stem_as_name(self, tmp_path):
+        path = tmp_path / "compound42.gxl"
+        path.write_text(SAMPLE_GXL, encoding="utf-8")
+        graph = parse_gxl_file(path)
+        assert graph.name == "compound42"
+
+
+class TestCxlAndDirectories:
+    def test_cxl_index_lists_files(self, tmp_path):
+        path = tmp_path / "train.cxl"
+        path.write_text(SAMPLE_CXL, encoding="utf-8")
+        assert parse_cxl_index(path) == ["molecule_1.gxl", "molecule_2.gxl"]
+
+    def test_invalid_cxl_rejected(self, tmp_path):
+        path = tmp_path / "broken.cxl"
+        path.write_text("<GraphCollection>", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            parse_cxl_index(path)
+
+    def test_load_directory_without_index(self, tmp_path):
+        for name in ("a.gxl", "b.gxl"):
+            (tmp_path / name).write_text(SAMPLE_GXL, encoding="utf-8")
+        graphs = load_iam_directory(tmp_path)
+        assert len(graphs) == 2
+
+    def test_load_directory_with_index_and_limit(self, tmp_path):
+        (tmp_path / "molecule_1.gxl").write_text(SAMPLE_GXL, encoding="utf-8")
+        (tmp_path / "molecule_2.gxl").write_text(SAMPLE_GXL, encoding="utf-8")
+        index = tmp_path / "train.cxl"
+        index.write_text(SAMPLE_CXL, encoding="utf-8")
+        graphs = load_iam_directory(tmp_path, index_file=index, limit=1)
+        assert len(graphs) == 1
+
+    def test_missing_indexed_file_rejected(self, tmp_path):
+        index = tmp_path / "train.cxl"
+        index.write_text(SAMPLE_CXL, encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_iam_directory(tmp_path, index_file=index)
+
+    def test_non_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_iam_directory(tmp_path / "missing")

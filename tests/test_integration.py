@@ -1,0 +1,92 @@
+"""Integration tests: the full GBDA pipeline against baselines and ground truth."""
+
+import pytest
+
+from repro.baselines.branch_filter import BranchFilterGED
+from repro.baselines.greedy_sort import GreedySortGED
+from repro.baselines.lsap import LSAPGED
+from repro.baselines.seriation import SeriationGED
+from repro.core.search import GBDASearch
+from repro.core.variants import GBDAV1Search, GBDAV2Search
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.evaluation.runner import ExperimentRunner
+
+
+class TestEndToEndOnFingerprintLike(object):
+    def test_offline_then_online_pipeline(self, small_fingerprint_dataset, fitted_search):
+        dataset = small_fingerprint_dataset
+        query = dataset.query_graphs[0]
+        result = fitted_search.query(SimilarityQuery(query, tau_hat=4, gamma=0.8))
+        assert result.answer.method == "GBDA"
+        assert len(result.gbd_values) == dataset.num_database_graphs
+
+    def test_recall_of_gbda_is_high_on_generated_families(self, small_fingerprint_dataset):
+        runner = ExperimentRunner(small_fingerprint_dataset, max_queries=3)
+        search = runner.gbda(max_tau=6, num_prior_pairs=150, seed=1)
+        result = runner.run_gbda(search, tau_hat=4, gamma=0.7)
+        assert result.recall >= 0.8
+        assert result.f1 > 0.2
+
+    def test_lsap_recall_is_always_one(self, small_fingerprint_dataset):
+        """The LSAP estimate is a GED lower bound, so it never misses answers."""
+        runner = ExperimentRunner(small_fingerprint_dataset, max_queries=2)
+        result = runner.run_baseline(LSAPGED(), tau_hat=4)
+        assert result.recall == 1.0
+
+    def test_gbda_is_faster_than_lsap_per_query(self, small_fingerprint_dataset):
+        runner = ExperimentRunner(small_fingerprint_dataset, max_queries=2)
+        search = runner.gbda(max_tau=4, num_prior_pairs=150, seed=1)
+        gbda = runner.run_gbda(search, tau_hat=4, gamma=0.9)
+        lsap = runner.run_baseline(LSAPGED(), tau_hat=4)
+        assert gbda.average_query_seconds < lsap.average_query_seconds
+
+    def test_all_methods_agree_on_trivial_far_queries(self, small_fingerprint_dataset):
+        """A query with completely disjoint labels should match nothing anywhere."""
+        from repro.graphs.generators import random_labeled_graph
+
+        runner = ExperimentRunner(small_fingerprint_dataset, max_queries=1)
+        stranger = random_labeled_graph(
+            15, 20, vertex_labels=["ALIEN"], edge_labels=["alien-edge"], seed=9
+        )
+        gbda = runner.gbda(max_tau=3, num_prior_pairs=150, seed=1)
+        gbda_answer = gbda.search(stranger, tau_hat=2, gamma=0.7)
+        assert gbda_answer.size == 0
+        for estimator in (LSAPGED(), GreedySortGED(), SeriationGED(), BranchFilterGED()):
+            answer = runner.baseline(estimator).search(stranger, tau_hat=2)
+            assert answer.size == 0, estimator.method_name
+
+    def test_variants_run_end_to_end(self, small_fingerprint_dataset):
+        database = GraphDatabase(small_fingerprint_dataset.database_graphs, name="fp")
+        query = small_fingerprint_dataset.query_graphs[0]
+        v1 = GBDAV1Search(database, alpha=10, max_tau=4, num_prior_pairs=100, seed=0).fit()
+        v2 = GBDAV2Search(database, weight=0.5, max_tau=4, num_prior_pairs=100, seed=0).fit()
+        answer_v1 = v1.search(query, tau_hat=3, gamma=0.7)
+        answer_v2 = v2.search(query, tau_hat=3, gamma=0.7)
+        assert answer_v1.method == "GBDA-V1"
+        assert answer_v2.method == "GBDA-V2"
+
+    def test_posteriors_are_probabilities_for_all_database_graphs(self, small_fingerprint_dataset, fitted_search):
+        query = small_fingerprint_dataset.query_graphs[0]
+        result = fitted_search.query(SimilarityQuery(query, tau_hat=5, gamma=0.5))
+        assert all(0.0 <= p <= 1.0 for p in result.posteriors.values())
+
+
+class TestScalingBehaviour:
+    def test_online_time_grows_mildly_with_graph_size(self):
+        """GBDA's online cost is O(nd + τ̂³): doubling n must not explode the time."""
+        import time
+
+        from repro.graphs.generators import scale_free_labeled_graph
+
+        times = {}
+        for n in (100, 400):
+            graphs = [scale_free_labeled_graph(n, seed=s, name=f"g{s}") for s in range(6)]
+            database = GraphDatabase(graphs)
+            search = GBDASearch(database, max_tau=5, num_prior_pairs=15, seed=0).fit()
+            query = graphs[0]
+            start = time.perf_counter()
+            search.search(query, tau_hat=5, gamma=0.8)
+            times[n] = time.perf_counter() - start
+        # allow generous slack: the ratio should stay far below the O(n³) regime (64x)
+        assert times[400] <= times[100] * 40 + 0.05

@@ -1,0 +1,155 @@
+"""Regression tests anchored to values stated explicitly in the paper.
+
+Every test in this module checks a number or a claim that appears verbatim in
+the paper text, so that any future refactoring that drifts away from the
+published model is caught immediately.
+"""
+
+import pytest
+
+from repro.baselines.ged_exact import exact_ged
+from repro.core.branches import Branch, branch_of
+from repro.core.gbd import graph_branch_distance
+from repro.core.model import BranchEditModel
+from repro.core.omegas import branch_type_count
+from repro.graphs.extended import ExtendedGraphView, extend_pair
+from repro.graphs.graph import Graph
+
+
+class TestExample1And2:
+    """Figure 1 / Examples 1–2: GED(G1, G2) = 3 and GBD(G1, G2) = 3."""
+
+    def test_ged_is_three(self, paper_g1, paper_g2):
+        assert exact_ged(paper_g1, paper_g2) == 3
+
+    def test_gbd_is_three(self, paper_g1, paper_g2):
+        assert graph_branch_distance(paper_g1, paper_g2) == 3
+
+    def test_branch_listing_matches_example2(self, paper_g1, paper_g2):
+        expected = {
+            ("v1", Branch("A", ("y", "y"))),
+            ("v2", Branch("C", ("y", "z"))),
+            ("v3", Branch("B", ("y", "z"))),
+        }
+        assert {(v, branch_of(paper_g1, v)) for v in paper_g1.vertices()} == expected
+        expected_g2 = {
+            ("u1", Branch("B", ("x", "z"))),
+            ("u2", Branch("A", ("y",))),
+            ("u3", Branch("A", ("x",))),
+            ("u4", Branch("C", ("y", "z"))),
+        }
+        assert {(u, branch_of(paper_g2, u)) for u in paper_g2.vertices()} == expected_g2
+
+    def test_only_shared_branch_is_c_yz(self, paper_g1, paper_g2):
+        shared = [
+            (v, u)
+            for v in paper_g1.vertices()
+            for u in paper_g2.vertices()
+            if branch_of(paper_g1, v).is_isomorphic_to(branch_of(paper_g2, u))
+        ]
+        assert shared == [("v2", "u4")]
+
+
+class TestExample3:
+    """Figure 2: the extended pair G1{1}, G2{0}."""
+
+    def test_extension_factors(self, paper_g1, paper_g2):
+        extended1, extended2 = extend_pair(paper_g1, paper_g2)
+        assert extended1.extension_factor == 1
+        assert extended2.extension_factor == 0
+
+    def test_extended_graphs_are_complete(self, paper_g1, paper_g2):
+        extended1, extended2 = extend_pair(paper_g1, paper_g2)
+        for view in (extended1, extended2):
+            n = view.num_vertices
+            assert view.num_edges == n * (n - 1) // 2
+
+    def test_zero_factor_inserts_no_virtual_vertex(self, paper_g2):
+        view = ExtendedGraphView(paper_g2, 0)
+        assert list(view.virtual_vertices()) == []
+
+
+class TestExample4:
+    """Figure 4: GED(G1', G2') = 2 with pure-relabelling optimal scripts."""
+
+    def test_ged_is_two(self, example4_g1, example4_g2):
+        assert exact_ged(example4_g1, example4_g2) == 2
+
+    def test_gbd_is_two(self, example4_g1, example4_g2):
+        assert graph_branch_distance(example4_g1, example4_g2) == 2
+
+
+class TestExample7:
+    """Example 7: the non-zero posterior summands Λ1(2,3) and Λ1(3,3)."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BranchEditModel(extended_order=4, num_vertex_labels=3, num_edge_labels=3)
+
+    def test_lambda1_values(self, model):
+        assert model.lambda1(2, 3) == pytest.approx(0.5113, abs=2e-3)
+        assert model.lambda1(3, 3) == pytest.approx(0.5631, abs=2e-3)
+
+    def test_zero_summands(self, model):
+        assert model.lambda1(0, 3) == 0.0
+        assert model.lambda1(1, 3) == 0.0
+
+    def test_phi_worked_example(self, model):
+        """With Λ3/Λ2 ≡ 0.8 as in Example 7, Φ = 0.8595 > γ = 0.8."""
+        phi = sum(model.lambda1(tau, 3) for tau in range(0, 4)) * 0.8
+        assert phi == pytest.approx(0.8595, abs=5e-3)
+        assert phi > 0.8
+
+
+class TestStatedBoundsAndCounts:
+    def test_one_operation_changes_at_most_two_branches(self, paper_g1):
+        """Section VI-C.2: 'one graph edit operation can at most change two branches'."""
+        edited = paper_g1.copy()
+        edited.relabel_edge("v1", "v2", "q")
+        assert graph_branch_distance(paper_g1, edited) <= 2
+        edited_vertex = paper_g1.copy()
+        edited_vertex.relabel_vertex("v1", "Z")
+        assert graph_branch_distance(paper_g1, edited_vertex) <= 2
+
+    def test_gbd_equals_max_order_minus_intersection(self, paper_g1, paper_g2):
+        """Equation (1): GBD = max(|V1|, |V2|) − |B_G1 ∩ B_G2| = 4 − 1."""
+        assert graph_branch_distance(paper_g1, paper_g2) == 4 - 1
+
+    def test_branch_type_count_equation33(self):
+        """Equation (33): D = |LV| · C(|V'1| + |LE| − 1, |LE|)."""
+        from math import comb
+
+        assert branch_type_count(4, 3, 3) == 3 * comb(4 + 3 - 1, 3)
+
+    def test_extended_editable_elements(self):
+        """The extended graph on v vertices has v + C(v, 2) editable elements."""
+        model = BranchEditModel(4, 3, 3)
+        assert model.editable_elements() == 4 + 6
+
+    def test_a_star_limit_claim(self):
+        """The paper cites A* failing beyond ~12 vertices; our guard encodes that."""
+        from repro.baselines.ged_exact import AStarGED
+
+        assert AStarGED().max_vertices == 12
+
+    def test_scale_free_average_degree_logarithmic(self):
+        """Theorem 5: scale-free average degree grows like O(log n)."""
+        from repro.graphs.generators import scale_free_labeled_graph
+
+        small = scale_free_labeled_graph(100, edges_per_vertex=3, seed=1)
+        large = scale_free_labeled_graph(1000, edges_per_vertex=3, seed=1)
+        # a 10x increase in n must not produce anywhere near a 10x increase in d
+        assert large.average_degree() <= small.average_degree() * 2.5
+
+
+class TestDefinitionEdgeCases:
+    def test_virtual_label_not_in_alphabets(self, paper_g1):
+        from repro.graphs.graph import VIRTUAL_LABEL
+
+        assert VIRTUAL_LABEL not in paper_g1.vertex_label_set()
+        assert VIRTUAL_LABEL not in paper_g1.edge_label_set()
+
+    def test_empty_intersection_gives_maximal_gbd(self):
+        g1 = Graph.from_dicts({0: "A"}, {})
+        g2 = Graph.from_dicts({0: "B", 1: "B"}, {})
+        assert graph_branch_distance(g1, g2) == 2

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.greedy import sorted_greedy_assignment
+from repro.assignment.hungarian import assignment_cost, hungarian
+from repro.core.branches import branch_multiset
+from repro.core.gbd import branch_intersection_size, graph_branch_distance
+from repro.core.model import BranchEditModel
+from repro.core.omegas import omega1, omega2, omega3, omega4
+from repro.graphs.edit_ops import EditPath, RelabelEdge, RelabelVertex
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.graph import Graph
+from repro.stats.distributions import continuity_corrected_pmf
+
+# Strategy: a reproducible random labeled graph described by (n, edge factor, seed).
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=10**6),
+)
+
+
+def _graph_from_params(params) -> Graph:
+    n, extra_edges, seed = params
+    return random_labeled_graph(n, n - 1 + extra_edges, seed=seed)
+
+
+class TestGraphInvariants:
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, params):
+        graph = _graph_from_params(params)
+        assert sum(graph.degree(v) for v in graph.vertices()) == 2 * graph.num_edges
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, params):
+        graph = _graph_from_params(params)
+        assert graph.copy() == graph
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_branch_multiset_size_equals_vertex_count(self, params):
+        graph = _graph_from_params(params)
+        assert sum(branch_multiset(graph).values()) == graph.num_vertices
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_branch_degrees_sum_to_twice_edges(self, params):
+        graph = _graph_from_params(params)
+        total_degree = sum(len(key[1]) * count for key, count in branch_multiset(graph).items())
+        assert total_degree == 2 * graph.num_edges
+
+
+class TestGBDInvariants:
+    @given(graph_params, graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, params_a, params_b):
+        g1, g2 = _graph_from_params(params_a), _graph_from_params(params_b)
+        assert graph_branch_distance(g1, g2) == graph_branch_distance(g2, g1)
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_of_indiscernibles(self, params):
+        graph = _graph_from_params(params)
+        assert graph_branch_distance(graph, graph.copy()) == 0
+
+    @given(graph_params, graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_range(self, params_a, params_b):
+        g1, g2 = _graph_from_params(params_a), _graph_from_params(params_b)
+        value = graph_branch_distance(g1, g2)
+        assert 0 <= value <= max(g1.num_vertices, g2.num_vertices)
+
+    @given(graph_params, st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_k_relabels_change_gbd_by_at_most_2k(self, params, num_edits, edit_seed):
+        """One edit operation changes at most two branches (Section VI-C.2)."""
+        graph = _graph_from_params(params)
+        rng = random.Random(edit_seed)
+        edited = graph.copy()
+        operations = []
+        vertices = list(edited.vertices())
+        edges = list(edited.edges())
+        applied = 0
+        for _ in range(num_edits):
+            if edges and rng.random() < 0.5:
+                u, v, _label = rng.choice(edges)
+                operations.append(RelabelEdge(u, v, f"fresh{applied}"))
+            elif vertices:
+                operations.append(RelabelVertex(rng.choice(vertices), f"fresh{applied}"))
+            applied += 1
+        for operation in operations:
+            try:
+                operation.apply(edited)
+            except Exception:
+                pass
+        assert graph_branch_distance(graph, edited) <= 2 * num_edits
+
+    @given(graph_params, graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_intersection_bounded_by_smaller_multiset(self, params_a, params_b):
+        g1, g2 = _graph_from_params(params_a), _graph_from_params(params_b)
+        counts1, counts2 = branch_multiset(g1), branch_multiset(g2)
+        intersection = branch_intersection_size(counts1, counts2)
+        assert intersection <= min(g1.num_vertices, g2.num_vertices)
+
+
+class TestModelInvariants:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_lambda1_rows_are_distributions(self, order, tau, lv, le):
+        model = BranchEditModel(order, lv, le)
+        if tau > model.editable_elements():
+            # GED = τ is infeasible on extended graphs of this order: the
+            # conditional has no support and the whole row is zero.
+            assert sum(model.conditional_row(tau)) == 0.0
+            return
+        row = model.conditional_row(tau)
+        assert all(value >= 0 for value in row)
+        assert sum(row) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_omega1_normalised(self, order, tau):
+        total = sum(omega1(x, tau, order) for x in range(tau + 1))
+        if tau <= order + order * (order - 1) // 2:
+            assert total == Fraction(1)
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_omega2_normalised(self, order, tau, x):
+        if x > tau:
+            return
+        total = sum(omega2(m, x, tau, order) for m in range(order + 1))
+        max_edges = order * (order - 1) // 2
+        if tau - x <= max_edges:
+            assert total == Fraction(1)
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=2, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_omega3_normalised(self, r, branch_types):
+        total = sum(omega3(r, phi, branch_types) for phi in range(r + 1))
+        assert total == Fraction(1)
+
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_omega4_normalised(self, order, x, m):
+        if x > order or m > order:
+            return
+        total = sum(omega4(x, r, m, order) for r in range(order + 1))
+        assert total == Fraction(1)
+
+
+class TestAssignmentInvariants:
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=4, max_size=4),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hungarian_is_never_beaten_by_greedy(self, matrix):
+        optimal = assignment_cost(matrix, hungarian(matrix))
+        greedy = assignment_cost(matrix, sorted_greedy_assignment(matrix))
+        assert optimal <= greedy + 1e-6
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=5, max_size=5),
+            min_size=3,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hungarian_produces_valid_matching(self, matrix):
+        assignment = hungarian(matrix)
+        assert len(assignment) == len(matrix)
+        assert len(set(assignment)) == len(assignment)
+
+
+class TestEditPathInvariants:
+    @given(graph_params, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_edit_path_length_upper_bounds_gbd_over_two(self, params, num_relabels):
+        """Applying k relabels yields a graph within GBD ≤ 2k of the original."""
+        graph = _graph_from_params(params)
+        vertices = list(graph.vertices())
+        path = EditPath(
+            [RelabelVertex(vertices[i % len(vertices)], f"label{i}") for i in range(num_relabels)]
+        )
+        try:
+            edited = path.apply_to(graph)
+        except Exception:
+            return
+        assert graph_branch_distance(graph, edited) <= 2 * len(path)
+
+
+class TestDistributionInvariants:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1.0, allow_nan=False), min_size=1, max_size=4),
+        st.lists(st.floats(min_value=-5, max_value=25, allow_nan=False), min_size=1, max_size=4),
+        st.lists(st.floats(min_value=0.3, max_value=4.0, allow_nan=False), min_size=1, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_continuity_correction_total_mass(self, raw_weights, means, stds):
+        k = min(len(raw_weights), len(means), len(stds))
+        weights = raw_weights[:k]
+        total_weight = sum(weights)
+        weights = [w / total_weight for w in weights]
+        total = sum(
+            continuity_corrected_pmf(value, weights, means[:k], stds[:k]) for value in range(-40, 60)
+        )
+        assert total == pytest.approx(1.0, abs=1e-3)
