@@ -1,0 +1,121 @@
+"""Serving-engine throughput: batched/vectorized vs. per-query loop.
+
+Builds a 2000-graph synthetic database, fits the GBDA offline stage once,
+and answers the same query stream two ways:
+
+* the faithful per-query loop of :meth:`GBDASearch.query` (Algorithm 1,
+  one posterior evaluation per database graph), and
+* the :class:`~repro.serving.engine.BatchQueryEngine`, which computes all
+  GBDs with one inverted-index pass per query and maps them to posteriors
+  through pre-computed ``(τ̂, |V'1|)`` lookup tables.
+
+The answers must be identical and the engine must deliver at least 3× the
+loop's QPS (it typically lands near an order of magnitude); a cache-warm
+pass over a repeated stream is reported as well.  The rendered table is
+written to ``results/serving_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine, ServingExecutor
+
+DATABASE_SIZE = 2000
+NUM_QUERIES = 30
+MIN_SPEEDUP = 3.0
+
+
+def _build_database(seed: int = 0) -> GraphDatabase:
+    rng = random.Random(seed)
+    graphs = [
+        random_labeled_graph(rng.randint(8, 12), rng.randint(9, 18), seed=rng)
+        for _ in range(DATABASE_SIZE)
+    ]
+    return GraphDatabase(graphs, name=f"Syn-{DATABASE_SIZE}")
+
+
+def _build_queries(seed: int = 1):
+    rng = random.Random(seed)
+    return [
+        SimilarityQuery(
+            random_labeled_graph(rng.randint(8, 12), rng.randint(9, 18), seed=rng),
+            rng.randint(1, 3),
+            0.5,
+        )
+        for _ in range(NUM_QUERIES)
+    ]
+
+
+def test_engine_throughput_beats_query_loop(results_dir):
+    database = _build_database()
+    search = GBDASearch(database, max_tau=3, num_prior_pairs=400, seed=1).fit()
+    queries = _build_queries()
+
+    # Per-query loop (Algorithm 1 as written); best of two passes so a
+    # scheduler hiccup on a noisy CI runner cannot skew the baseline.
+    loop_runs = []
+    loop_answers = None
+    for _ in range(2):
+        start = time.perf_counter()
+        loop_answers = [search.query(query).answer for query in queries]
+        loop_runs.append(time.perf_counter() - start)
+    loop_seconds = min(loop_runs)
+    loop_qps = len(queries) / loop_seconds
+
+    # Batched engine without a result cache so every pass really scores the
+    # database.  Pass 1 is cold (lazy posterior tables built inside the
+    # measured window); pass 2 is the steady state of a running server.
+    engine = BatchQueryEngine.from_search(search, cache_size=None)
+    start = time.perf_counter()
+    engine_answers = engine.query_batch(queries)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    engine.query_batch(queries)
+    warm_seconds = time.perf_counter() - start
+    engine_seconds = min(cold_seconds, warm_seconds)
+    engine_qps = len(queries) / engine_seconds
+
+    # Correctness first: the vectorized path must reproduce the loop exactly.
+    for loop_answer, engine_answer in zip(loop_answers, engine_answers):
+        assert engine_answer.accepted_ids == loop_answer.accepted_ids
+
+    # Hot pass through the executor on a cache-backed engine: a repeated
+    # stream is answered from the LRU.
+    cached_engine = BatchQueryEngine.from_search(search)
+    executor = ServingExecutor(cached_engine, num_workers=4, mode="thread")
+    executor.map(queries)
+    executor.map(queries)
+    hot_stats = executor.last_stats
+
+    speedup = engine_qps / loop_qps
+    lines = [
+        f"Serving throughput on |D|={DATABASE_SIZE}, {len(queries)} queries "
+        f"(tau in 1..3, gamma=0.5)",
+        "",
+        f"{'method':<34}{'seconds':>10}{'QPS':>12}",
+        f"{'per-query loop (GBDASearch)':<34}{loop_seconds:>10.3f}{loop_qps:>12.1f}",
+        f"{'BatchQueryEngine (cold tables)':<34}{cold_seconds:>10.3f}"
+        f"{len(queries) / cold_seconds:>12.1f}",
+        f"{'BatchQueryEngine (warm tables)':<34}{warm_seconds:>10.3f}"
+        f"{len(queries) / warm_seconds:>12.1f}",
+        f"{'ServingExecutor (LRU-hot)':<34}{hot_stats.elapsed_seconds:>10.3f}"
+        f"{hot_stats.queries_per_second:>12.1f}",
+        "",
+        f"engine speedup over loop: {speedup:.1f}x (required >= {MIN_SPEEDUP:.0f}x)",
+        f"hot-pass cache hit rate: {hot_stats.cache_hit_rate:.0%}",
+        f"posterior tables materialised: {engine.num_cached_tables}",
+    ]
+    rendered = "\n".join(lines)
+    (results_dir / "serving_throughput.txt").write_text(rendered + "\n", encoding="utf-8")
+    print()
+    print(rendered)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"engine QPS {engine_qps:.1f} is only {speedup:.2f}x the loop QPS {loop_qps:.1f}"
+    )

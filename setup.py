@@ -1,11 +1,55 @@
-"""Setuptools shim.
+"""Packaging metadata for the GBDA reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` also works on environments whose pip/setuptools cannot
-perform PEP 660 editable installs (e.g. offline machines without the
-``wheel`` package), via ``pip install -e . --no-use-pep517``.
+``pip install -e .`` registers the ``repro`` package from ``src/`` so the
+library can be imported without exporting ``PYTHONPATH`` manually; the
+runtime dependencies match what the library imports at module load time
+(``numpy`` for the serving engine and index, ``scipy`` for the seriation
+baseline and combinatorics, ``networkx`` for the graph generators).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).parent
+
+
+def _read_version() -> str:
+    """Single source of truth: __version__ in src/repro/__init__.py."""
+    text = (_HERE / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-gbda",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'An Efficient Probabilistic Approach for Graph "
+        "Similarity Search' (GBDA, ICDE 2018) with a batched serving engine"
+    ),
+    long_description=(_HERE / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

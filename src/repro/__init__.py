@@ -8,7 +8,9 @@ Its three layers are exposed here for convenience:
 * the GBDA core (:func:`~repro.core.graph_branch_distance`,
   :class:`~repro.core.GBDASearch`, priors, and the probabilistic model),
 * the competitor baselines and the evaluation harness used to regenerate the
-  paper's tables and figures.
+  paper's tables and figures,
+* the serving layer (:mod:`repro.serving`): a batched, vectorized,
+  snapshot-backed query engine for production-style workloads.
 
 Quickstart
 ----------
@@ -18,6 +20,23 @@ Quickstart
 >>> database = GraphDatabase([g1, g2])
 >>> search = GBDASearch(database, max_tau=3, num_prior_pairs=10).fit()
 >>> answer = search.search(g1, tau_hat=1, gamma=0.5)
+
+Serving quickstart
+------------------
+The offline stage (``fit``) is paid once; the serving engine then answers
+query batches with vectorized posterior-table lookups and can be persisted
+to disk and reloaded in milliseconds:
+
+>>> from repro import BatchQueryEngine, ServingExecutor
+>>> engine = BatchQueryEngine.from_search(search)
+>>> batch = [SimilarityQuery(g1, 1, 0.5), SimilarityQuery(g2, 1, 0.5)]
+>>> answers = engine.query_batch(batch)
+>>> engine.save("/tmp/gbda.snapshot")                       # doctest: +SKIP
+>>> served = BatchQueryEngine.load("/tmp/gbda.snapshot")    # doctest: +SKIP
+>>> executor = ServingExecutor(engine, num_workers=4)
+>>> answers = executor.map(batch)
+>>> executor.last_stats.num_queries
+2
 """
 
 from repro.graphs.graph import Graph, VIRTUAL_LABEL
@@ -29,7 +48,16 @@ from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
 from repro.core.estimator import GBDAEstimator
 from repro.db.database import GraphDatabase
+from repro.db.index import BranchInvertedIndex
 from repro.db.query import SimilarityQuery, QueryAnswer
+from repro.serving import (
+    BatchQueryEngine,
+    QueryResultCache,
+    ServingExecutor,
+    ServingStats,
+    load_engine,
+    save_engine,
+)
 from repro.baselines import (
     AStarGED,
     BranchFilterGED,
@@ -40,9 +68,9 @@ from repro.baselines import (
     exact_ged,
 )
 from repro.datasets.registry import Dataset, build_dataset
-from repro.exceptions import ReproError
+from repro.exceptions import QueryError, ReproError, ServingError, SnapshotError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -60,8 +88,15 @@ __all__ = [
     "GEDPrior",
     "GBDAEstimator",
     "GraphDatabase",
+    "BranchInvertedIndex",
     "SimilarityQuery",
     "QueryAnswer",
+    "BatchQueryEngine",
+    "ServingExecutor",
+    "ServingStats",
+    "QueryResultCache",
+    "save_engine",
+    "load_engine",
     "AStarGED",
     "exact_ged",
     "LSAPGED",
@@ -72,5 +107,8 @@ __all__ = [
     "Dataset",
     "build_dataset",
     "ReproError",
+    "QueryError",
+    "ServingError",
+    "SnapshotError",
     "__version__",
 ]

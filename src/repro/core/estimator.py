@@ -18,7 +18,7 @@ size and all thresholds ``τ <= τ̂``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
@@ -112,6 +112,33 @@ class GBDAEstimator:
             prior_ged = self.ged_prior.probability(tau, extended_order)
             contributions.append(conditional * prior_ged / prior_gbd if conditional > 0 else 0.0)
         return contributions
+
+    def posterior_row(self, tau_hat: int, extended_order: int) -> List[float]:
+        """Return ``[Φ(ϕ, τ̂, |V'1|) for ϕ in 0..|V'1|]`` for one extended order.
+
+        ``GBD(Q, G) = max(|V1|, |V2|) - |B_Q ∩ B_G|`` never exceeds the
+        extended order, so the row covers every reachable GBD value.  Each
+        entry is produced by :meth:`posterior`, so tabulated scores are
+        bit-identical to the per-pair path.
+        """
+        if tau_hat < 0:
+            raise EstimationError("the similarity threshold must be non-negative")
+        order = max(int(extended_order), 1)
+        return [self.posterior(gbd, tau_hat, order) for gbd in range(order + 1)]
+
+    def posterior_table(
+        self, tau_hat: int, extended_orders: Iterable[int]
+    ) -> Dict[int, List[float]]:
+        """Return dense posterior lookup rows ``{|V'1|: posterior_row}``.
+
+        The posterior ``Φ = Pr[GED <= τ̂ | GBD = ϕ]`` depends only on the
+        integer triple ``(ϕ, τ̂, |V'1|)``, so for a fixed τ̂ the whole
+        database can be scored by table lookup instead of per-pair
+        evaluation — this is what the batched serving engine pre-computes
+        (lazily, per τ̂) to vectorize the online stage.
+        """
+        orders = sorted({max(int(order), 1) for order in extended_orders})
+        return {order: self.posterior_row(tau_hat, order) for order in orders}
 
     def accepts(
         self,

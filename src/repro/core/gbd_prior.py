@@ -193,6 +193,34 @@ class GBDPrior:
         self._require_fitted()
         return self._mixture
 
+    # ------------------------------------------------------------------ #
+    # serialization (used by the serving snapshot layer)
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict:
+        """Return the fitted prior as a plain dict (GMM parameters + table)."""
+        self._require_fitted()
+        return {
+            "num_components": self.num_components,
+            "num_pairs": self.num_pairs,
+            "mixture": self._mixture.to_state(),
+            "table": dict(self._table),
+            "max_value": self._max_value,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GBDPrior":
+        """Rebuild a fitted prior from :meth:`to_state` output without re-fitting."""
+        prior = cls(int(state["num_components"]), int(state["num_pairs"]))
+        prior._mixture = GaussianMixtureModel.from_state(state["mixture"])
+        prior._table = {int(phi): float(p) for phi, p in state["table"].items()}
+        prior._max_value = int(state["max_value"])
+        prior.report = GBDPriorReport(
+            num_pairs_sampled=0,
+            num_components=len(prior._mixture.components),
+            table_entries=len(prior._table),
+        )
+        return prior
+
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"
         return f"<GBDPrior K={self.num_components} N={self.num_pairs} ({state})>"

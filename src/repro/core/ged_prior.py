@@ -161,6 +161,39 @@ class GEDPrior:
         """The extended orders covered by the pre-computed matrix."""
         return list(self._orders)
 
+    # ------------------------------------------------------------------ #
+    # serialization (used by the serving snapshot layer)
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict:
+        """Return the pre-computed grid as a plain dict."""
+        self._require_fitted()
+        return {
+            "max_tau": self.max_tau,
+            "num_vertex_labels": self.num_vertex_labels,
+            "num_edge_labels": self.num_edge_labels,
+            "table": [(tau, order, p) for (tau, order), p in self._table.items()],
+            "orders": list(self._orders),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GEDPrior":
+        """Rebuild a fitted prior from :meth:`to_state` output without re-fitting."""
+        prior = cls(
+            int(state["max_tau"]),
+            int(state["num_vertex_labels"]),
+            int(state["num_edge_labels"]),
+        )
+        prior._table = {
+            (int(tau), int(order)): float(p) for tau, order, p in state["table"]
+        }
+        prior._orders = [int(order) for order in state["orders"]]
+        prior.report = GEDPriorReport(
+            max_tau=prior.max_tau,
+            orders=list(prior._orders),
+            table_entries=len(prior._table),
+        )
+        return prior
+
     def __repr__(self) -> str:
         state = f"{len(self._orders)} orders" if self.is_fitted else "unfitted"
         return f"<GEDPrior max_tau={self.max_tau} ({state})>"

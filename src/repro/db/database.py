@@ -15,9 +15,11 @@ branch multisets.
 
 from __future__ import annotations
 
+import inspect
+import weakref
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.branches import branch_multiset
 from repro.core.gbd import graph_branch_distance, variant_graph_branch_distance
@@ -59,6 +61,7 @@ class GraphDatabase:
         self._entries: List[StoredGraph] = []
         self._vertex_labels: set = set()
         self._edge_labels: set = set()
+        self._subscribers: List[Callable[[StoredGraph], None]] = []
         if graphs is not None:
             for graph in graphs:
                 self.add(graph)
@@ -66,20 +69,79 @@ class GraphDatabase:
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
-    def add(self, graph: Graph) -> int:
-        """Add a graph; pre-compute its branch multiset; return its id."""
+    def add(self, graph: Graph, *, branches: Optional[Counter] = None) -> int:
+        """Add a graph; pre-compute its branch multiset; return its id.
+
+        ``branches`` optionally supplies a pre-computed branch multiset (the
+        snapshot loader uses this to skip re-extraction); it must equal
+        ``branch_multiset(graph)`` or GBD computations will be wrong.
+
+        Every registered :meth:`subscribe` callback is notified with the new
+        :class:`StoredGraph` so derived structures (e.g. the branch inverted
+        index) stay consistent with incremental additions.
+        """
         graph_id = len(self._entries)
         entry = StoredGraph(
             graph_id=graph_id,
             graph=graph,
-            branches=branch_multiset(graph),
+            branches=branch_multiset(graph) if branches is None else branches,
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
         )
         self._entries.append(entry)
         self._vertex_labels |= graph.vertex_label_set()
         self._edge_labels |= graph.edge_label_set()
+        self._notify(entry)
         return graph_id
+
+    def subscribe(self, callback: Callable[[StoredGraph], None]) -> None:
+        """Register ``callback`` to be invoked with every newly added entry.
+
+        This is the incremental hook that keeps auxiliary structures (the
+        :class:`~repro.db.index.BranchInvertedIndex`, serving engines) from
+        silently serving stale state when graphs are added after they were
+        built.
+
+        Bound methods are held through weak references, so an index or
+        engine that is otherwise dropped does not stay alive (and keep being
+        notified) just because it subscribed here; plain functions and other
+        callables are held strongly — pair them with :meth:`unsubscribe`.
+        """
+        if inspect.ismethod(callback):
+            self._subscribers.append(weakref.WeakMethod(callback))
+        else:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[StoredGraph], None]) -> None:
+        """Remove a previously registered callback (no-op when absent)."""
+        for subscriber in list(self._subscribers):
+            resolved = subscriber() if isinstance(subscriber, weakref.WeakMethod) else subscriber
+            if resolved is None or resolved == callback:
+                self._subscribers.remove(subscriber)
+
+    def _notify(self, entry: StoredGraph) -> None:
+        """Invoke live subscribers; prune the ones whose owners were collected."""
+        dead = []
+        for subscriber in list(self._subscribers):
+            if isinstance(subscriber, weakref.WeakMethod):
+                callback = subscriber()
+                if callback is None:
+                    dead.append(subscriber)
+                    continue
+            else:
+                callback = subscriber
+            callback(entry)
+        for subscriber in dead:
+            self._subscribers.remove(subscriber)
+
+    # ------------------------------------------------------------------ #
+    # pickling: weak references are not picklable; subscribers re-register
+    # themselves (see BranchInvertedIndex / BatchQueryEngine __setstate__)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_subscribers"] = []
+        return state
 
     def extend(self, graphs: Iterable[Graph]) -> List[int]:
         """Add several graphs and return their ids."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
-from repro.exceptions import SearchError
+from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
 
 __all__ = ["SimilarityQuery", "QueryAnswer"]
@@ -27,10 +27,24 @@ class SimilarityQuery:
     gamma: float = 0.9
 
     def __post_init__(self) -> None:
-        if self.tau_hat < 0:
-            raise SearchError("the similarity threshold τ̂ must be non-negative")
-        if not 0.0 <= self.gamma <= 1.0:
-            raise SearchError("the probability threshold γ must lie in [0, 1]")
+        try:
+            tau_hat = int(self.tau_hat)
+            if tau_hat != self.tau_hat:
+                raise QueryError("the similarity threshold τ̂ must be an integer")
+        except (TypeError, ValueError) as exc:
+            raise QueryError("the similarity threshold τ̂ must be an integer") from exc
+        if tau_hat < 0:
+            raise QueryError("the similarity threshold τ̂ must be non-negative")
+        try:
+            gamma = float(self.gamma)
+        except (TypeError, ValueError) as exc:
+            raise QueryError("the probability threshold γ must be a number in [0, 1]") from exc
+        if not 0.0 <= gamma <= 1.0:
+            raise QueryError("the probability threshold γ must lie in [0, 1]")
+        # Normalise so downstream arithmetic/comparisons see native numbers
+        # even when the caller passed e.g. numpy scalars or 2.0 / "0.5".
+        object.__setattr__(self, "tau_hat", tau_hat)
+        object.__setattr__(self, "gamma", gamma)
 
 
 @dataclass

@@ -64,6 +64,23 @@ class SearchError(ReproError):
     """Raised when a similarity-search query is malformed or fails."""
 
 
+class QueryError(SearchError, ValueError):
+    """Raised when a :class:`~repro.db.query.SimilarityQuery` is constructed
+    with invalid parameters (negative ``τ̂``, ``γ`` outside ``[0, 1]``).
+
+    Subclasses :class:`SearchError` so existing callers that catch the
+    broader class keep working.
+    """
+
+
+class ServingError(ReproError):
+    """Raised when the batched query-serving subsystem is misused."""
+
+
+class SnapshotError(ServingError):
+    """Raised when a serving-engine snapshot cannot be written or read."""
+
+
 class AssignmentError(ReproError):
     """Raised when an assignment-problem instance is malformed."""
 

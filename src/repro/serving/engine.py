@@ -1,0 +1,294 @@
+"""Batched, vectorized GBDA query engine.
+
+:class:`BatchQueryEngine` answers batches of
+:class:`~repro.db.query.SimilarityQuery` against a fitted GBDA model.  It
+exploits the key structural fact of the posterior: ``Φ = Pr[GED <= τ̂ |
+GBD = ϕ]`` depends only on the integer triple ``(ϕ, τ̂, |V'1|)``.  For a
+fixed τ̂ the engine therefore pre-computes (lazily, on first use) a dense
+posterior lookup vector per extended order — see
+:meth:`~repro.core.estimator.GBDAEstimator.posterior_table` — after which
+scoring the *whole* database is:
+
+1. one pass over the query's branches through the
+   :class:`~repro.db.index.BranchInvertedIndex` (the ``gbd_all`` /
+   :meth:`~repro.db.index.BranchInvertedIndex.gbd_array` path) to obtain
+   every GBD at once,
+2. a vectorized numpy table lookup mapping GBDs to posteriors, and
+3. a single threshold comparison against γ,
+
+instead of the per-graph Python loop of :meth:`GBDASearch.query`.  Answers
+are bit-identical to the loop path because the tables are filled by the very
+same :meth:`GBDAEstimator.posterior` evaluations.
+
+Repeated queries are served from an optional LRU result cache
+(:class:`~repro.serving.cache.QueryResultCache`), and the engine stays
+consistent with incremental database additions through the database's
+subscription hook.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.branches import branch_multiset
+from repro.core.estimator import GBDAEstimator
+from repro.db.database import GraphDatabase
+from repro.db.index import BranchInvertedIndex
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import ServingError
+from repro.serving.cache import QueryResultCache, query_cache_key
+
+__all__ = ["BatchQueryEngine"]
+
+#: Allowed values of the ``keep_scores`` engine option.
+_KEEP_SCORES_MODES = ("accepted", "all", "none")
+
+
+class BatchQueryEngine:
+    """Serve batches of similarity queries against a fitted GBDA model.
+
+    Parameters
+    ----------
+    database:
+        The graph database ``D`` to serve (non-empty).
+    estimator:
+        A :class:`GBDAEstimator` built from fitted Λ2/Λ3 priors.
+    max_tau:
+        Largest similarity threshold supported by the priors.
+    cache_size:
+        Capacity of the LRU result cache; ``None`` or ``0`` disables caching.
+    keep_scores:
+        Which posterior scores to retain in each answer: ``"accepted"``
+        (default — scores of accepted graphs only, keeps serving cheap),
+        ``"all"`` (every database graph, matches ``GBDASearch.query``), or
+        ``"none"``.
+    use_index_pruning:
+        Mirror of the :class:`GBDASearch` option: when true, graphs whose
+        GBD already certifies ``GED > τ̂`` (``GBD > 2 τ̂``) are rejected
+        without scoring, exactly as the pruning search variant does —
+        :meth:`from_search` propagates the search's setting so engine
+        answers stay identical to the wrapped search either way.
+    """
+
+    method_name = "GBDA"
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        estimator: GBDAEstimator,
+        *,
+        max_tau: int,
+        cache_size: Optional[int] = 256,
+        keep_scores: str = "accepted",
+        use_index_pruning: bool = False,
+    ) -> None:
+        if len(database) == 0:
+            raise ServingError("cannot serve queries over an empty database")
+        if max_tau < 0:
+            raise ServingError("max_tau must be non-negative")
+        if keep_scores not in _KEEP_SCORES_MODES:
+            raise ServingError(f"keep_scores must be one of {_KEEP_SCORES_MODES}")
+        self.database = database
+        self.estimator = estimator
+        self.max_tau = int(max_tau)
+        self.keep_scores = keep_scores
+        self.use_index_pruning = bool(use_index_pruning)
+        self.cache_size = int(cache_size) if cache_size else 0
+        self.cache: Optional[QueryResultCache] = (
+            QueryResultCache(self.cache_size) if self.cache_size else None
+        )
+        # The index subscribes to the database's add-hook, so both the
+        # postings and the dense order vector track incremental additions.
+        self._index = BranchInvertedIndex(database)
+        self._tables: Dict[Tuple[int, int], np.ndarray] = {}
+        # Cached answers are scoped to the database contents: adding a graph
+        # must drop them or the cache would keep serving pre-add result sets.
+        database.subscribe(self._on_graph_added)
+
+    def _on_graph_added(self, entry) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+
+    def __setstate__(self, state):
+        # Mirror BranchInvertedIndex.__setstate__: the database sheds its
+        # weakly held subscribers on pickling, so re-register the cache
+        # invalidation hook in the unpickled copy.
+        self.__dict__.update(state)
+        self.database.subscribe(self._on_graph_added)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_search(cls, search, **kwargs) -> "BatchQueryEngine":
+        """Build an engine from a fitted :class:`~repro.core.search.GBDASearch`."""
+        if not getattr(search, "is_fitted", False):
+            raise ServingError("the search must be fitted before building a serving engine")
+        kwargs.setdefault("use_index_pruning", getattr(search, "use_index_pruning", False))
+        return cls(
+            search.database,
+            search.estimator,
+            max_tau=search.max_tau,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # posterior lookup tables
+    # ------------------------------------------------------------------ #
+    def posterior_vector(self, tau_hat: int, extended_order: int) -> np.ndarray:
+        """Return the dense posterior vector for one ``(τ̂, |V'1|)`` pair.
+
+        ``vector[ϕ] = Pr[GED <= τ̂ | GBD = ϕ]`` for ``ϕ in 0..|V'1|``;
+        computed on first use via :meth:`GBDAEstimator.posterior_row` and
+        cached for the lifetime of the engine.
+        """
+        key = (int(tau_hat), max(int(extended_order), 1))
+        vector = self._tables.get(key)
+        if vector is None:
+            vector = np.asarray(self.estimator.posterior_row(key[0], key[1]), dtype=np.float64)
+            self._tables[key] = vector
+        return vector
+
+    def warm(self, tau_hats: Iterable[int], extended_orders: Optional[Iterable[int]] = None) -> int:
+        """Pre-compute posterior vectors ahead of traffic; return the table count.
+
+        ``extended_orders`` defaults to the distinct vertex counts present in
+        the database — the exact orders hit by queries no larger than the
+        largest stored graph; larger queries extend the tables lazily.
+        """
+        if extended_orders is None:
+            extended_orders = sorted({entry.num_vertices for entry in self.database})
+        orders = list(extended_orders)
+        for tau_hat in tau_hats:
+            if tau_hat > self.max_tau:
+                raise ServingError(
+                    f"τ̂={tau_hat} exceeds the pre-computed maximum {self.max_tau}"
+                )
+            for order in orders:
+                self.posterior_vector(tau_hat, order)
+        return len(self._tables)
+
+    @property
+    def num_cached_tables(self) -> int:
+        """Number of ``(τ̂, |V'1|)`` posterior vectors currently materialised."""
+        return len(self._tables)
+
+    def tables_state(self) -> List[Tuple[int, int, List[float]]]:
+        """Export the materialised posterior vectors (snapshot layer)."""
+        return [
+            (tau_hat, order, vector.tolist())
+            for (tau_hat, order), vector in sorted(self._tables.items())
+        ]
+
+    def load_tables(self, state: Iterable[Tuple[int, int, Sequence[float]]]) -> None:
+        """Restore posterior vectors exported by :meth:`tables_state`."""
+        for tau_hat, order, values in state:
+            self._tables[(int(tau_hat), int(order))] = np.asarray(values, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def query(self, query: SimilarityQuery) -> QueryAnswer:
+        """Answer one similarity query (cache-backed, vectorized scoring)."""
+        if query.tau_hat > self.max_tau:
+            raise ServingError(
+                f"τ̂={query.tau_hat} exceeds the pre-computed maximum {self.max_tau}; "
+                "re-fit the offline stage with a larger max_tau"
+            )
+        start = time.perf_counter()
+        query_branches = branch_multiset(query.query_graph)
+        cache_key = None
+        if self.cache is not None:
+            cache_key = query_cache_key(query_branches, query.tau_hat, query.gamma)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                # Hand out a copy: the serve time of *this* lookup replaces
+                # the cold-path latency, and the scores dict is duplicated so
+                # a caller mutating its answer cannot corrupt the cache.
+                return dataclasses.replace(
+                    cached,
+                    scores=dict(cached.scores),
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+        answer = self._score(query, query_branches, start)
+        if self.cache is not None:
+            # Cache a private copy for the same reason.
+            self.cache.put(cache_key, dataclasses.replace(answer, scores=dict(answer.scores)))
+        return answer
+
+    def query_batch(self, queries: Iterable[SimilarityQuery]) -> List[QueryAnswer]:
+        """Answer a batch of queries, sharing posterior tables and the cache.
+
+        Answers are returned in input order.  The lazily built ``(τ̂, |V'1|)``
+        tables are shared across the whole batch (and across batches), so the
+        amortised per-query cost is the vectorized scoring alone.
+        """
+        return [self.query(query) for query in queries]
+
+    def _score(self, query: SimilarityQuery, query_branches, start: float) -> QueryAnswer:
+        """Vectorized Steps 2–4 of Algorithm 1 over the whole database."""
+        num_query_vertices = query.query_graph.num_vertices
+        gbds = self._index.gbd_array(query.query_graph, query_branches=query_branches)
+        orders = self._index.extended_orders_array(num_query_vertices)
+
+        posteriors = np.empty(len(gbds), dtype=np.float64)
+        for order in np.unique(orders):
+            mask = orders == order
+            vector = self.posterior_vector(query.tau_hat, int(order))
+            posteriors[mask] = vector[gbds[mask]]
+
+        accepted_mask = posteriors >= query.gamma
+        if self.use_index_pruning:
+            # Same candidate set as candidates_by_gbd_bound: one edit changes
+            # at most two branches, so GBD > 2τ̂ certifies GED > τ̂.
+            eligible = gbds <= 2 * query.tau_hat
+            accepted_mask &= eligible
+        else:
+            eligible = None
+        accepted_ids = frozenset(int(graph_id) for graph_id in np.nonzero(accepted_mask)[0])
+
+        if self.keep_scores == "all":
+            # With pruning, mirror the loop: pruned graphs are never scored.
+            candidates = np.nonzero(eligible)[0] if eligible is not None else range(len(posteriors))
+            scores = {int(i): float(posteriors[i]) for i in candidates}
+        elif self.keep_scores == "accepted":
+            scores = {graph_id: float(posteriors[graph_id]) for graph_id in accepted_ids}
+        else:
+            scores = {}
+
+        return QueryAnswer(
+            method=self.method_name,
+            accepted_ids=accepted_ids,
+            scores=scores,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def search(self, query_graph, tau_hat: int, gamma: float = 0.9) -> QueryAnswer:
+        """Convenience wrapper mirroring :meth:`GBDASearch.search`."""
+        return self.query(SimilarityQuery(query_graph, tau_hat, gamma))
+
+    # ------------------------------------------------------------------ #
+    # persistence (delegates to repro.serving.snapshot)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Serialize the fitted engine to a versioned on-disk snapshot."""
+        from repro.serving.snapshot import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path) -> "BatchQueryEngine":
+        """Restore an engine from :meth:`save` output without re-fitting."""
+        from repro.serving.snapshot import load_engine
+
+        return load_engine(path)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchQueryEngine |D|={len(self.database)} max_tau={self.max_tau} "
+            f"tables={self.num_cached_tables} cache={self.cache_size or 'off'}>"
+        )

@@ -1,0 +1,167 @@
+"""Concurrent serving driver: shard a query stream across workers.
+
+:class:`ServingExecutor` spreads a stream of similarity queries over a pool
+of workers, each answering its shard through the shared (or per-process
+copy of the) :class:`~repro.serving.engine.BatchQueryEngine`, and merges the
+per-shard :class:`~repro.db.query.QueryAnswer` lists back into input order.
+
+Three execution modes are supported:
+
+* ``"serial"`` — answer everything inline (baseline / debugging);
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor` sharing
+  one engine: the result cache and posterior tables are shared, and the
+  numpy scoring kernels release little of the GIL, so this mode mostly
+  overlaps the Python-side bookkeeping — it is the default because it is
+  cheap to start and preserves cache counters;
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` that
+  ships a pickled copy of the engine to every worker once (pool
+  initializer).  True parallelism at the cost of start-up and of per-worker
+  caches (hit/miss counters stay in the workers).
+
+Every run produces a :class:`~repro.serving.stats.ServingStats` with
+wall-clock throughput, per-query latency percentiles, and cache counters.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import ServingError
+from repro.serving.engine import BatchQueryEngine
+from repro.serving.stats import ServingStats
+
+__all__ = ["ServingExecutor"]
+
+_MODES = ("serial", "thread", "process")
+
+#: Per-process engine installed by the process-pool initializer.
+_WORKER_ENGINE: Optional[BatchQueryEngine] = None
+
+
+def _init_process_worker(engine: BatchQueryEngine) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _serve_shard_in_process(
+    shard: Sequence[Tuple[int, SimilarityQuery]]
+) -> List[Tuple[int, QueryAnswer]]:
+    if _WORKER_ENGINE is None:  # pragma: no cover - defensive
+        raise ServingError("process worker was not initialised with an engine")
+    return [(position, _WORKER_ENGINE.query(query)) for position, query in shard]
+
+
+class ServingExecutor:
+    """Shard query streams across a worker pool and merge the answers.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine answering the queries.
+    num_workers:
+        Number of shards/workers (>= 1).  ``1`` degenerates to serial.
+    mode:
+        ``"serial"``, ``"thread"`` (default), or ``"process"``.
+    """
+
+    def __init__(
+        self,
+        engine: BatchQueryEngine,
+        *,
+        num_workers: int = 4,
+        mode: str = "thread",
+    ) -> None:
+        if mode not in _MODES:
+            raise ServingError(f"mode must be one of {_MODES}, got {mode!r}")
+        if num_workers < 1:
+            raise ServingError("num_workers must be at least 1")
+        self.engine = engine
+        self.num_workers = int(num_workers)
+        self.mode = mode
+        self.last_stats: Optional[ServingStats] = None
+        self.total_stats = ServingStats()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def map(self, queries: Iterable[SimilarityQuery]) -> List[QueryAnswer]:
+        """Answer ``queries`` and return their answers in input order.
+
+        The run's measurements are exposed as :attr:`last_stats` and folded
+        into the lifetime :attr:`total_stats`.
+        """
+        stream = list(queries)
+        shards = self._shard(stream)
+        cache = self.engine.cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+
+        start = time.perf_counter()
+        if self.mode == "serial" or len(shards) <= 1:
+            indexed = [
+                (position, self.engine.query(query))
+                for shard in shards
+                for position, query in shard
+            ]
+        elif self.mode == "thread":
+            indexed = self._run_threads(shards)
+        else:
+            indexed = self._run_processes(shards)
+        elapsed = time.perf_counter() - start
+
+        answers: List[Optional[QueryAnswer]] = [None] * len(stream)
+        for position, answer in indexed:
+            answers[position] = answer
+
+        stats = ServingStats(
+            num_queries=len(stream),
+            num_batches=len(shards),
+            elapsed_seconds=elapsed,
+            latencies=[answer.elapsed_seconds for answer in answers if answer is not None],
+        )
+        if cache is not None and self.mode != "process":
+            stats.cache_hits = cache.hits - hits_before
+            stats.cache_misses = cache.misses - misses_before
+        self.last_stats = stats
+        self.total_stats.merge(stats)
+        return answers  # type: ignore[return-value]
+
+    def _shard(self, stream: Sequence[SimilarityQuery]):
+        """Round-robin the stream into at most ``num_workers`` shards."""
+        num_shards = min(self.num_workers, max(len(stream), 1))
+        shards: List[List[Tuple[int, SimilarityQuery]]] = [[] for _ in range(num_shards)]
+        for position, query in enumerate(stream):
+            shards[position % num_shards].append((position, query))
+        return [shard for shard in shards if shard] or [[]]
+
+    def _run_threads(self, shards) -> List[Tuple[int, QueryAnswer]]:
+        engine = self.engine
+
+        def serve(shard):
+            return [(position, engine.query(query)) for position, query in shard]
+
+        merged: List[Tuple[int, QueryAnswer]] = []
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            for result in pool.map(serve, shards):
+                merged.extend(result)
+        return merged
+
+    def _run_processes(self, shards) -> List[Tuple[int, QueryAnswer]]:
+        merged: List[Tuple[int, QueryAnswer]] = []
+        with ProcessPoolExecutor(
+            max_workers=len(shards),
+            initializer=_init_process_worker,
+            initargs=(self.engine,),
+        ) as pool:
+            for result in pool.map(_serve_shard_in_process, shards):
+                merged.extend(result)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServingExecutor mode={self.mode!r} workers={self.num_workers} "
+            f"served={self.total_stats.num_queries}>"
+        )

@@ -1,0 +1,132 @@
+"""Versioned on-disk snapshots of a fitted serving engine.
+
+A snapshot captures everything the online stage needs — the database graphs
+with their pre-computed branch multisets, the GMM parameters of the GBD
+prior (Λ2), the Jeffreys GED-prior grid (Λ3), and any posterior lookup
+tables already materialised — so a server process can
+:func:`load_engine` in milliseconds instead of re-running the offline
+``fit()`` (pair sampling + EM + Jeffreys grid).
+
+The payload is a plain dict of built-in types serialized with :mod:`pickle`
+behind a ``(format, version)`` header; :func:`load_engine` refuses files
+with an unknown format or a newer version with a clear
+:class:`~repro.exceptions.SnapshotError`.  As with any pickle-based format,
+only load snapshots you produced yourself or otherwise trust.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import Counter
+from pathlib import Path
+from typing import Union
+
+from repro.core.branches import branch_multiset
+from repro.core.estimator import GBDAEstimator
+from repro.core.gbd_prior import GBDPrior
+from repro.core.ged_prior import GEDPrior
+from repro.db.database import GraphDatabase
+from repro.exceptions import SnapshotError
+from repro.graphs.graph import Graph
+from repro.serving.engine import BatchQueryEngine
+
+__all__ = ["save_engine", "load_engine", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION"]
+
+SNAPSHOT_FORMAT = "repro.serving.engine-snapshot"
+SNAPSHOT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_engine(engine: BatchQueryEngine, path: PathLike) -> Path:
+    """Serialize a fitted :class:`BatchQueryEngine` to ``path``; return it."""
+    graphs = []
+    for entry in engine.database:
+        graphs.append(
+            {
+                "name": entry.graph.name,
+                "vertices": list(entry.graph.vertex_items()),
+                "edges": [(u, v, label) for u, v, label in entry.graph.edges()],
+                "branches": sorted(
+                    ((key, count) for key, count in entry.branches.items()),
+                    key=repr,
+                ),
+            }
+        )
+    estimator = engine.estimator
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "database": {"name": engine.database.name, "graphs": graphs},
+        "gbd_prior": estimator.gbd_prior.to_state(),
+        "ged_prior": estimator.ged_prior.to_state(),
+        "num_vertex_labels": estimator.num_vertex_labels,
+        "num_edge_labels": estimator.num_edge_labels,
+        "engine": {
+            "max_tau": engine.max_tau,
+            "cache_size": engine.cache_size,
+            "keep_scores": engine.keep_scores,
+            "use_index_pruning": engine.use_index_pruning,
+        },
+        "posterior_tables": engine.tables_state(),
+    }
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return destination
+
+
+def load_engine(path: PathLike) -> BatchQueryEngine:
+    """Restore a :class:`BatchQueryEngine` from a snapshot without re-fitting."""
+    source = Path(path)
+    if not source.exists():
+        raise SnapshotError(f"snapshot file {source} does not exist")
+    try:
+        with source.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+        raise SnapshotError(f"snapshot file {source} is corrupt or not a snapshot") from exc
+
+    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"file {source} is not a serving-engine snapshot")
+    version = payload.get("version")
+    if not isinstance(version, int) or version < 1 or version > SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version!r} is not supported "
+            f"(this build reads versions 1..{SNAPSHOT_VERSION})"
+        )
+
+    database = GraphDatabase(name=payload["database"]["name"])
+    for record in payload["database"]["graphs"]:
+        graph = Graph.from_dicts(
+            dict(record["vertices"]),
+            {(u, v): label for u, v, label in record["edges"]},
+            name=record["name"],
+        )
+        branches = Counter(dict(record["branches"]))
+        if sum(branches.values()) != graph.num_vertices:
+            # The stored multiset is inconsistent with the graph (one branch
+            # per vertex by construction) — fall back to re-extraction.
+            branches = branch_multiset(graph)
+        database.add(graph, branches=branches)
+
+    gbd_prior = GBDPrior.from_state(payload["gbd_prior"])
+    ged_prior = GEDPrior.from_state(payload["ged_prior"])
+    estimator = GBDAEstimator(
+        gbd_prior,
+        ged_prior,
+        payload["num_vertex_labels"],
+        payload["num_edge_labels"],
+    )
+    config = payload["engine"]
+    engine = BatchQueryEngine(
+        database,
+        estimator,
+        max_tau=config["max_tau"],
+        cache_size=config["cache_size"] or None,
+        keep_scores=config["keep_scores"],
+        use_index_pruning=config.get("use_index_pruning", False),
+    )
+    engine.load_tables(payload["posterior_tables"])
+    return engine

@@ -1,0 +1,130 @@
+"""Serving-side latency/throughput accounting.
+
+:class:`ServingStats` aggregates per-query latencies and cache counters
+across batches.  The executor produces one instance per run and merges the
+per-shard measurements back into it; benchmarks and operators read the
+derived QPS / percentile properties.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Aggregated statistics of one (or several merged) serving runs.
+
+    Attributes
+    ----------
+    num_queries:
+        Total number of queries answered.
+    num_batches:
+        Number of batches (shards) the queries were served in.
+    elapsed_seconds:
+        Wall-clock time of the whole run (not the sum of per-query times —
+        batches may run concurrently).
+    latencies:
+        Per-query online latencies in seconds, in completion order.
+    cache_hits, cache_misses:
+        Result-cache counters accumulated during the run (0 when the engine
+        runs without a cache).
+    """
+
+    num_queries: int = 0
+    num_batches: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput of the run (0.0 before anything was served)."""
+        if self.elapsed_seconds <= 0.0 or self.num_queries == 0:
+            return 0.0
+        return self.num_queries / self.elapsed_seconds
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-query latency in seconds."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th latency percentile (``q`` in ``[0, 100]``).
+
+        Uses the nearest-rank method on the sorted latencies; returns 0.0
+        when nothing has been recorded yet.
+        """
+        if not self.latencies:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must lie in [0, 100]")
+        ordered = sorted(self.latencies)
+        rank = max(math.ceil(q / 100.0 * len(ordered)), 1) - 1
+        return ordered[rank]
+
+    @property
+    def p50_latency(self) -> float:
+        """Median per-query latency in seconds."""
+        return self.percentile(50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile per-query latency in seconds."""
+        return self.percentile(95.0)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of queries answered from the result cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ServingStats") -> "ServingStats":
+        """Fold another stats object into this one (in place) and return self.
+
+        Elapsed times are summed, which is correct for sequential runs; the
+        executor instead stamps the true wall-clock time of a concurrent run
+        after merging the per-shard latency lists.
+        """
+        self.num_queries += other.num_queries
+        self.num_batches += other.num_batches
+        self.elapsed_seconds += other.elapsed_seconds
+        self.latencies.extend(other.latencies)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat summary dict (for logging / result files)."""
+        return {
+            "num_queries": self.num_queries,
+            "num_batches": self.num_batches,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServingStats n={self.num_queries} qps={self.queries_per_second:.1f} "
+            f"p50={self.p50_latency * 1e3:.2f}ms p95={self.p95_latency * 1e3:.2f}ms "
+            f"hit_rate={self.cache_hit_rate:.0%}>"
+        )

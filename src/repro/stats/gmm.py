@@ -194,6 +194,31 @@ class GaussianMixtureModel:
             samples.append(rng.gauss(component.mean, component.std))
         return samples
 
+    # ------------------------------------------------------------------ #
+    # serialization (used by the serving snapshot layer)
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict:
+        """Return the fitted parameters as a plain, pickle/JSON-friendly dict."""
+        self._require_fitted()
+        return {
+            "num_components": self.num_components,
+            "components": [(c.weight, c.mean, c.std) for c in self.components],
+            "log_likelihood": self.log_likelihood_,
+            "n_iterations": self.n_iterations_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GaussianMixtureModel":
+        """Rebuild a fitted mixture from :meth:`to_state` output."""
+        model = cls(int(state["num_components"]))
+        model.components = [
+            MixtureComponent(weight=float(w), mean=float(m), std=float(s))
+            for w, m, s in state["components"]
+        ]
+        model.log_likelihood_ = state.get("log_likelihood")
+        model.n_iterations_ = int(state.get("n_iterations", 0))
+        return model
+
     def __repr__(self) -> str:
         if not self.components:
             return f"<GaussianMixtureModel K={self.num_components} (unfitted)>"

@@ -127,6 +127,33 @@ class TestQueryObjects:
         with pytest.raises(SearchError):
             SimilarityQuery(triangle, tau_hat=1, gamma=1.5)
 
+    def test_similarity_query_raises_query_error(self, triangle):
+        """Invalid thresholds raise the dedicated QueryError (a SearchError)."""
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            SimilarityQuery(triangle, tau_hat=-3)
+        with pytest.raises(QueryError):
+            SimilarityQuery(triangle, tau_hat=1, gamma=-0.1)
+        with pytest.raises(QueryError):
+            SimilarityQuery(triangle, tau_hat=1, gamma=1.0001)
+        with pytest.raises(QueryError):
+            SimilarityQuery(triangle, tau_hat=1.5)
+        with pytest.raises(QueryError):
+            SimilarityQuery(triangle, tau_hat="two")
+        with pytest.raises(QueryError):
+            SimilarityQuery(triangle, tau_hat=1, gamma="high")
+
+    def test_similarity_query_accepts_boundary_values(self, triangle):
+        assert SimilarityQuery(triangle, tau_hat=0, gamma=0.0).gamma == 0.0
+        assert SimilarityQuery(triangle, tau_hat=3, gamma=1.0).gamma == 1.0
+
+    def test_similarity_query_normalises_numeric_types(self, triangle):
+        """Integral floats / numeric strings are coerced to native numbers."""
+        query = SimilarityQuery(triangle, tau_hat=2.0, gamma="0.5")
+        assert query.tau_hat == 2 and type(query.tau_hat) is int
+        assert query.gamma == 0.5 and type(query.gamma) is float
+
     def test_query_answer_helpers(self):
         answer = QueryAnswer(method="x", accepted_ids=frozenset({1, 2}), scores={1: 0.9})
         assert answer.size == 2

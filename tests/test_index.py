@@ -1,0 +1,136 @@
+"""Edge-case tests for the branch inverted index (repro.db.index)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.gbd import graph_branch_distance
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.index import BranchInvertedIndex
+from repro.db.query import SimilarityQuery
+from repro.graphs.generators import random_labeled_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def small_database(triangle, path_graph):
+    return GraphDatabase([triangle, path_graph], name="index-small")
+
+
+class TestEdgeCases:
+    def test_empty_query_graph(self, small_database):
+        """An empty query shares nothing; every GBD equals |V_G|."""
+        index = BranchInvertedIndex(small_database)
+        empty = Graph(name="empty")
+        assert index.intersection_sizes(empty) == {}
+        gbds = index.gbd_all(empty)
+        for entry in small_database:
+            assert gbds[entry.graph_id] == entry.num_vertices
+            assert gbds[entry.graph_id] == graph_branch_distance(empty, entry.graph)
+
+    def test_query_sharing_zero_branches(self, small_database):
+        """Disjoint label alphabets → zero intersections, GBD = max(|V_Q|, |V_G|)."""
+        index = BranchInvertedIndex(small_database)
+        stranger = Graph.from_dicts(
+            {0: "Q1", 1: "Q2", 2: "Q3", 3: "Q1"},
+            {(0, 1): "qq", (1, 2): "qq", (2, 3): "qq"},
+            name="stranger",
+        )
+        assert index.intersection_sizes(stranger) == {}
+        gbds = index.gbd_all(stranger)
+        for entry in small_database:
+            assert gbds[entry.graph_id] == max(stranger.num_vertices, entry.num_vertices)
+        assert index.candidates_by_gbd_bound(stranger, 1) == []
+
+    def test_gbd_all_agrees_with_pairwise_on_random_graphs(self):
+        rng = random.Random(61)
+        graphs = [
+            random_labeled_graph(rng.randint(3, 9), rng.randint(2, 12), seed=rng)
+            for _ in range(25)
+        ]
+        database = GraphDatabase(graphs)
+        index = BranchInvertedIndex(database)
+        for _ in range(10):
+            query = random_labeled_graph(rng.randint(2, 10), rng.randint(1, 14), seed=rng)
+            gbds = index.gbd_all(query)
+            dense = index.gbd_array(query)
+            for entry in database:
+                expected = graph_branch_distance(query, entry.graph)
+                assert gbds[entry.graph_id] == expected
+                assert dense[entry.graph_id] == expected
+
+    def test_gbd_array_is_dense_and_integer(self, small_database, triangle):
+        index = BranchInvertedIndex(small_database)
+        dense = index.gbd_array(triangle)
+        assert isinstance(dense, np.ndarray)
+        assert dense.shape == (len(small_database),)
+        assert dense.dtype == np.int64
+        assert dense[0] == 0  # the triangle itself is stored at id 0
+
+
+class TestIncrementalConsistency:
+    def test_postings_follow_database_additions(self, small_database, triangle):
+        """Graphs added after construction must be indexed (staleness fix)."""
+        index = BranchInvertedIndex(small_database)
+        assert index.num_indexed_graphs == 2
+
+        new_id = small_database.add(triangle.copy(name="late-triangle"))
+        assert index.num_indexed_graphs == 3
+        gbds = index.gbd_all(triangle)
+        assert gbds[new_id] == 0
+        assert new_id in index.candidates_by_gbd_bound(triangle, 0)
+
+    def test_gbd_array_tracks_additions(self, small_database, triangle):
+        index = BranchInvertedIndex(small_database)
+        before = index.gbd_array(triangle)
+        new_id = small_database.add(triangle.copy(name="late"))
+        after = index.gbd_array(triangle)
+        assert len(after) == len(before) + 1
+        assert after[new_id] == 0
+
+    def test_pruning_search_sees_added_graphs(self):
+        rng = random.Random(67)
+        graphs = [
+            random_labeled_graph(rng.randint(4, 7), rng.randint(3, 9), seed=rng)
+            for _ in range(15)
+        ]
+        database = GraphDatabase(graphs)
+        search = GBDASearch(
+            database, max_tau=3, num_prior_pairs=60, seed=5, use_index_pruning=True
+        ).fit()
+        base = graphs[0]
+        new_id = database.add(base.copy(name="late-duplicate"))
+        result = search.query(SimilarityQuery(base, 2, 0.5))
+        assert new_id in result.gbd_values
+        assert result.gbd_values[new_id] == 0
+
+    def test_unsubscribe_detaches_hook(self, small_database, triangle):
+        index = BranchInvertedIndex(small_database)
+        small_database.unsubscribe(index._on_graph_added)
+        small_database.add(triangle.copy(name="late"))
+        assert index.num_indexed_graphs == 2
+        # unsubscribing twice is a harmless no-op
+        small_database.unsubscribe(index._on_graph_added)
+
+    def test_dropped_index_does_not_leak_subscription(self, small_database, triangle):
+        """Discarded indexes must be collectable and pruned from the hook list."""
+        import gc
+
+        for _ in range(5):
+            BranchInvertedIndex(small_database)
+        gc.collect()
+        small_database.add(triangle.copy(name="post-drop"))  # prunes dead hooks
+        assert len(small_database._subscribers) == 0
+
+    def test_index_survives_pickling(self, small_database, triangle):
+        import pickle
+
+        index = BranchInvertedIndex(small_database)
+        clone = pickle.loads(pickle.dumps(index))
+        new_id = clone.database.add(triangle.copy(name="late"))
+        assert clone.num_indexed_graphs == 3
+        assert clone.gbd_all(triangle)[new_id] == 0

@@ -1,0 +1,72 @@
+"""Tests for the LRU query-result cache (repro.serving.cache)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving.cache import QueryResultCache, query_cache_key
+
+
+class TestLRUSemantics:
+    def test_hit_and_miss_counters(self):
+        cache = QueryResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_least_recently_used_is_evicted(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a" → "b" becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_existing_key(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update must also refresh recency
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_clear_keeps_counters(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+        cache.reset_counters()
+        assert cache.stats()["hits"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServingError):
+            QueryResultCache(capacity=0)
+
+
+class TestCacheKey:
+    def test_key_is_order_free_over_branches(self):
+        branches_a = Counter({("A", ("x",)): 2, ("B", ("y",)): 1})
+        branches_b = Counter({("B", ("y",)): 1, ("A", ("x",)): 2})
+        assert query_cache_key(branches_a, 2, 0.5) == query_cache_key(branches_b, 2, 0.5)
+
+    def test_key_distinguishes_thresholds(self):
+        branches = Counter({("A", ("x",)): 1})
+        base = query_cache_key(branches, 2, 0.5)
+        assert query_cache_key(branches, 3, 0.5) != base
+        assert query_cache_key(branches, 2, 0.9) != base
+
+    def test_key_distinguishes_counts(self):
+        one = Counter({("A", ("x",)): 1})
+        two = Counter({("A", ("x",)): 2})
+        assert query_cache_key(one, 2, 0.5) != query_cache_key(two, 2, 0.5)

@@ -1,0 +1,216 @@
+"""Tests for the batched serving engine (repro.serving.engine)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.exceptions import ServingError
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine
+
+
+@pytest.fixture(scope="module")
+def random_database():
+    rng = random.Random(7)
+    graphs = [
+        random_labeled_graph(rng.randint(5, 9), rng.randint(5, 12), seed=rng)
+        for _ in range(50)
+    ]
+    return GraphDatabase(graphs, name="serving-random")
+
+
+@pytest.fixture(scope="module")
+def fitted(random_database):
+    return GBDASearch(random_database, max_tau=4, num_prior_pairs=150, seed=3).fit()
+
+
+@pytest.fixture(scope="module")
+def engine(fitted):
+    return BatchQueryEngine.from_search(fitted, keep_scores="all")
+
+
+def _random_queries(num, seed, max_tau=4):
+    rng = random.Random(seed)
+    return [
+        SimilarityQuery(
+            random_labeled_graph(rng.randint(4, 10), rng.randint(4, 14), seed=rng),
+            rng.randint(0, max_tau),
+            rng.choice([0.25, 0.5, 0.75, 0.9]),
+        )
+        for _ in range(num)
+    ]
+
+
+class TestRegressionAgainstLoop:
+    def test_identical_answers_on_random_queries(self, fitted, engine):
+        """Engine answers must match per-query GBDASearch.query exactly."""
+        for query in _random_queries(20, seed=11):
+            loop = fitted.query(query)
+            served = engine.query(query)
+            assert served.accepted_ids == loop.answer.accepted_ids
+            # keep_scores="all": posterior scores are bit-identical too
+            assert served.scores == loop.posteriors
+
+    def test_identical_answers_on_database_members(self, fitted, engine, random_database):
+        for graph_id in (0, 7, 23):
+            query = SimilarityQuery(random_database[graph_id].graph, 2, 0.5)
+            assert engine.query(query).accepted_ids == fitted.query(query).answer.accepted_ids
+
+    def test_query_batch_preserves_order(self, fitted, engine):
+        queries = _random_queries(8, seed=5)
+        answers = engine.query_batch(queries)
+        assert len(answers) == len(queries)
+        for query, answer in zip(queries, answers):
+            assert answer.accepted_ids == fitted.query(query).answer.accepted_ids
+
+
+class TestPosteriorTables:
+    def test_posterior_vector_matches_estimator(self, fitted, engine):
+        estimator = fitted.estimator
+        vector = engine.posterior_vector(3, 8)
+        assert len(vector) == 9
+        for gbd in range(9):
+            assert vector[gbd] == estimator.posterior(gbd, 3, 8)
+
+    def test_posterior_table_refactor_matches_posterior(self, fitted):
+        estimator = fitted.estimator
+        table = estimator.posterior_table(2, [5, 7, 5])
+        assert sorted(table) == [5, 7]
+        for order, row in table.items():
+            assert len(row) == order + 1
+            for gbd, value in enumerate(row):
+                assert value == estimator.posterior(gbd, 2, order)
+
+    def test_tables_are_cached_and_warmable(self, engine):
+        engine.warm([1, 2])
+        before = engine.num_cached_tables
+        engine.warm([1, 2])
+        assert engine.num_cached_tables == before
+
+    def test_warm_rejects_excessive_tau(self, engine):
+        with pytest.raises(ServingError):
+            engine.warm([99])
+
+
+class TestValidationAndLifecycle:
+    def test_tau_above_max_is_rejected(self, engine):
+        query = SimilarityQuery(random_labeled_graph(5, 6, seed=0), 9, 0.5)
+        with pytest.raises(ServingError):
+            engine.query(query)
+
+    def test_unfitted_search_is_rejected(self, random_database):
+        unfitted = GBDASearch(random_database, max_tau=3)
+        with pytest.raises(ServingError):
+            BatchQueryEngine.from_search(unfitted)
+
+    def test_empty_database_is_rejected(self, fitted):
+        with pytest.raises(ServingError):
+            BatchQueryEngine(GraphDatabase(), fitted.estimator, max_tau=3)
+
+    def test_keep_scores_mode_is_validated(self, fitted):
+        with pytest.raises(ServingError):
+            BatchQueryEngine.from_search(fitted, keep_scores="sometimes")
+
+    def test_keep_scores_accepted_limits_scores(self, fitted):
+        engine = BatchQueryEngine.from_search(fitted, keep_scores="accepted", cache_size=None)
+        answer = engine.query(_random_queries(1, seed=2)[0])
+        assert set(answer.scores) == set(answer.accepted_ids)
+
+
+class TestIndexPruningParity:
+    def test_engine_mirrors_pruning_search(self):
+        """from_search propagates use_index_pruning; answers stay identical."""
+        rng = random.Random(29)
+        graphs = [
+            random_labeled_graph(rng.randint(4, 8), rng.randint(3, 10), seed=rng)
+            for _ in range(30)
+        ]
+        database = GraphDatabase(graphs)
+        pruning = GBDASearch(
+            database, max_tau=3, num_prior_pairs=80, seed=4, use_index_pruning=True
+        ).fit()
+        engine = BatchQueryEngine.from_search(pruning, keep_scores="all", cache_size=None)
+        assert engine.use_index_pruning is True
+        # a tiny gamma accepts everything that gets scored, so any pruning
+        # divergence between the two paths would show up immediately
+        for tau_hat, gamma in [(1, 0.05), (2, 0.05), (3, 0.5)]:
+            for query_graph in (graphs[0], random_labeled_graph(6, 8, seed=rng)):
+                query = SimilarityQuery(query_graph, tau_hat, gamma)
+                loop = pruning.query(query)
+                served = engine.query(query)
+                assert served.accepted_ids == loop.answer.accepted_ids
+                assert served.scores == loop.posteriors
+
+    def test_pruning_survives_snapshot(self, tmp_path):
+        rng = random.Random(31)
+        graphs = [random_labeled_graph(5, 6, seed=rng) for _ in range(10)]
+        database = GraphDatabase(graphs)
+        search = GBDASearch(
+            database, max_tau=2, num_prior_pairs=40, seed=0, use_index_pruning=True
+        ).fit()
+        engine = BatchQueryEngine.from_search(search)
+        path = tmp_path / "pruning.snapshot"
+        engine.save(path)
+        assert BatchQueryEngine.load(path).use_index_pruning is True
+
+
+class TestCacheBehaviour:
+    def test_cache_hit_gets_its_own_latency(self, fitted):
+        """A cache hit must report the lookup time, not the cold scoring time."""
+        engine = BatchQueryEngine.from_search(fitted)
+        query = _random_queries(1, seed=77)[0]
+        cold = engine.query(query)
+        hot = engine.query(query)
+        assert engine.cache.hits == 1
+        assert hot is not cold  # a stamped copy, not the shared cached object
+        assert hot.accepted_ids == cold.accepted_ids
+        assert hot.elapsed_seconds > 0.0
+
+    def test_caller_mutation_cannot_corrupt_cache(self, fitted):
+        engine = BatchQueryEngine.from_search(fitted, keep_scores="accepted")
+        query = _random_queries(1, seed=78)[0]
+        first = engine.query(query)
+        first.scores.clear()
+        first.scores[-1] = 99.0  # vandalise the returned answer in place
+        second = engine.query(query)
+        assert -1 not in second.scores
+        assert set(second.scores) == set(second.accepted_ids)
+
+    def test_dropped_engine_does_not_leak_subscription(self):
+        import gc
+
+        rng = random.Random(3)
+        graphs = [random_labeled_graph(5, 6, seed=rng) for _ in range(10)]
+        database = GraphDatabase(graphs)
+        search = GBDASearch(database, max_tau=2, num_prior_pairs=40, seed=0).fit()
+        for _ in range(4):
+            BatchQueryEngine.from_search(search)
+        gc.collect()
+        database.add(graphs[0].copy(name="post-drop"))  # prunes dead hooks
+        assert len(database._subscribers) == 0
+
+
+class TestIncrementalDatabase:
+    def test_added_graph_is_served(self):
+        rng = random.Random(19)
+        graphs = [
+            random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+            for _ in range(25)
+        ]
+        database = GraphDatabase(graphs, name="serving-incremental")
+        search = GBDASearch(database, max_tau=4, num_prior_pairs=100, seed=1).fit()
+        engine = BatchQueryEngine.from_search(search)
+        base = database[0].graph
+        query = SimilarityQuery(base, 2, 0.5)
+        engine.query(query)  # populate the cache before mutating the database
+
+        new_id = database.add(base.copy(name="late-duplicate"))
+        served = engine.query(query)
+        loop = search.query(query)
+        assert new_id in served.accepted_ids
+        assert served.accepted_ids == loop.answer.accepted_ids

@@ -1,0 +1,110 @@
+"""Tests for the concurrent serving executor (repro.serving.executor)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.exceptions import ServingError
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine, ServingExecutor, ServingStats
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = random.Random(41)
+    graphs = [
+        random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+        for _ in range(30)
+    ]
+    database = GraphDatabase(graphs, name="executor-db")
+    search = GBDASearch(database, max_tau=4, num_prior_pairs=100, seed=2).fit()
+    return BatchQueryEngine.from_search(search)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = random.Random(43)
+    return [
+        SimilarityQuery(
+            random_labeled_graph(rng.randint(4, 9), rng.randint(4, 12), seed=rng),
+            rng.randint(1, 4),
+            rng.choice([0.4, 0.7]),
+        )
+        for _ in range(12)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(engine, queries):
+    return [engine.query(q).accepted_ids for q in queries]
+
+
+class TestModes:
+    def test_serial_matches_engine(self, engine, queries, reference):
+        answers = ServingExecutor(engine, num_workers=1, mode="serial").map(queries)
+        assert [a.accepted_ids for a in answers] == reference
+
+    def test_thread_pool_matches_engine(self, engine, queries, reference):
+        answers = ServingExecutor(engine, num_workers=4, mode="thread").map(queries)
+        assert [a.accepted_ids for a in answers] == reference
+
+    def test_process_pool_matches_engine(self, engine, queries, reference):
+        answers = ServingExecutor(engine, num_workers=2, mode="process").map(queries[:6])
+        assert [a.accepted_ids for a in answers] == reference[:6]
+
+    def test_invalid_mode_and_workers(self, engine):
+        with pytest.raises(ServingError):
+            ServingExecutor(engine, mode="fiber")
+        with pytest.raises(ServingError):
+            ServingExecutor(engine, num_workers=0)
+
+    def test_empty_stream(self, engine):
+        executor = ServingExecutor(engine, num_workers=2)
+        assert executor.map([]) == []
+        assert executor.last_stats.num_queries == 0
+
+
+class TestStats:
+    def test_stats_are_populated(self, engine, queries):
+        executor = ServingExecutor(engine, num_workers=3, mode="thread")
+        executor.map(queries)
+        stats = executor.last_stats
+        assert stats.num_queries == len(queries)
+        assert stats.num_batches == 3
+        assert stats.elapsed_seconds > 0
+        assert stats.queries_per_second > 0
+        assert len(stats.latencies) == len(queries)
+        assert stats.p95_latency >= stats.p50_latency >= 0
+
+    def test_cache_counters_flow_into_stats(self, engine, queries):
+        engine.cache.reset_counters()
+        executor = ServingExecutor(engine, num_workers=2, mode="thread")
+        executor.map(queries)
+        executor.map(queries)  # second pass should be all cache hits
+        assert executor.last_stats.cache_hits == len(queries)
+        assert executor.total_stats.num_queries == 2 * len(queries)
+
+    def test_stats_merge_and_percentiles(self):
+        a = ServingStats(num_queries=2, num_batches=1, elapsed_seconds=1.0, latencies=[0.1, 0.2])
+        b = ServingStats(num_queries=2, num_batches=1, elapsed_seconds=1.0, latencies=[0.3, 0.4])
+        a.merge(b)
+        assert a.num_queries == 4
+        assert a.elapsed_seconds == 2.0
+        assert a.queries_per_second == 2.0
+        assert a.percentile(0) == 0.1
+        assert a.percentile(100) == 0.4
+        assert a.p50_latency == 0.2
+        with pytest.raises(ValueError):
+            a.percentile(101)
+
+    def test_empty_stats_are_zero(self):
+        stats = ServingStats()
+        assert stats.queries_per_second == 0.0
+        assert stats.mean_latency == 0.0
+        assert stats.p95_latency == 0.0
+        assert stats.cache_hit_rate == 0.0

@@ -1,0 +1,111 @@
+"""Tests for serving-engine snapshots (repro.serving.snapshot)."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.exceptions import SnapshotError
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine, load_engine, save_engine
+from repro.serving.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+
+
+@pytest.fixture(scope="module")
+def fitted_engine():
+    rng = random.Random(23)
+    graphs = [
+        random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+        for _ in range(30)
+    ]
+    database = GraphDatabase(graphs, name="snapshot-db")
+    search = GBDASearch(database, max_tau=4, num_prior_pairs=120, seed=9).fit()
+    engine = BatchQueryEngine.from_search(search, keep_scores="all")
+    engine.warm([1, 2, 3])
+    return engine
+
+
+def _queries(seed, num=10):
+    rng = random.Random(seed)
+    return [
+        SimilarityQuery(
+            random_labeled_graph(rng.randint(4, 9), rng.randint(4, 12), seed=rng),
+            rng.randint(1, 4),
+            rng.choice([0.3, 0.6, 0.9]),
+        )
+        for _ in range(num)
+    ]
+
+
+class TestRoundTrip:
+    def test_identical_posteriors_without_fit(self, fitted_engine, tmp_path):
+        """save → load reproduces bit-identical posteriors, never calling fit()."""
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        loaded = load_engine(path)
+
+        for query in _queries(seed=31):
+            original = fitted_engine.query(query)
+            restored = loaded.query(query)
+            assert restored.accepted_ids == original.accepted_ids
+            assert restored.scores == original.scores  # keep_scores="all" → exact floats
+
+    def test_database_and_config_survive(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        fitted_engine.save(path)
+        loaded = BatchQueryEngine.load(path)
+        assert len(loaded.database) == len(fitted_engine.database)
+        assert loaded.database.name == fitted_engine.database.name
+        assert loaded.max_tau == fitted_engine.max_tau
+        assert loaded.keep_scores == fitted_engine.keep_scores
+        assert loaded.database[0].branches == fitted_engine.database[0].branches
+
+    def test_materialised_tables_survive(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        loaded = load_engine(path)
+        assert loaded.num_cached_tables == fitted_engine.num_cached_tables
+
+    def test_loaded_priors_match(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        loaded = load_engine(path)
+        original = fitted_engine.estimator
+        restored = loaded.estimator
+        for phi in range(10):
+            assert restored.gbd_prior.probability(phi) == original.gbd_prior.probability(phi)
+        for tau in range(5):
+            assert restored.ged_prior.probability(tau, 7) == original.ged_prior.probability(tau, 7)
+
+
+class TestVersioning:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_engine(tmp_path / "nope.snapshot")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "garbage.snapshot"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(SnapshotError):
+            load_engine(path)
+
+    def test_foreign_pickle_is_rejected(self, tmp_path):
+        path = tmp_path / "foreign.snapshot"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(SnapshotError):
+            load_engine(path)
+
+    def test_future_version_is_rejected(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["format"] == SNAPSHOT_FORMAT
+        payload["version"] = SNAPSHOT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(SnapshotError):
+            load_engine(path)
