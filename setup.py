@@ -44,7 +44,7 @@ setup(
         "networkx",
     ],
     extras_require={
-        "dev": ["pytest", "pytest-benchmark"],
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

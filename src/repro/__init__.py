@@ -10,7 +10,10 @@ Its three layers are exposed here for convenience:
 * the competitor baselines and the evaluation harness used to regenerate the
   paper's tables and figures,
 * the serving layer (:mod:`repro.serving`): a batched, vectorized,
-  snapshot-backed query engine for production-style workloads.
+  snapshot-backed query engine for production-style workloads,
+* the offline layer (:mod:`repro.offline`): vectorized EM, multiprocess
+  pair sampling, and incremental prior refits via
+  :class:`~repro.offline.fitter.OfflineFitter`.
 
 Quickstart
 ----------
@@ -50,6 +53,7 @@ from repro.core.estimator import GBDAEstimator
 from repro.db.database import GraphDatabase
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import SimilarityQuery, QueryAnswer
+from repro.offline import OfflineFitter
 from repro.serving import (
     BatchQueryEngine,
     QueryResultCache,
@@ -70,7 +74,7 @@ from repro.baselines import (
 from repro.datasets.registry import Dataset, build_dataset
 from repro.exceptions import QueryError, ReproError, ServingError, SnapshotError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -91,6 +95,7 @@ __all__ = [
     "BranchInvertedIndex",
     "SimilarityQuery",
     "QueryAnswer",
+    "OfflineFitter",
     "BatchQueryEngine",
     "ServingExecutor",
     "ServingStats",

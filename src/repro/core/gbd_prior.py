@@ -18,12 +18,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.branches import branch_multiset
-from repro.core.gbd import graph_branch_distance
 from repro.exceptions import PriorNotFittedError
 from repro.graphs.graph import Graph
 from repro.stats.gmm import GaussianMixtureModel
-from repro.stats.sampling import sample_pairs
+from repro.stats.sampling import decode_rng_state, encode_rng_state, sample_pairs
 
 RandomState = Union[int, random.Random, None]
 
@@ -68,6 +66,13 @@ class GBDPrior:
         Number of graph pairs ``N`` to sample for the fit.
     seed:
         Seed controlling both the pair sampling and the GMM initialisation.
+    backend:
+        EM backend forwarded to :class:`GaussianMixtureModel` (``"auto"``,
+        ``"numpy"`` or ``"python"``).
+    num_workers:
+        Worker processes for the pair-GBD sampling loop (Step 1.2);
+        ``None``/1 keeps the serial path.  Results are identical for any
+        worker count (deterministic chunk merge).
     """
 
     def __init__(
@@ -76,9 +81,13 @@ class GBDPrior:
         num_pairs: int = 10_000,
         *,
         seed: RandomState = 0,
+        backend: str = "auto",
+        num_workers: Optional[int] = None,
     ) -> None:
         self.num_components = num_components
         self.num_pairs = num_pairs
+        self.backend = backend
+        self.num_workers = num_workers
         self._seed = seed
         self._mixture: Optional[GaussianMixtureModel] = None
         self._table: Dict[int, float] = {}
@@ -90,22 +99,15 @@ class GBDPrior:
     # ------------------------------------------------------------------ #
     def fit(self, graphs: Sequence[Graph]) -> "GBDPrior":
         """Run the four offline steps of Section V-C.1 on ``graphs``."""
+        # Imported here (not at module top) to avoid the import cycle
+        # repro.core.gbd_prior -> repro.offline -> fitter -> gbd_prior.
+        from repro.offline.parallel import compute_pair_gbds
+
         rng = self._seed if isinstance(self._seed, random.Random) else random.Random(self._seed)
         pairs = sample_pairs(list(range(len(graphs))), self.num_pairs, seed=rng)
 
         start = time.perf_counter()
-        branch_cache = {}
-        gbds: List[int] = []
-        for i, j in pairs:
-            if i not in branch_cache:
-                branch_cache[i] = branch_multiset(graphs[i])
-            if j not in branch_cache:
-                branch_cache[j] = branch_multiset(graphs[j])
-            gbds.append(
-                graph_branch_distance(
-                    graphs[i], graphs[j], branches1=branch_cache[i], branches2=branch_cache[j]
-                )
-            )
+        gbds = compute_pair_gbds(graphs, pairs, num_workers=self.num_workers)
         gbd_seconds = time.perf_counter() - start
 
         return self.fit_from_samples(
@@ -133,7 +135,7 @@ class GBDPrior:
         self._max_value = max(max(samples), max_value or 0)
 
         start = time.perf_counter()
-        mixture = GaussianMixtureModel(self.num_components, seed=self._seed)
+        mixture = GaussianMixtureModel(self.num_components, seed=self._seed, backend=self.backend)
         mixture.fit(samples)
         self._mixture = mixture
 
@@ -197,20 +199,42 @@ class GBDPrior:
     # serialization (used by the serving snapshot layer)
     # ------------------------------------------------------------------ #
     def to_state(self) -> dict:
-        """Return the fitted prior as a plain dict (GMM parameters + table)."""
+        """Return the fitted prior as a plain dict (GMM parameters + table).
+
+        The sampling seed is part of the state: a prior restored with
+        :meth:`from_state` refits on the same pair-sampling and GMM streams
+        as the original — previously the seed was dropped and a reloaded
+        prior silently refitted with the default ``seed=0``.
+        """
         self._require_fitted()
+        if self._seed is None or isinstance(self._seed, int):
+            seed_state = {"seed": self._seed}
+        else:
+            # A live random.Random was supplied; persist its current state.
+            seed_state = {"seed": None, "seed_rng_state": encode_rng_state(self._seed)}
         return {
             "num_components": self.num_components,
             "num_pairs": self.num_pairs,
             "mixture": self._mixture.to_state(),
             "table": dict(self._table),
             "max_value": self._max_value,
+            "backend": self.backend,
+            **seed_state,
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "GBDPrior":
         """Rebuild a fitted prior from :meth:`to_state` output without re-fitting."""
-        prior = cls(int(state["num_components"]), int(state["num_pairs"]))
+        if state.get("seed_rng_state") is not None:
+            seed: RandomState = decode_rng_state(state["seed_rng_state"])
+        else:
+            seed = state.get("seed", 0)
+        prior = cls(
+            int(state["num_components"]),
+            int(state["num_pairs"]),
+            seed=seed,
+            backend=state.get("backend", "auto"),
+        )
         prior._mixture = GaussianMixtureModel.from_state(state["mixture"])
         prior._table = {int(phi): float(p) for phi, p in state["table"].items()}
         prior._max_value = int(state["max_value"])

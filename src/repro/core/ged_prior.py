@@ -30,6 +30,36 @@ __all__ = ["GEDPrior", "GEDPriorReport"]
 _WEIGHT_FLOOR = 1e-12
 
 
+def _jeffreys_row(args: Tuple[int, int, int, int]) -> Tuple[int, Dict[int, float]]:
+    """One normalised grid column ``{τ: Pr[GED = τ]}`` for a fixed order.
+
+    Module-level (and taking a single tuple argument) so the offline stage
+    can fan the per-order computations out over a process pool — each
+    extended order is independent of every other.
+    """
+    extended_order, max_tau, num_vertex_labels, num_edge_labels = args
+    model = BranchEditModel(extended_order, num_vertex_labels, num_edge_labels)
+    weights: Dict[int, float] = {}
+    for tau in range(1, max_tau + 1):
+        fisher_information = 0.0
+        for phi in range(model.max_phi(tau) + 1):
+            conditional = model.lambda1(tau, phi)
+            if conditional <= 0.0:
+                continue
+            score = model.score(tau, phi)
+            fisher_information += conditional * score * score
+        weights[tau] = max(math.sqrt(max(fisher_information, 0.0)), _WEIGHT_FLOOR)
+    # The score is degenerate at τ = 0 (the conditional is a point mass and
+    # its Fisher information is unbounded); use the τ = 1 information as a
+    # conservative stand-in so GED = 0 keeps a sensible positive prior mass
+    # and exact matches are never filtered out by the prior alone.
+    weights[0] = weights.get(1, _WEIGHT_FLOOR) if max_tau >= 1 else 1.0
+    normaliser = sum(weights.values())
+    if normaliser <= 0:
+        normaliser = 1.0
+    return extended_order, {tau: weight / normaliser for tau, weight in weights.items()}
+
+
 @dataclass
 class GEDPriorReport:
     """Book-keeping produced while pre-computing the prior (feeds Table V)."""
@@ -70,7 +100,9 @@ class GEDPrior:
     # ------------------------------------------------------------------ #
     # fitting (offline pre-computation)
     # ------------------------------------------------------------------ #
-    def fit(self, extended_orders: Iterable[int]) -> "GEDPrior":
+    def fit(
+        self, extended_orders: Iterable[int], *, num_workers: Optional[int] = None
+    ) -> "GEDPrior":
         """Pre-compute the Jeffreys prior for every extended order in the input.
 
         ``extended_orders`` is typically the set of distinct values of
@@ -78,16 +110,15 @@ class GEDPrior:
         synthetic datasets that is just the handful of generated sizes, which
         is why Table V reports smaller costs on Syn-1/Syn-2 than on the real
         datasets despite the much larger graphs.
+
+        Each order's column is independent, so with ``num_workers > 1`` the
+        grid is built across a process pool (columns merged in sorted order;
+        the resulting matrix is identical to the serial build).
         """
         start = time.perf_counter()
         orders = sorted({int(v) for v in extended_orders if int(v) >= 1})
-        for order in orders:
-            weights = self._unnormalised_weights(order)
-            normaliser = sum(weights.values())
-            if normaliser <= 0:
-                normaliser = 1.0
-            for tau, weight in weights.items():
-                self._table[(tau, order)] = weight / normaliser
+        self._table = {}
+        self._insert_rows(orders, num_workers=num_workers)
         self._orders = orders
         self.report = GEDPriorReport(
             max_tau=self.max_tau,
@@ -97,25 +128,49 @@ class GEDPrior:
         )
         return self
 
-    def _unnormalised_weights(self, extended_order: int) -> Dict[int, float]:
-        """Jeffreys weights ``sqrt(E[Z²])`` for every τ at a fixed extended order."""
-        model = BranchEditModel(extended_order, self.num_vertex_labels, self.num_edge_labels)
-        weights: Dict[int, float] = {}
-        for tau in range(1, self.max_tau + 1):
-            fisher_information = 0.0
-            for phi in range(model.max_phi(tau) + 1):
-                conditional = model.lambda1(tau, phi)
-                if conditional <= 0.0:
-                    continue
-                score = model.score(tau, phi)
-                fisher_information += conditional * score * score
-            weights[tau] = max(math.sqrt(max(fisher_information, 0.0)), _WEIGHT_FLOOR)
-        # The score is degenerate at τ = 0 (the conditional is a point mass and
-        # its Fisher information is unbounded); use the τ = 1 information as a
-        # conservative stand-in so GED = 0 keeps a sensible positive prior mass
-        # and exact matches are never filtered out by the prior alone.
-        weights[0] = weights.get(1, _WEIGHT_FLOOR) if self.max_tau >= 1 else 1.0
-        return weights
+    def update(
+        self, extended_orders: Iterable[int], *, num_workers: Optional[int] = None
+    ) -> List[int]:
+        """Extend the grid with any orders not yet covered; return the new ones.
+
+        Incremental counterpart of :meth:`fit` used by the offline refit
+        path: columns already present are left untouched (they depend only
+        on ``(τ, |V'1|)`` and the label alphabets fixed at construction), so
+        adding graphs with previously unseen sizes costs only the missing
+        columns instead of a full offline rebuild.
+        """
+        self._require_fitted()
+        start = time.perf_counter()
+        requested = {int(v) for v in extended_orders if int(v) >= 1}
+        missing = sorted(requested - set(self._orders))
+        if missing:
+            self._insert_rows(missing, num_workers=num_workers)
+            self._orders = sorted(set(self._orders) | set(missing))
+        self.report = GEDPriorReport(
+            max_tau=self.max_tau,
+            orders=list(self._orders),
+            compute_seconds=self.report.compute_seconds + (time.perf_counter() - start),
+            table_entries=len(self._table),
+        )
+        return missing
+
+    def _insert_rows(self, orders: List[int], *, num_workers: Optional[int]) -> None:
+        """Compute and merge the grid columns for ``orders`` (sorted input)."""
+        # Imported lazily to avoid the cycle ged_prior -> repro.offline ->
+        # fitter -> ged_prior.
+        from repro.offline.parallel import parallel_map
+
+        rows = parallel_map(
+            _jeffreys_row,
+            [
+                (order, self.max_tau, self.num_vertex_labels, self.num_edge_labels)
+                for order in orders
+            ],
+            num_workers=num_workers,
+        )
+        for order, row in rows:
+            for tau, probability in row.items():
+                self._table[(tau, order)] = probability
 
     # ------------------------------------------------------------------ #
     # queries

@@ -66,6 +66,13 @@ class GBDASearch:
         Seed for the offline sampling / GMM initialisation.
     use_index_pruning:
         When true, graphs with ``GBD > 2 τ̂`` are rejected without scoring.
+    backend:
+        EM backend for the GBD-prior fit (``"auto"``, ``"numpy"`` or
+        ``"python"``); forwarded to :class:`~repro.core.gbd_prior.GBDPrior`.
+    num_workers:
+        Worker processes for the offline hot loops (pair-GBD sampling and
+        the GED-prior grid); ``None``/1 keeps the serial paths.  Any worker
+        count produces identical priors (deterministic merges).
     """
 
     method_name = "GBDA"
@@ -79,6 +86,8 @@ class GBDASearch:
         num_gmm_components: int = 3,
         seed: int = 0,
         use_index_pruning: bool = False,
+        backend: str = "auto",
+        num_workers: Optional[int] = None,
     ) -> None:
         if len(database) == 0:
             raise SearchError("cannot build a search over an empty database")
@@ -88,6 +97,8 @@ class GBDASearch:
         self.num_gmm_components = int(num_gmm_components)
         self.seed = seed
         self.use_index_pruning = use_index_pruning
+        self.backend = backend
+        self.num_workers = num_workers
 
         self.gbd_prior: Optional[GBDPrior] = None
         self.ged_prior: Optional[GEDPrior] = None
@@ -112,6 +123,8 @@ class GBDASearch:
             num_components=self.num_gmm_components,
             num_pairs=self.num_prior_pairs,
             seed=self.seed,
+            backend=self.backend,
+            num_workers=self.num_workers,
         ).fit(graphs)
 
         if extended_orders is None:
@@ -120,7 +133,7 @@ class GBDASearch:
             max_tau=self.max_tau,
             num_vertex_labels=self.database.num_vertex_labels,
             num_edge_labels=self.database.num_edge_labels,
-        ).fit(extended_orders)
+        ).fit(extended_orders, num_workers=self.num_workers)
 
         self.estimator = GBDAEstimator(
             self.gbd_prior,
@@ -157,7 +170,13 @@ class GBDASearch:
         query_branches = branch_multiset(query.query_graph)
 
         candidate_ids: Sequence[int]
-        if self.use_index_pruning and self._index is not None:
+        if self.use_index_pruning:
+            # The flag may be enabled after fit(); build the index lazily on
+            # the first pruned query instead of silently falling back to a
+            # full scan (the index subscribes to the database, so it stays
+            # consistent with later additions).
+            if self._index is None:
+                self._index = BranchInvertedIndex(self.database)
             candidate_ids = self._index.candidates_by_gbd_bound(
                 query.query_graph, query.tau_hat, query_branches=query_branches
             )

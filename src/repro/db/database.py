@@ -62,6 +62,7 @@ class GraphDatabase:
         self._vertex_labels: set = set()
         self._edge_labels: set = set()
         self._subscribers: List[Callable[[StoredGraph], None]] = []
+        self._revision = 0
         if graphs is not None:
             for graph in graphs:
                 self.add(graph)
@@ -91,8 +92,19 @@ class GraphDatabase:
         self._entries.append(entry)
         self._vertex_labels |= graph.vertex_label_set()
         self._edge_labels |= graph.edge_label_set()
+        self._revision += 1
         self._notify(entry)
         return graph_id
+
+    @property
+    def revision(self) -> int:
+        """Monotonic mutation counter: increments once per :meth:`add`.
+
+        Derived artifacts (fitted priors, serving snapshots) record the
+        revision they were built against, so staleness is detectable
+        without comparing graph contents.
+        """
+        return self._revision
 
     def subscribe(self, callback: Callable[[StoredGraph], None]) -> None:
         """Register ``callback`` to be invoked with every newly added entry.

@@ -105,6 +105,10 @@ class BatchQueryEngine:
         # postings and the dense order vector track incremental additions.
         self._index = BranchInvertedIndex(database)
         self._tables: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Version of the offline model serving the answers.  0 for an
+        #: engine built directly from a search; the incremental
+        #: OfflineFitter bumps it on every refit so snapshots are ordered.
+        self.model_version: int = 0
         # Cached answers are scoped to the database contents: adding a graph
         # must drop them or the cache would keep serving pre-add result sets.
         database.subscribe(self._on_graph_added)

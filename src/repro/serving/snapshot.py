@@ -33,7 +33,10 @@ from repro.serving.engine import BatchQueryEngine
 __all__ = ["save_engine", "load_engine", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION"]
 
 SNAPSHOT_FORMAT = "repro.serving.engine-snapshot"
-SNAPSHOT_VERSION = 1
+#: Format version 2 adds the offline ``model_version`` and the priors' seed
+#: state (so a reloaded prior refits deterministically); version-1 files are
+#: still readable — the new fields default to 0 / seed 0.
+SNAPSHOT_VERSION = 2
 
 PathLike = Union[str, Path]
 
@@ -57,6 +60,7 @@ def save_engine(engine: BatchQueryEngine, path: PathLike) -> Path:
     payload = {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
+        "model_version": int(getattr(engine, "model_version", 0)),
         "database": {"name": engine.database.name, "graphs": graphs},
         "gbd_prior": estimator.gbd_prior.to_state(),
         "ged_prior": estimator.ged_prior.to_state(),
@@ -129,4 +133,5 @@ def load_engine(path: PathLike) -> BatchQueryEngine:
         use_index_pruning=config.get("use_index_pruning", False),
     )
     engine.load_tables(payload["posterior_tables"])
+    engine.model_version = int(payload.get("model_version", 0))
     return engine

@@ -9,8 +9,15 @@ The implementation is a from-scratch univariate EM fit (no sklearn), with
 
 * k-means++-style seeding of the component means,
 * a variance floor to keep components from collapsing onto repeated
-  integer-valued samples (GBDs are integers), and
-* a deterministic ``seed`` so offline pre-processing is reproducible.
+  integer-valued samples (GBDs are integers),
+* a deterministic ``seed`` so offline pre-processing is reproducible, and
+* two interchangeable EM backends: the original scalar Python loop
+  (``backend="python"``) and a NumPy-vectorized loop
+  (``backend="numpy"``, see :mod:`repro.offline.em`) that computes the
+  responsibilities, M-step and log-likelihood as array operations over all
+  samples at once.  Both share the same seeding and convergence semantics
+  and agree to floating-point round-off; ``backend="auto"`` (the default)
+  picks the vectorized path when numpy is importable.
 """
 
 from __future__ import annotations
@@ -18,14 +25,26 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConvergenceError
 from repro.stats.distributions import continuity_corrected_pmf, normal_pdf
+from repro.stats.sampling import decode_rng_state, encode_rng_state
 
 RandomState = Union[int, random.Random, None]
 
-__all__ = ["GaussianMixtureModel", "MixtureComponent"]
+__all__ = ["GaussianMixtureModel", "MixtureComponent", "EM_BACKENDS"]
+
+#: Valid values of the ``backend`` constructor argument.
+EM_BACKENDS = ("auto", "numpy", "python")
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships with the toolchain
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -53,6 +72,11 @@ class GaussianMixtureModel:
         many samples share the same integer value.
     seed:
         Seed (or ``random.Random``) controlling the k-means++ initialisation.
+    backend:
+        EM inner-loop implementation: ``"python"`` (scalar loop),
+        ``"numpy"`` (vectorized, :mod:`repro.offline.em`) or ``"auto"``
+        (numpy when importable, scalar otherwise).  Both backends share the
+        seeding, random stream and convergence semantics.
     """
 
     def __init__(
@@ -63,13 +87,21 @@ class GaussianMixtureModel:
         tolerance: float = 1e-6,
         variance_floor: float = 1e-3,
         seed: RandomState = 0,
+        backend: str = "auto",
     ) -> None:
         if num_components < 1:
             raise ValueError("num_components must be at least 1")
+        if backend not in EM_BACKENDS:
+            raise ValueError(f"backend must be one of {EM_BACKENDS}, got {backend!r}")
         self.num_components = num_components
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.variance_floor = variance_floor
+        self.backend = backend
+        # Keep the original integer seed (when one was given) so to_state /
+        # from_state can round-trip it; the live random stream is preserved
+        # separately so a reloaded model refits exactly like the original.
+        self._seed: Optional[int] = seed if isinstance(seed, int) else None
         self._rng = seed if isinstance(seed, random.Random) else random.Random(seed)
         self.components: List[MixtureComponent] = []
         self.log_likelihood_: Optional[float] = None
@@ -78,6 +110,12 @@ class GaussianMixtureModel:
     # ------------------------------------------------------------------ #
     # fitting
     # ------------------------------------------------------------------ #
+    def resolved_backend(self) -> str:
+        """The backend :meth:`fit` will actually run (``"auto"`` resolved)."""
+        if self.backend == "auto":
+            return "numpy" if _numpy_available() else "python"
+        return self.backend
+
     def fit(self, samples: Sequence[float]) -> "GaussianMixtureModel":
         """Fit the mixture to 1-D ``samples`` and return ``self``."""
         data = [float(x) for x in samples]
@@ -90,7 +128,45 @@ class GaussianMixtureModel:
         variances = [overall_variance] * k
         weights = [1.0 / k] * k
 
+        if self.resolved_backend() == "numpy":
+            from repro.offline.em import run_em_numpy
+
+            weights, means, variances, log_likelihood, n_iterations = run_em_numpy(
+                data,
+                means,
+                variances,
+                weights,
+                overall_variance,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                variance_floor=self.variance_floor,
+                rng=self._rng,
+            )
+        else:
+            weights, means, variances, log_likelihood, n_iterations = self._run_em_python(
+                data, means, variances, weights, overall_variance
+            )
+
+        self.n_iterations_ = n_iterations
+        self.log_likelihood_ = log_likelihood
+        self.components = [
+            MixtureComponent(weight=weights[j], mean=means[j], std=math.sqrt(variances[j]))
+            for j in range(k)
+        ]
+        return self
+
+    def _run_em_python(
+        self,
+        data: List[float],
+        means: List[float],
+        variances: List[float],
+        weights: List[float],
+        overall_variance: float,
+    ) -> Tuple[List[float], List[float], List[float], float, int]:
+        """The original scalar EM loop (the ``backend="python"`` path)."""
+        k = len(means)
         previous_log_likelihood = -math.inf
+        n_iterations = 0
         for iteration in range(1, self.max_iterations + 1):
             # E-step: responsibilities
             responsibilities = []
@@ -127,38 +203,61 @@ class GaussianMixtureModel:
             weight_sum = sum(weights)
             weights = [w / weight_sum for w in weights]
 
-            self.n_iterations_ = iteration
+            n_iterations = iteration
             improvement = log_likelihood - previous_log_likelihood
             if abs(improvement) < self.tolerance * max(abs(log_likelihood), 1.0):
                 previous_log_likelihood = log_likelihood
                 break
             previous_log_likelihood = log_likelihood
 
-        self.log_likelihood_ = previous_log_likelihood
-        self.components = [
-            MixtureComponent(weight=weights[j], mean=means[j], std=math.sqrt(variances[j]))
-            for j in range(k)
-        ]
-        return self
+        return weights, means, variances, previous_log_likelihood, n_iterations
 
     def _initial_means(self, data: List[float], k: int) -> List[float]:
-        """k-means++-style seeding: spread the initial means across the data."""
-        means = [self._rng.choice(data)]
+        """k-means++-style seeding: spread the initial means across the data.
+
+        Seeding prefers *unseen* values: a value already chosen as a mean
+        has squared distance zero and is skipped during the D²-weighted
+        draw — the with-replacement pick used to let a zero threshold (or
+        the rounding fallback) duplicate a mean, wasting components on
+        identical starts with integer-heavy data.  The ``total <= 0``
+        branch is a guard for the fully degenerate case (every squared
+        distance zero, possible only when k exceeds the distinct-value
+        count or through underflow) and likewise tries unseen distinct
+        values before repeating one.
+        """
+        means: List[float] = [self._rng.choice(data)]
+        seen = set(means)
         while len(means) < k:
             distances = [min((x - m) ** 2 for m in means) for x in data]
             total = sum(distances)
             if total <= 0:
-                means.append(self._rng.choice(data))
+                # Every data point coincides with a chosen mean; prefer an
+                # unseen distinct value over re-seeding a duplicate.
+                unseen = sorted(set(data) - seen)
+                chosen = self._rng.choice(unseen) if unseen else self._rng.choice(data)
+                means.append(chosen)
+                seen.add(chosen)
                 continue
             threshold = self._rng.random() * total
             cumulative = 0.0
-            chosen = data[-1]
+            chosen = None
+            fallback = None
             for x, distance in zip(data, distances):
+                if distance <= 0.0:
+                    # zero-weight point (already a mean): never select it,
+                    # even when the threshold lands exactly on its cumulative
+                    continue
+                fallback = x
                 cumulative += distance
                 if cumulative >= threshold:
                     chosen = x
                     break
+            if chosen is None:
+                # floating-point rounding left the threshold unreached; the
+                # last positive-weight value is the correct tail pick
+                chosen = fallback
             means.append(chosen)
+            seen.add(chosen)
         return means
 
     # ------------------------------------------------------------------ #
@@ -198,19 +297,37 @@ class GaussianMixtureModel:
     # serialization (used by the serving snapshot layer)
     # ------------------------------------------------------------------ #
     def to_state(self) -> dict:
-        """Return the fitted parameters as a plain, pickle/JSON-friendly dict."""
+        """Return the fitted parameters as a plain, pickle/JSON-friendly dict.
+
+        Besides the component parameters the state carries the original
+        ``seed`` and the *current* random-stream state, so a model rebuilt
+        with :meth:`from_state` refits on the exact same stream as the live
+        instance — previously the seed was silently dropped and a reloaded
+        model refitted with the default ``seed=0``.
+        """
         self._require_fitted()
         return {
             "num_components": self.num_components,
             "components": [(c.weight, c.mean, c.std) for c in self.components],
             "log_likelihood": self.log_likelihood_,
             "n_iterations": self.n_iterations_,
+            "seed": self._seed,
+            "rng_state": encode_rng_state(self._rng),
+            "backend": self.backend,
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "GaussianMixtureModel":
         """Rebuild a fitted mixture from :meth:`to_state` output."""
-        model = cls(int(state["num_components"]))
+        seed = state.get("seed")
+        model = cls(
+            int(state["num_components"]),
+            seed=seed if seed is not None else 0,
+            backend=state.get("backend", "auto"),
+        )
+        model._seed = seed
+        if state.get("rng_state") is not None:
+            model._rng = decode_rng_state(state["rng_state"])
         model.components = [
             MixtureComponent(weight=float(w), mean=float(m), std=float(s))
             for w, m, s in state["components"]

@@ -14,13 +14,37 @@ from typing import List, Sequence, Tuple, TypeVar, Union
 T = TypeVar("T")
 RandomState = Union[int, random.Random, None]
 
-__all__ = ["sample_pairs", "sample_items"]
+__all__ = [
+    "sample_pairs",
+    "sample_items",
+    "encode_rng_state",
+    "decode_rng_state",
+]
 
 
 def _as_rng(seed: RandomState) -> random.Random:
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
+
+
+def encode_rng_state(rng: random.Random) -> list:
+    """Encode ``rng.getstate()`` as nested plain lists (pickle/JSON friendly).
+
+    The offline priors round-trip their random streams through snapshot
+    state dicts with this encoding so that refitting a reloaded prior
+    consumes exactly the same stream as refitting the original instance.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def decode_rng_state(state: Sequence) -> random.Random:
+    """Rebuild a ``random.Random`` from :func:`encode_rng_state` output."""
+    rng = random.Random()
+    version, internal, gauss_next = state
+    rng.setstate((int(version), tuple(int(v) for v in internal), gauss_next))
+    return rng
 
 
 def sample_items(items: Sequence[T], count: int, *, seed: RandomState = None) -> List[T]:

@@ -3,9 +3,11 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import ConvergenceError
-from repro.stats.gmm import GaussianMixtureModel
+from repro.stats.gmm import EM_BACKENDS, GaussianMixtureModel
 
 
 def _two_cluster_sample(n=400, seed=0):
@@ -53,6 +55,105 @@ class TestFitting:
         model = GaussianMixtureModel(2, seed=1).fit(_two_cluster_sample())
         assert model.log_likelihood_ is not None
         assert model.n_iterations_ >= 1
+
+
+class TestBackends:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureModel(2, backend="fortran")
+        for backend in EM_BACKENDS:
+            GaussianMixtureModel(2, backend=backend)
+
+    def test_auto_resolves_to_numpy_when_available(self):
+        model = GaussianMixtureModel(2)
+        assert model.backend == "auto"
+        assert model.resolved_backend() in ("numpy", "python")
+
+    def test_backends_agree_on_two_cluster_data(self):
+        data = _two_cluster_sample()
+        scalar = GaussianMixtureModel(2, seed=3, backend="python").fit(data)
+        vector = GaussianMixtureModel(2, seed=3, backend="numpy").fit(data)
+        assert vector.n_iterations_ == scalar.n_iterations_
+        for a, b in zip(scalar.components, vector.components):
+            assert b.weight == pytest.approx(a.weight, abs=1e-9)
+            assert b.mean == pytest.approx(a.mean, abs=1e-9)
+            assert b.std == pytest.approx(a.std, abs=1e-9)
+        assert vector.log_likelihood_ == pytest.approx(
+            scalar.log_likelihood_, rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        num_components=st.integers(min_value=1, max_value=4),
+        data_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_backend_parity_property(self, seed, num_components, data_seed):
+        """The vectorized backend matches the scalar backend across seeds."""
+        rng = random.Random(data_seed)
+        # integer-heavy data mirrors real GBD samples
+        data = [float(round(max(rng.gauss(5.0, 2.5), 0.0))) for _ in range(120)]
+        scalar = GaussianMixtureModel(num_components, seed=seed, backend="python").fit(data)
+        vector = GaussianMixtureModel(num_components, seed=seed, backend="numpy").fit(data)
+        assert len(scalar.components) == len(vector.components)
+        for a, b in zip(scalar.components, vector.components):
+            assert b.weight == pytest.approx(a.weight, abs=1e-9)
+            assert b.mean == pytest.approx(a.mean, abs=1e-9)
+            assert b.std == pytest.approx(a.std, abs=1e-9)
+        assert vector.log_likelihood_ == pytest.approx(
+            scalar.log_likelihood_, rel=1e-9, abs=1e-9
+        )
+
+
+class TestSeeding:
+    def test_initial_means_distinct_on_integer_heavy_data(self):
+        # with-replacement choice used to waste components on duplicate starts
+        data = [1.0] * 30 + [2.0] * 30 + [5.0] * 40
+        for seed in range(25):
+            model = GaussianMixtureModel(3, seed=seed)
+            means = model._initial_means(data, 3)
+            assert len(set(means)) == 3, f"duplicate initial means for seed {seed}: {means}"
+
+    def test_initial_means_distinct_even_when_k_exceeds_spread(self):
+        data = [0.0] * 50 + [10.0] * 50
+        for seed in range(10):
+            model = GaussianMixtureModel(2, seed=seed)
+            means = model._initial_means(data, 2)
+            assert set(means) == {0.0, 10.0}
+
+    def test_fit_on_integer_heavy_data_uses_all_components(self):
+        data = [1.0] * 30 + [2.0] * 30 + [5.0] * 40
+        model = GaussianMixtureModel(3, seed=0).fit(data)
+        means = sorted(round(c.mean) for c in model.components)
+        assert means == [1, 2, 5]
+
+
+class TestSeedRoundTrip:
+    def test_state_round_trips_seed(self):
+        model = GaussianMixtureModel(2, seed=41).fit(_two_cluster_sample())
+        restored = GaussianMixtureModel.from_state(model.to_state())
+        assert restored._seed == 41
+        assert restored.backend == model.backend
+
+    def test_reload_then_refit_is_deterministic(self):
+        """Refitting a reloaded model matches refitting the live instance.
+
+        The regression: from_state used to rebuild with the default seed=0,
+        silently changing the sampling stream of any later refit.
+        """
+        data = _two_cluster_sample(seed=1)
+        original = GaussianMixtureModel(3, seed=9).fit(data)
+        restored = GaussianMixtureModel.from_state(original.to_state())
+
+        refit_data = _two_cluster_sample(seed=2)
+        original.fit(refit_data)
+        restored.fit(refit_data)
+        assert [c.mean for c in restored.components] == pytest.approx(
+            [c.mean for c in original.components]
+        )
+        assert [c.weight for c in restored.components] == pytest.approx(
+            [c.weight for c in original.components]
+        )
 
 
 class TestQueries:

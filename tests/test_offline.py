@@ -1,0 +1,206 @@
+"""Tests for repro.offline: parallel helpers and the incremental OfflineFitter."""
+
+import random
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.exceptions import SearchError
+from repro.graphs.generators import random_labeled_graph
+from repro.offline import OfflineFitter, compute_pair_gbds, parallel_map, resolve_num_workers
+from repro.serving.snapshot import load_engine
+
+
+@pytest.fixture()
+def population():
+    return [random_labeled_graph(10, 13, seed=s, name=f"g{s}") for s in range(30)]
+
+
+@pytest.fixture()
+def database(population):
+    return GraphDatabase(population, name="offline-test")
+
+
+class TestParallelHelpers:
+    def test_resolve_num_workers(self):
+        assert resolve_num_workers(None) == 1
+        assert resolve_num_workers(0) == 1
+        assert resolve_num_workers(1) == 1
+        assert resolve_num_workers(4) == 4
+        assert resolve_num_workers(-1) >= 1
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(str, items) == [str(i) for i in items]
+        assert parallel_map(str, items, num_workers=2) == [str(i) for i in items]
+
+    def test_pair_gbds_parallel_matches_serial(self, population):
+        rng = random.Random(1)
+        pairs = [(rng.randrange(30), rng.randrange(30)) for _ in range(300)]
+        serial = compute_pair_gbds(population, pairs)
+        for workers in (2, 3):
+            assert compute_pair_gbds(
+                population, pairs, num_workers=workers, chunk_size=64
+            ) == serial
+
+    def test_pair_gbds_small_input_stays_serial(self, population):
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        assert compute_pair_gbds(population, pairs, num_workers=4) == compute_pair_gbds(
+            population, pairs
+        )
+
+    def test_pair_gbds_match_database_path(self, population, database):
+        pairs = [(0, 5), (3, 7), (2, 2)]
+        gbds = compute_pair_gbds(population, pairs)
+        for (i, j), gbd in zip(pairs, gbds):
+            assert gbd == database.gbd_to(population[i], j)
+
+
+class TestOfflineFitterFullFit:
+    def test_fit_matches_gbdasearch(self, database):
+        """The fitter's offline stage is the same computation GBDASearch runs."""
+        fitter = OfflineFitter(database, max_tau=4, num_prior_pairs=120, seed=0).fit()
+        search = GBDASearch(database, max_tau=4, num_prior_pairs=120, seed=0).fit()
+        assert fitter.gbd_prior.table() == search.gbd_prior.table()
+        assert fitter.ged_prior.matrix() == search.ged_prior.matrix()
+
+        query = SimilarityQuery(database[0].graph, 2, 0.5)
+        engine_answer = fitter.build_engine(cache_size=None).query(query)
+        loop_answer = search.query(query).answer
+        assert engine_answer.accepted_ids == loop_answer.accepted_ids
+
+    def test_fit_sets_version_and_revision(self, database):
+        fitter = OfflineFitter(database, max_tau=4, num_prior_pairs=60, seed=0)
+        assert not fitter.is_fitted
+        assert fitter.is_stale
+        fitter.fit()
+        assert fitter.is_fitted
+        assert fitter.version == 1
+        assert not fitter.is_stale
+        assert fitter.fitted_revision == database.revision
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SearchError):
+            OfflineFitter(GraphDatabase([]))
+
+    def test_refit_before_fit_rejected(self, database):
+        with pytest.raises(SearchError):
+            OfflineFitter(database).refit()
+
+
+class TestIncrementalRefit:
+    def test_refit_without_additions_is_noop(self, database):
+        fitter = OfflineFitter(database, max_tau=4, num_prior_pairs=60, seed=0).fit()
+        table_before = fitter.gbd_prior.table()
+        assert fitter.refit() is False
+        assert fitter.version == 1
+        assert fitter.gbd_prior.table() == table_before
+
+    def test_refit_folds_in_new_graphs(self, database):
+        fitter = OfflineFitter(
+            database, max_tau=4, num_prior_pairs=60, seed=0, refit_pairs_per_graph=8
+        ).fit()
+        samples_before = fitter.last_report.num_total_samples
+
+        database.add(random_labeled_graph(15, 20, seed=90, name="new0"))
+        database.add(random_labeled_graph(15, 22, seed=91, name="new1"))
+        assert fitter.num_pending == 2
+        assert fitter.is_stale
+
+        assert fitter.refit() is True
+        assert fitter.version == 2
+        assert fitter.num_pending == 0
+        assert not fitter.is_stale
+        assert fitter.last_report.num_new_graphs == 2
+        assert fitter.last_report.num_new_pairs == 16
+        assert fitter.last_report.num_total_samples == samples_before + 16
+        # the new 15-vertex order is covered without refitting old columns
+        assert 15 in fitter.ged_prior.orders
+
+    def test_refit_is_deterministic(self, population):
+        def run():
+            db = GraphDatabase(list(population), name="det")
+            fitter = OfflineFitter(
+                db, max_tau=4, num_prior_pairs=60, seed=5, refit_pairs_per_graph=6
+            ).fit()
+            db.add(random_labeled_graph(13, 17, seed=77, name="extra"))
+            fitter.refit()
+            return fitter.gbd_prior.table(), fitter.ged_prior.matrix()
+
+        first, second = run(), run()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_refit_rebuilds_grid_when_label_alphabet_grows(self, database):
+        fitter = OfflineFitter(database, max_tau=3, num_prior_pairs=60, seed=0).fit()
+        labels_before = fitter.ged_prior.num_vertex_labels
+        database.add(
+            random_labeled_graph(
+                10, 13, seed=50, vertex_labels=["NEW1", "NEW2"], edge_labels=["nn"]
+            )
+        )
+        fitter.refit()
+        assert fitter.ged_prior.num_vertex_labels == database.num_vertex_labels
+        assert fitter.ged_prior.num_vertex_labels > labels_before
+
+    def test_refit_answers_cover_new_graph(self, database):
+        fitter = OfflineFitter(database, max_tau=4, num_prior_pairs=60, seed=0).fit()
+        new_graph = random_labeled_graph(11, 14, seed=60, name="fresh")
+        new_id = database.add(new_graph)
+        fitter.refit()
+        answer = fitter.build_engine(cache_size=None).query(SimilarityQuery(new_graph, 2, 0.5))
+        assert new_id in answer.accepted_ids
+
+
+class TestSnapshotVersioning:
+    def test_snapshot_round_trips_model_version(self, database, tmp_path):
+        fitter = OfflineFitter(database, max_tau=4, num_prior_pairs=60, seed=0).fit()
+        path = tmp_path / "engine.v1.snapshot"
+        fitter.snapshot(path, cache_size=None)
+        assert load_engine(path).model_version == 1
+
+        database.add(random_labeled_graph(12, 15, seed=70))
+        fitter.refit()
+        path2 = tmp_path / "engine.v2.snapshot"
+        fitter.snapshot(path2, cache_size=None)
+        loaded = load_engine(path2)
+        assert loaded.model_version == 2
+        assert len(loaded.database) == len(database)
+
+    def test_engine_from_search_has_version_zero(self, database, tmp_path):
+        from repro.serving.engine import BatchQueryEngine
+
+        search = GBDASearch(database, max_tau=3, num_prior_pairs=60, seed=0).fit()
+        engine = BatchQueryEngine.from_search(search, cache_size=None)
+        assert engine.model_version == 0
+        path = tmp_path / "plain.snapshot"
+        engine.save(path)
+        assert load_engine(path).model_version == 0
+
+
+class TestBackendEndToEnd:
+    def test_numpy_and_python_backends_answer_identically(self, database):
+        queries = [SimilarityQuery(database[i].graph, tau, 0.5) for i, tau in ((0, 1), (3, 2), (7, 4))]
+        scalar = GBDASearch(
+            database, max_tau=4, num_prior_pairs=120, seed=0, backend="python"
+        ).fit()
+        vector = GBDASearch(
+            database, max_tau=4, num_prior_pairs=120, seed=0, backend="numpy"
+        ).fit()
+        for query in queries:
+            a = scalar.query(query)
+            b = vector.query(query)
+            assert a.answer.accepted_ids == b.answer.accepted_ids
+            assert a.gbd_values == b.gbd_values
+            for graph_id, posterior in a.posteriors.items():
+                assert b.posteriors[graph_id] == pytest.approx(posterior, abs=1e-9)
+
+    def test_parallel_workers_do_not_change_fit(self, database):
+        serial = GBDASearch(database, max_tau=4, num_prior_pairs=150, seed=2).fit()
+        parallel = GBDASearch(
+            database, max_tau=4, num_prior_pairs=150, seed=2, num_workers=2
+        ).fit()
+        assert parallel.gbd_prior.table() == serial.gbd_prior.table()
+        assert parallel.ged_prior.matrix() == serial.ged_prior.matrix()

@@ -62,6 +62,36 @@ class TestGBDPrior:
     def test_repr_shows_state(self):
         assert "unfitted" in repr(GBDPrior())
 
+    def test_state_round_trips_seed(self, small_graph_population):
+        prior = GBDPrior(num_components=2, num_pairs=50, seed=13).fit(small_graph_population)
+        restored = GBDPrior.from_state(prior.to_state())
+        assert restored._seed == 13
+        assert restored.table() == prior.table()
+
+    def test_reload_then_refit_is_deterministic(self, small_graph_population):
+        """Regression: from_state used to reconstruct with the default seed=0,
+
+        so refitting a snapshot-loaded prior silently changed its sampling
+        stream (different pairs, different GMM initialisation).
+        """
+        prior = GBDPrior(num_components=2, num_pairs=50, seed=13).fit(small_graph_population)
+        restored = GBDPrior.from_state(prior.to_state())
+
+        refit_original = GBDPrior(num_components=2, num_pairs=50, seed=13).fit(
+            small_graph_population
+        )
+        restored.fit(small_graph_population)
+        assert restored.table() == refit_original.table()
+        assert restored.report.sampled_gbds == refit_original.report.sampled_gbds
+
+    def test_parallel_sampling_matches_serial(self, small_graph_population):
+        serial = GBDPrior(num_components=2, num_pairs=150, seed=3).fit(small_graph_population)
+        parallel = GBDPrior(
+            num_components=2, num_pairs=150, seed=3, num_workers=2
+        ).fit(small_graph_population)
+        assert parallel.report.sampled_gbds == serial.report.sampled_gbds
+        assert parallel.table() == serial.table()
+
 
 class TestGEDPrior:
     def test_fit_produces_normalised_distribution_per_order(self):
@@ -110,3 +140,34 @@ class TestGEDPrior:
         prior = GEDPrior(max_tau=6, num_vertex_labels=4, num_edge_labels=3).fit([10])
         distribution = prior.distribution(10)
         assert all(p > 0 for p in distribution[1:])
+
+    def test_parallel_grid_matches_serial(self):
+        serial = GEDPrior(max_tau=5, num_vertex_labels=4, num_edge_labels=3).fit([5, 8, 11])
+        parallel = GEDPrior(max_tau=5, num_vertex_labels=4, num_edge_labels=3).fit(
+            [5, 8, 11], num_workers=2
+        )
+        assert parallel.matrix() == serial.matrix()
+        assert parallel.orders == serial.orders
+
+    def test_update_adds_only_missing_orders(self):
+        prior = GEDPrior(max_tau=4, num_vertex_labels=3, num_edge_labels=2).fit([4, 6])
+        before = dict(prior.matrix())
+        added = prior.update([6, 9])
+        assert added == [9]
+        assert prior.orders == [4, 6, 9]
+        # existing columns are untouched, the new column matches a fresh fit
+        for key, value in before.items():
+            assert prior.matrix()[key] == value
+        fresh = GEDPrior(max_tau=4, num_vertex_labels=3, num_edge_labels=2).fit([9])
+        assert prior.distribution(9) == fresh.distribution(9)
+
+    def test_update_with_no_new_orders_is_noop(self):
+        prior = GEDPrior(max_tau=4, num_vertex_labels=3, num_edge_labels=2).fit([4, 6])
+        before = dict(prior.matrix())
+        assert prior.update([4, 6]) == []
+        assert prior.matrix() == before
+
+    def test_update_requires_fit(self):
+        prior = GEDPrior(max_tau=4, num_vertex_labels=3, num_edge_labels=2)
+        with pytest.raises(PriorNotFittedError):
+            prior.update([5])

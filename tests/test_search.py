@@ -121,6 +121,44 @@ class TestOnlineStage:
         # filter would also reject, so accepted sets agree.
         assert answer_plain.accepted_ids == answer_pruned.accepted_ids
 
+    def test_index_pruning_enabled_before_fit_builds_index(self, family_database):
+        search = GBDASearch(
+            family_database, max_tau=4, num_prior_pairs=60, seed=0, use_index_pruning=True
+        ).fit()
+        assert search._index is not None
+        result = search.query(SimilarityQuery(family_database[0].graph, 2, 0.5))
+        # pruned graphs are never scored, so far outliers are absent
+        assert len(result.posteriors) < len(family_database)
+        assert 0 in result.accepted_ids
+
+    def test_index_pruning_enabled_after_fit_builds_index_lazily(self, family_database):
+        """Regression: flipping the flag post-fit used to silently full-scan."""
+        base = family_database[0].graph
+        search = GBDASearch(family_database, max_tau=4, num_prior_pairs=60, seed=0).fit()
+        assert search._index is None
+        full = search.query(SimilarityQuery(base, 2, 0.5))
+        assert len(full.posteriors) == len(family_database)
+
+        search.use_index_pruning = True
+        pruned = search.query(SimilarityQuery(base, 2, 0.5))
+        assert search._index is not None, "first pruned query must build the index"
+        # the pruned scan actually skips GBD > 2τ̂ graphs instead of scoring all
+        assert len(pruned.posteriors) < len(family_database)
+        assert pruned.accepted_ids == full.accepted_ids
+
+    def test_index_pruning_orderings_agree(self, family_database):
+        base = family_database[0].graph
+        fit_first = GBDASearch(family_database, max_tau=4, num_prior_pairs=60, seed=0).fit()
+        fit_first.use_index_pruning = True
+        flag_first = GBDASearch(
+            family_database, max_tau=4, num_prior_pairs=60, seed=0, use_index_pruning=True
+        ).fit()
+        for tau_hat in (1, 2, 4):
+            a = fit_first.query(SimilarityQuery(base, tau_hat, 0.5))
+            b = flag_first.query(SimilarityQuery(base, tau_hat, 0.5))
+            assert a.accepted_ids == b.accepted_ids
+            assert a.posteriors == b.posteriors
+
 
 class TestVariants:
     def test_v1_uses_fixed_extended_order(self, family_database):

@@ -109,3 +109,22 @@ class TestVersioning:
         path.write_bytes(pickle.dumps(payload))
         with pytest.raises(SnapshotError):
             load_engine(path)
+
+    def test_version_1_snapshot_still_loads(self, fitted_engine, tmp_path):
+        """Format version 2 only adds fields; v1 files (no model_version,
+
+        no prior seed state) must keep loading with the documented defaults.
+        """
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = 1
+        payload.pop("model_version")
+        for key in ("seed", "seed_rng_state", "backend"):
+            payload["gbd_prior"].pop(key, None)
+        for key in ("seed", "rng_state", "backend"):
+            payload["gbd_prior"]["mixture"].pop(key, None)
+        path.write_bytes(pickle.dumps(payload))
+        engine = load_engine(path)
+        assert engine.model_version == 0
+        assert len(engine.database) == len(fitted_engine.database)
