@@ -1,24 +1,44 @@
-"""Serving-engine throughput: batched/vectorized vs. per-query loop.
+"""Serving-engine throughput: per-pair loop vs vectorized vs batched matrix.
 
 Builds a 2000-graph synthetic database, fits the GBDA offline stage once,
-and answers the same query stream two ways:
+and answers the same query stream through every online execution path:
 
-* the faithful per-query loop of :meth:`GBDASearch.query` (Algorithm 1,
-  one posterior evaluation per database graph), and
-* the :class:`~repro.serving.engine.BatchQueryEngine`, which computes all
-  GBDs with one inverted-index pass per query and maps them to posteriors
-  through pre-computed ``(τ̂, |V'1|)`` lookup tables.
+* the faithful per-pair loop of :meth:`GBDASearch.query_reference`
+  (Algorithm 1 exactly as written — one branch-multiset merge and one
+  posterior evaluation per database graph),
+* the per-query loop API :meth:`GBDASearch.query` (now a thin wrapper over
+  the shared :class:`~repro.core.plan.ExecutionCore` — columnar index GBDs
+  plus posterior-table lookups, full dict outputs),
+* per-query :meth:`BatchQueryEngine.query` (vectorized single-query
+  serving), and
+* the true batched matrix path :meth:`BatchQueryEngine.query_batch` — one
+  ``(Q, D)`` columnar intersection pass and shared ``(τ̂, |V'1|)`` tables
+  per τ̂/γ group — plus the shard-parallel ``"data-parallel"`` executor
+  decomposition of the same scoring.
 
-The answers must be identical and the engine must deliver at least 3× the
-loop's QPS (it typically lands near an order of magnitude); a cache-warm
-pass over a repeated stream is reported as well.  The rendered table is
-written to ``results/serving_throughput.txt``.
+Assertions: every path's accepted sets (and posterior scores, where the
+configuration retains them) are bit-identical to ``GBDASearch.query``; the
+vectorized engine clears 3x the per-query ``GBDASearch.query`` loop; and
+the batched matrix path clears 2x that per-query loop baseline while never
+regressing against per-query engine serving.  (Since this refactor routes
+``BatchQueryEngine.query`` itself through the same columnar core, single
+and batched engine scoring are both memory-bound on the same postings
+traversal — the headline batching win is measured against the per-query
+loop API, and the single-engine comparison is kept as a no-regression
+guard.)
+
+Setting ``REPRO_SMOKE=1`` (the CI smoke job) shrinks the workload and
+keeps only the parity assertions; rendered tables land in
+``results/serving_throughput.txt``.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
+
+import pytest
 
 from repro.core.search import GBDASearch
 from repro.db.database import GraphDatabase
@@ -26,9 +46,13 @@ from repro.db.query import SimilarityQuery
 from repro.graphs.generators import random_labeled_graph
 from repro.serving import BatchQueryEngine, ServingExecutor
 
-DATABASE_SIZE = 2000
-NUM_QUERIES = 30
-MIN_SPEEDUP = 3.0
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+DATABASE_SIZE = 300 if SMOKE else 2000
+NUM_QUERIES = 10 if SMOKE else 30
+MIN_SPEEDUP = 3.0          # vectorized engine vs per-query GBDASearch.query
+MIN_BATCH_SPEEDUP = 2.0    # batched matrix path vs per-query GBDASearch.query
+MIN_BATCH_VS_SINGLE = 0.8  # batched must never regress vs per-query engine
 
 
 def _build_database(seed: int = 0) -> GraphDatabase:
@@ -52,37 +76,56 @@ def _build_queries(seed: int = 1):
     ]
 
 
-def test_engine_throughput_beats_query_loop(results_dir):
+@pytest.fixture(scope="module")
+def workload():
+    """Database, fitted search, and query stream shared by both benchmarks."""
     database = _build_database()
     search = GBDASearch(database, max_tau=3, num_prior_pairs=400, seed=1).fit()
-    queries = _build_queries()
+    return database, search, _build_queries()
 
-    # Per-query loop (Algorithm 1 as written); best of two passes so a
-    # scheduler hiccup on a noisy CI runner cannot skew the baseline.
-    loop_runs = []
-    loop_answers = None
-    for _ in range(2):
+
+def _best_of(runs, fn):
+    """Best wall-clock of ``runs`` passes (shields against scheduler noise)."""
+    best = None
+    result = None
+    for _ in range(runs):
         start = time.perf_counter()
-        loop_answers = [search.query(query).answer for query in queries]
-        loop_runs.append(time.perf_counter() - start)
-    loop_seconds = min(loop_runs)
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_engine_throughput_beats_query_loop(workload, results_dir):
+    database, search, queries = workload
+
+    # Per-query loop (the GBDASearch.query API); best of two passes so a
+    # scheduler hiccup on a noisy CI runner cannot skew the baseline.
+    loop_seconds, loop_answers = _best_of(2, lambda: [search.query(q).answer for q in queries])
     loop_qps = len(queries) / loop_seconds
+
+    # The scalar per-pair reference (Algorithm 1 as written) — one pass is
+    # plenty: it is orders of magnitude slower and only reported.
+    reference_seconds, reference_answers = _best_of(
+        1, lambda: [search.query_reference(q).answer for q in queries]
+    )
+    reference_qps = len(queries) / reference_seconds
 
     # Batched engine without a result cache so every pass really scores the
     # database.  Pass 1 is cold (lazy posterior tables built inside the
     # measured window); pass 2 is the steady state of a running server.
     engine = BatchQueryEngine.from_search(search, cache_size=None)
-    start = time.perf_counter()
-    engine_answers = engine.query_batch(queries)
-    cold_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    engine.query_batch(queries)
-    warm_seconds = time.perf_counter() - start
+    cold_seconds, engine_answers = _best_of(1, lambda: [engine.query(q) for q in queries])
+    warm_seconds, _ = _best_of(1, lambda: [engine.query(q) for q in queries])
     engine_seconds = min(cold_seconds, warm_seconds)
     engine_qps = len(queries) / engine_seconds
 
-    # Correctness first: the vectorized path must reproduce the loop exactly.
-    for loop_answer, engine_answer in zip(loop_answers, engine_answers):
+    # Correctness first: every path must reproduce the loop exactly.
+    for loop_answer, reference_answer, engine_answer in zip(
+        loop_answers, reference_answers, engine_answers
+    ):
+        assert loop_answer.accepted_ids == reference_answer.accepted_ids
+        assert loop_answer.scores == reference_answer.scores
         assert engine_answer.accepted_ids == loop_answer.accepted_ids
 
     # Hot pass through the executor on a cache-backed engine: a repeated
@@ -98,13 +141,14 @@ def test_engine_throughput_beats_query_loop(results_dir):
         f"Serving throughput on |D|={DATABASE_SIZE}, {len(queries)} queries "
         f"(tau in 1..3, gamma=0.5)",
         "",
-        f"{'method':<34}{'seconds':>10}{'QPS':>12}",
-        f"{'per-query loop (GBDASearch)':<34}{loop_seconds:>10.3f}{loop_qps:>12.1f}",
-        f"{'BatchQueryEngine (cold tables)':<34}{cold_seconds:>10.3f}"
+        f"{'method':<38}{'seconds':>10}{'QPS':>12}",
+        f"{'per-pair reference loop':<38}{reference_seconds:>10.3f}{reference_qps:>12.1f}",
+        f"{'per-query loop (GBDASearch)':<38}{loop_seconds:>10.3f}{loop_qps:>12.1f}",
+        f"{'BatchQueryEngine (cold tables)':<38}{cold_seconds:>10.3f}"
         f"{len(queries) / cold_seconds:>12.1f}",
-        f"{'BatchQueryEngine (warm tables)':<34}{warm_seconds:>10.3f}"
+        f"{'BatchQueryEngine (warm tables)':<38}{warm_seconds:>10.3f}"
         f"{len(queries) / warm_seconds:>12.1f}",
-        f"{'ServingExecutor (LRU-hot)':<34}{hot_stats.elapsed_seconds:>10.3f}"
+        f"{'ServingExecutor (LRU-hot)':<38}{hot_stats.elapsed_seconds:>10.3f}"
         f"{hot_stats.queries_per_second:>12.1f}",
         "",
         f"engine speedup over loop: {speedup:.1f}x (required >= {MIN_SPEEDUP:.0f}x)",
@@ -116,6 +160,88 @@ def test_engine_throughput_beats_query_loop(results_dir):
     print()
     print(rendered)
 
-    assert speedup >= MIN_SPEEDUP, (
-        f"engine QPS {engine_qps:.1f} is only {speedup:.2f}x the loop QPS {loop_qps:.1f}"
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"engine QPS {engine_qps:.1f} is only {speedup:.2f}x the loop QPS {loop_qps:.1f}"
+        )
+
+
+def test_batched_matrix_and_sharded_parity(workload, results_dir):
+    """Batched matrix scoring: ≥2x the per-query loop, bit-identical answers."""
+    database, search, queries = workload
+
+    # Reference answers (full posteriors) from the per-query loop API.
+    loop_results = [search.query(query) for query in queries]
+    loop_seconds, _ = _best_of(2, lambda: [search.query(q) for q in queries])
+    loop_qps = len(queries) / loop_seconds
+
+    # Per-query vs batched on identically configured engines (no result
+    # cache, default keep_scores) — the no-regression comparison.
+    engine = BatchQueryEngine.from_search(search, cache_size=None)
+    engine.query_batch(queries)  # warm the shared posterior tables
+    single_seconds, single_answers = _best_of(2, lambda: [engine.query(q) for q in queries])
+    batch_seconds, batch_answers = _best_of(2, lambda: engine.query_batch(queries))
+    single_qps = len(queries) / single_seconds
+    batch_qps = len(queries) / batch_seconds
+
+    # Bit-identical accepted sets everywhere; the default configuration
+    # retains accepted scores — they must equal the loop's posteriors.
+    for loop_result, single_answer, batch_answer in zip(
+        loop_results, single_answers, batch_answers
+    ):
+        expected_ids = loop_result.answer.accepted_ids
+        assert single_answer.accepted_ids == expected_ids
+        assert batch_answer.accepted_ids == expected_ids
+        expected_scores = {gid: loop_result.posteriors[gid] for gid in expected_ids}
+        assert single_answer.scores == expected_scores
+        assert batch_answer.scores == expected_scores
+
+    # Full-score parity: keep_scores="all" answers carry every candidate's
+    # posterior and must be bit-identical to GBDASearch.query's dicts.
+    full_engine = BatchQueryEngine.from_search(search, cache_size=None, keep_scores="all")
+    for loop_result, full_answer in zip(loop_results, full_engine.query_batch(queries)):
+        assert full_answer.accepted_ids == loop_result.answer.accepted_ids
+        assert full_answer.scores == loop_result.posteriors
+
+    # Shard-parallel (data-parallel) scoring: the same parity assertion.
+    executor = ServingExecutor(full_engine, num_workers=2, mode="data-parallel")
+    sharded_start = time.perf_counter()
+    sharded_answers = executor.map(queries)
+    sharded_seconds = time.perf_counter() - sharded_start
+    for loop_result, sharded_answer in zip(loop_results, sharded_answers):
+        assert sharded_answer.accepted_ids == loop_result.answer.accepted_ids
+        assert sharded_answer.scores == loop_result.posteriors
+
+    batch_speedup = batch_qps / loop_qps
+    batch_vs_single = batch_qps / single_qps
+    lines = [
+        f"Batched matrix scoring on |D|={DATABASE_SIZE}, {len(queries)} queries",
+        "",
+        f"{'method':<38}{'seconds':>10}{'QPS':>12}",
+        f"{'per-query loop (GBDASearch)':<38}{loop_seconds:>10.3f}{loop_qps:>12.1f}",
+        f"{'per-query BatchQueryEngine.query':<38}{single_seconds:>10.3f}{single_qps:>12.1f}",
+        f"{'batched query_batch (matrix)':<38}{batch_seconds:>10.3f}{batch_qps:>12.1f}",
+        f"{'data-parallel, 2 shards (procs)':<38}{sharded_seconds:>10.3f}"
+        f"{len(queries) / sharded_seconds:>12.1f}",
+        "",
+        f"batched speedup over loop: {batch_speedup:.1f}x "
+        f"(required >= {MIN_BATCH_SPEEDUP:.0f}x)",
+        f"batched vs per-query engine: {batch_vs_single:.2f}x "
+        f"(required >= {MIN_BATCH_VS_SINGLE:.1f}x)",
+    ]
+    rendered = "\n".join(lines)
+    (results_dir / "serving_throughput_batched.txt").write_text(
+        rendered + "\n", encoding="utf-8"
     )
+    print()
+    print(rendered)
+
+    if not SMOKE:
+        assert batch_speedup >= MIN_BATCH_SPEEDUP, (
+            f"batched QPS {batch_qps:.1f} is only {batch_speedup:.2f}x "
+            f"the per-query loop QPS {loop_qps:.1f}"
+        )
+        assert batch_vs_single >= MIN_BATCH_VS_SINGLE, (
+            f"batched QPS {batch_qps:.1f} regressed to {batch_vs_single:.2f}x "
+            f"of per-query engine QPS {single_qps:.1f}"
+        )

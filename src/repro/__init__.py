@@ -50,7 +50,9 @@ from repro.core.variants import GBDAV1Search, GBDAV2Search
 from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
 from repro.core.estimator import GBDAEstimator
-from repro.db.database import GraphDatabase
+from repro.core.plan import ExecutionCore
+from repro.db.database import GraphDatabase, GraphDatabaseShard
+from repro.db.columnar import ColumnarBranchStore
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import SimilarityQuery, QueryAnswer
 from repro.offline import OfflineFitter
@@ -74,7 +76,7 @@ from repro.baselines import (
 from repro.datasets.registry import Dataset, build_dataset
 from repro.exceptions import QueryError, ReproError, ServingError, SnapshotError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Graph",
@@ -91,7 +93,10 @@ __all__ = [
     "GBDPrior",
     "GEDPrior",
     "GBDAEstimator",
+    "ExecutionCore",
     "GraphDatabase",
+    "GraphDatabaseShard",
+    "ColumnarBranchStore",
     "BranchInvertedIndex",
     "SimilarityQuery",
     "QueryAnswer",

@@ -19,6 +19,7 @@ from repro.core.gbd import (
 from repro.core.estimator import GBDAEstimator
 from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
+from repro.core.plan import CandidateScores, ExecutionCore
 from repro.core.search import GBDASearch, SearchResult
 from repro.core.variants import GBDAV1Search, GBDAV2Search
 
@@ -32,6 +33,8 @@ __all__ = [
     "GBDAEstimator",
     "GBDPrior",
     "GEDPrior",
+    "CandidateScores",
+    "ExecutionCore",
     "GBDASearch",
     "SearchResult",
     "GBDAV1Search",

@@ -91,10 +91,16 @@ def branch_multiset(graph: Graph) -> Counter:
     the graph database use; the sorted-list view of :func:`branches_of` is
     kept for faithfulness to the paper's storage description and for
     human-readable output.
+
+    This is the innermost per-query cost of the online stage (one call per
+    similarity query), so it builds the canonical ``(L(v), N(v))`` keys
+    directly instead of going through :class:`Branch` objects; the keys are
+    exactly ``branch_of(graph, v).canonical_key()``.
     """
     counts: Counter = Counter()
-    for vertex in graph.vertices():
-        counts[branch_of(graph, vertex).canonical_key()] += 1
+    for vertex, vertex_label in graph.vertex_items():
+        labels = sorted(graph.incident_edge_labels(vertex), key=_sort_key)
+        counts[(vertex_label, tuple(labels))] += 1
     return counts
 
 
@@ -104,6 +110,14 @@ def iter_branches(graph: Graph) -> Iterator[Tuple[object, Branch]]:
         yield vertex, branch_of(graph, vertex)
 
 
+#: Memo of label -> sort key: labels come from small fixed alphabets and the
+#: (type name, str) tuples are expensive to rebuild per comparison in the
+#: per-query branch-extraction hot loop.  Bounded so a long-lived server
+#: answering arbitrary query graphs cannot grow it without limit.
+_SORT_KEY_MEMO: dict = {}
+_SORT_KEY_MEMO_LIMIT = 8192
+
+
 def _sort_key(label: Label) -> Tuple[str, str]:
     """Total order over labels of arbitrary hashable types.
 
@@ -111,7 +125,16 @@ def _sort_key(label: Label) -> Tuple[str, str]:
     ``std::lexicographical_compare`` while staying robust to mixed label
     types (ints vs strings) that Python 3 refuses to compare directly.
     """
-    return (type(label).__name__, str(label))
+    # Memoise per (type, value): equal-but-distinct labels such as 1 and
+    # True must not share an entry or their type names would be conflated.
+    memo_key = (type(label), label)
+    key = _SORT_KEY_MEMO.get(memo_key)
+    if key is None:
+        if len(_SORT_KEY_MEMO) >= _SORT_KEY_MEMO_LIMIT:
+            _SORT_KEY_MEMO.clear()  # alphabet churn beyond any real dataset
+        key = (type(label).__name__, str(label))
+        _SORT_KEY_MEMO[memo_key] = key
+    return key
 
 
 def _branch_sort_key(branch: Branch) -> Tuple:

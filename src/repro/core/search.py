@@ -14,6 +14,12 @@ An optional branch-index pruning step (``use_index_pruning=True``) skips the
 probabilistic scoring for graphs whose GBD already certifies ``GED > τ̂``
 (one edit operation changes at most two branches); it is off by default to
 stay faithful to Algorithm 1 and is exercised by the ablation benchmark.
+
+The online steps themselves live in the shared
+:class:`~repro.core.plan.ExecutionCore` (one implementation for this
+search, the batched serving engine, and shard-parallel scoring);
+:meth:`GBDASearch.query_reference` keeps the literal per-pair loop as the
+bit-identical baseline the vectorized paths are verified against.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.branches import branch_multiset
 from repro.core.estimator import GBDAEstimator
 from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
+from repro.core.plan import ExecutionCore
 from repro.db.database import GraphDatabase
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import QueryAnswer, SimilarityQuery
@@ -103,8 +110,13 @@ class GBDASearch:
         self.gbd_prior: Optional[GBDPrior] = None
         self.ged_prior: Optional[GEDPrior] = None
         self.estimator: Optional[GBDAEstimator] = None
-        self._index: Optional[BranchInvertedIndex] = None
+        self._core: Optional[ExecutionCore] = None
         self.offline_seconds: float = 0.0
+
+    @property
+    def _index(self) -> Optional[BranchInvertedIndex]:
+        """The branch index, or ``None`` until the first query builds it."""
+        return self._core.index if self._core is not None else None
 
     # ------------------------------------------------------------------ #
     # offline stage (Step 1 of Algorithm 1)
@@ -141,8 +153,11 @@ class GBDASearch:
             self.database.num_vertex_labels,
             self.database.num_edge_labels,
         )
+        self._core = ExecutionCore(
+            self.database, self.estimator, max_tau=self.max_tau, error_class=SearchError
+        )
         if self.use_index_pruning:
-            self._index = BranchInvertedIndex(self.database)
+            self._core.ensure_index()
         self.offline_seconds = time.perf_counter() - start
         return self
 
@@ -159,25 +174,59 @@ class GBDASearch:
     # online stage (Steps 2–4 of Algorithm 1)
     # ------------------------------------------------------------------ #
     def query(self, query: SimilarityQuery) -> SearchResult:
-        """Answer one similarity query and return the detailed result."""
+        """Answer one similarity query and return the detailed result.
+
+        A thin wrapper over the shared :class:`ExecutionCore`: all GBDs come
+        from the columnar branch index in one vectorized pass (the pruned
+        path reuses them for the bound filter instead of recomputing), and
+        posteriors come from the shared ``(τ̂, |V'1|)`` lookup tables.
+        Outputs are the historical dicts, bit-identical to the per-pair
+        reference loop (:meth:`query_reference`).
+        """
         self._require_fitted()
-        if query.tau_hat > self.max_tau:
-            raise SearchError(
-                f"τ̂={query.tau_hat} exceeds the pre-computed maximum {self.max_tau}; "
-                "re-run fit with a larger max_tau"
-            )
+        self._core.validate_tau(query.tau_hat)
+        start = time.perf_counter()
+        query_branches = query.branches()
+        # When pruning is enabled after fit(), the core builds the index
+        # lazily on this first pruned query instead of silently full-scanning
+        # (it subscribes to the database, so it tracks later additions).
+        scored = self._core.execute(
+            query, query_branches=query_branches, use_pruning=self.use_index_pruning
+        )
+
+        positions = scored.candidate_positions()
+        graph_ids = scored.graph_ids[positions].tolist()
+        gbd_values = dict(zip(graph_ids, scored.gbds[positions].tolist()))
+        posteriors = dict(zip(graph_ids, scored.posteriors[positions].tolist()))
+        accepted = scored.graph_ids[scored.accepted].tolist()
+
+        elapsed = time.perf_counter() - start
+        answer = QueryAnswer(
+            method=self.method_name,
+            accepted_ids=frozenset(accepted),
+            scores=dict(posteriors),
+            elapsed_seconds=elapsed,
+        )
+        return SearchResult(answer=answer, gbd_values=gbd_values, posteriors=posteriors)
+
+    def query_reference(self, query: SimilarityQuery) -> SearchResult:
+        """Answer one query with the literal per-pair loop of Algorithm 1.
+
+        This is the scalar reference implementation the vectorized paths are
+        tested against (and the baseline of the throughput benchmarks): one
+        branch-multiset merge and one :meth:`GBDAEstimator.posterior`
+        evaluation per database graph, exactly as the paper writes Steps
+        2–4.  Answers are bit-identical to :meth:`query`.
+        """
+        self._require_fitted()
+        self._core.validate_tau(query.tau_hat)
         start = time.perf_counter()
         query_branches = branch_multiset(query.query_graph)
 
         candidate_ids: Sequence[int]
         if self.use_index_pruning:
-            # The flag may be enabled after fit(); build the index lazily on
-            # the first pruned query instead of silently falling back to a
-            # full scan (the index subscribes to the database, so it stays
-            # consistent with later additions).
-            if self._index is None:
-                self._index = BranchInvertedIndex(self.database)
-            candidate_ids = self._index.candidates_by_gbd_bound(
+            index = self._core.ensure_index()
+            candidate_ids = index.candidates_by_gbd_bound(
                 query.query_graph, query.tau_hat, query_branches=query_branches
             )
         else:

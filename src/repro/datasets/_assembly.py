@@ -11,7 +11,7 @@ This module holds the shared expansion/partitioning logic.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 from repro.datasets.registry import Dataset, GroundTruth
 from repro.datasets.synthetic import make_known_ged_family

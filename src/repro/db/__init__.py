@@ -8,14 +8,17 @@ branch index for candidate counting, and a small query layer shared by the
 GBDA search and the baselines.
 """
 
-from repro.db.database import GraphDatabase, StoredGraph
+from repro.db.database import GraphDatabase, GraphDatabaseShard, StoredGraph
+from repro.db.columnar import ColumnarBranchStore
 from repro.db.index import BranchInvertedIndex
 from repro.db.catalog import DatabaseCatalog
 from repro.db.query import SimilarityQuery, QueryAnswer
 
 __all__ = [
     "GraphDatabase",
+    "GraphDatabaseShard",
     "StoredGraph",
+    "ColumnarBranchStore",
     "BranchInvertedIndex",
     "DatabaseCatalog",
     "SimilarityQuery",

@@ -1,0 +1,385 @@
+"""Columnar (CSR) storage of the branch postings of a graph database.
+
+:class:`ColumnarBranchStore` holds the inverted branch postings of a
+:class:`~repro.db.database.GraphDatabase` in compressed-sparse-row form:
+
+* a *vocabulary* mapping each canonical branch key to a dense integer id,
+* three contiguous ``int64`` arrays — ``offsets`` (one slot per branch key,
+  CSR row pointers), ``positions`` (the database rows containing the key),
+  and ``counts`` (the key's multiplicity in each of those rows).
+
+Compared with the dict-of-tuple-lists layout this replaces, the contiguous
+arrays turn the innermost loop of the online stage — accumulating
+``|B_Q ∩ B_G|`` over the postings — into numpy slicing plus one
+``bincount`` scatter-add, and they generalise to whole query *batches*:
+:meth:`gbd_matrix` produces the ``(Q, D)`` GBD matrix of a batch in a
+single vectorized pass.
+
+Incremental additions go through an **append buffer**: :meth:`append` is
+``O(|branches|)`` bookkeeping, and the CSR arrays are rebuilt lazily by
+:meth:`compact` on the next read.  A bulk load of ``k`` graphs therefore
+costs one compaction, not ``k`` (see
+:meth:`~repro.db.database.GraphDatabase.add_many`).
+
+Concurrency: queries may run from several threads sharing one engine (the
+serving executor's ``"thread"`` mode), so the CSR triple is published as a
+single immutable tuple swap behind a compaction lock, and readers operate
+on one snapshot for the whole query — a query racing a compaction sees
+either the pre-add or post-add postings, never a torn mix.  Mutation
+(:meth:`append`) is only ever driven by the database's add-hook and is not
+itself thread-safe.
+
+Rows are *positions* ``0..D-1`` in insertion order; :meth:`global_ids` maps
+positions back to database graph ids.  For a plain
+:class:`~repro.db.database.GraphDatabase` the two coincide; for an
+id-preserving shard view (:meth:`GraphDatabase.shard`) they differ, which
+is what lets shard stores be scored independently and merged by global id.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ColumnarBranchStore"]
+
+#: The compacted arrays travel together with the number of rows they
+#: cover: (offsets, positions, counts, rows_covered).
+_Csr = Tuple[np.ndarray, np.ndarray, np.ndarray, int]
+
+_EMPTY_CSR: _Csr = (
+    np.zeros(1, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    0,
+)
+
+
+class ColumnarBranchStore:
+    """CSR branch-key postings with an append buffer and lazy compaction."""
+
+    def __init__(self, entries: Iterable = ()) -> None:
+        self._key_ids: Dict[Tuple, int] = {}
+        self._keys: List[Tuple] = []
+        # Per-row metadata, grown on append.
+        self._row_global_ids: List[int] = []
+        self._row_orders: List[int] = []
+        # Compacted CSR arrays, swapped atomically as one tuple.
+        self._csr: _Csr = _EMPTY_CSR
+        # Append buffer: parallel lists of (key id, row position, count).
+        self._pending_keys: List[int] = []
+        self._pending_positions: List[int] = []
+        self._pending_counts: List[int] = []
+        # Caches of the dense per-row vectors.
+        self._global_ids_cache: Optional[np.ndarray] = None
+        self._orders_cache: Optional[np.ndarray] = None
+        self._compact_lock = threading.Lock()
+        #: Number of compaction passes performed (bulk-load tests pin this).
+        self.num_compactions = 0
+        for entry in entries:
+            self.append(entry)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_compact_lock"]  # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._compact_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def append(self, entry) -> int:
+        """Buffer one :class:`~repro.db.database.StoredGraph`; return its position.
+
+        The CSR arrays are not touched — the entry's postings land in the
+        append buffer and are merged on the next :meth:`compact` (triggered
+        lazily by any read), so bulk loads pay for one compaction total.
+        Runs under the compaction lock so a reader-triggered merge can never
+        observe (or discard) a half-written buffer entry.
+        """
+        with self._compact_lock:
+            position = len(self._row_global_ids)
+            self._row_global_ids.append(int(entry.graph_id))
+            self._row_orders.append(int(entry.num_vertices))
+            key_ids = self._key_ids
+            for key, count in entry.branches.items():
+                key_id = key_ids.get(key)
+                if key_id is None:
+                    key_id = len(self._keys)
+                    key_ids[key] = key_id
+                    self._keys.append(key)
+                self._pending_keys.append(key_id)
+                self._pending_positions.append(position)
+                self._pending_counts.append(int(count))
+            self._global_ids_cache = None
+            self._orders_cache = None
+        return position
+
+    def compact(self) -> bool:
+        """Merge the append buffer into the CSR arrays; return whether work was done.
+
+        Within each key the postings stay sorted by row position: the old
+        segment is copied in order and pending entries (whose positions are
+        strictly larger) are placed after it in arrival order.  The merge
+        runs under a lock and publishes the rebuilt arrays as one atomic
+        tuple swap, so concurrent readers are never exposed to a torn CSR.
+        """
+        if not self._pending_keys and len(self._csr[0]) == len(self._keys) + 1:
+            return False
+        with self._compact_lock:
+            num_keys = len(self._keys)
+            old_offsets, old_positions, old_counts, _old_rows = self._csr
+            if not self._pending_keys and len(old_offsets) == num_keys + 1:
+                return False  # another thread compacted while we waited
+
+            old_num_keys = len(old_offsets) - 1
+            old_lengths = np.diff(old_offsets)
+            lengths = np.zeros(num_keys, dtype=np.int64)
+            lengths[:old_num_keys] = old_lengths
+
+            if self._pending_keys:
+                pending_keys = np.asarray(self._pending_keys, dtype=np.int64)
+                pending_positions = np.asarray(self._pending_positions, dtype=np.int64)
+                pending_counts = np.asarray(self._pending_counts, dtype=np.int64)
+                lengths += np.bincount(pending_keys, minlength=num_keys)
+
+            offsets = np.zeros(num_keys + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            positions = np.empty(int(offsets[-1]), dtype=np.int64)
+            counts = np.empty_like(positions)
+
+            if len(old_positions):
+                # Shift every old posting of key k by the room its segment grew.
+                shift = np.repeat(offsets[:old_num_keys] - old_offsets[:-1], old_lengths)
+                destination = np.arange(len(old_positions), dtype=np.int64) + shift
+                positions[destination] = old_positions
+                counts[destination] = old_counts
+
+            if self._pending_keys:
+                order = np.argsort(pending_keys, kind="stable")
+                sorted_keys = pending_keys[order]
+                # Rank of each pending posting within its key's block.
+                block_starts = np.flatnonzero(
+                    np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+                )
+                block_lengths = np.diff(np.r_[block_starts, len(sorted_keys)])
+                ranks = np.arange(len(sorted_keys), dtype=np.int64) - np.repeat(
+                    block_starts, block_lengths
+                )
+                old_tail = np.zeros(num_keys, dtype=np.int64)
+                old_tail[:old_num_keys] = old_lengths
+                destination = offsets[sorted_keys] + old_tail[sorted_keys] + ranks
+                positions[destination] = pending_positions[order]
+                counts[destination] = pending_counts[order]
+
+            self._csr = (offsets, positions, counts, len(self._row_global_ids))
+            self._pending_keys = []
+            self._pending_positions = []
+            self._pending_counts = []
+            self.num_compactions += 1
+        return True
+
+    def _snapshot(self) -> _Csr:
+        """Compact if needed and return one consistent CSR tuple."""
+        self.compact()
+        return self._csr
+
+    def view(self) -> Tuple[_Csr, np.ndarray, np.ndarray]:
+        """Return one coherent ``(csr, orders, global_ids)`` read snapshot.
+
+        The three pieces are captured together (retrying across a racing
+        append) so a whole query computes against arrays of one length whose
+        every row is covered by the CSR — concurrent additions become
+        visible only between queries, never as a torn mix or a graph with
+        silently missing postings.
+        """
+        while True:
+            csr = self._snapshot()
+            orders = self.orders()
+            global_ids = self.global_ids()
+            if csr[3] == len(orders) == len(global_ids):
+                return csr, orders, global_ids
+
+    # ------------------------------------------------------------------ #
+    # shape and per-row vectors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_graphs(self) -> int:
+        """Number of rows (database graphs) covered by the store."""
+        return len(self._row_global_ids)
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct branch keys in the vocabulary."""
+        return len(self._keys)
+
+    @property
+    def num_postings(self) -> int:
+        """Total postings held (compacted segment plus append buffer)."""
+        return len(self._csr[1]) + len(self._pending_keys)
+
+    def global_ids(self) -> np.ndarray:
+        """Dense ``position -> graph id`` vector (cached)."""
+        if self._global_ids_cache is None or len(self._global_ids_cache) != self.num_graphs:
+            self._global_ids_cache = np.asarray(self._row_global_ids, dtype=np.int64)
+        return self._global_ids_cache
+
+    def orders(self) -> np.ndarray:
+        """Dense ``position -> |V_G|`` vector (cached)."""
+        if self._orders_cache is None or len(self._orders_cache) != self.num_graphs:
+            self._orders_cache = np.asarray(self._row_orders, dtype=np.int64)
+        return self._orders_cache
+
+    # ------------------------------------------------------------------ #
+    # postings access
+    # ------------------------------------------------------------------ #
+    def postings(self, branch_key: Tuple) -> List[Tuple[int, int]]:
+        """Return the ``(graph_id, count)`` postings of one branch key."""
+        offsets, positions, counts, _rows = self._snapshot()
+        key_id = self._key_ids.get(branch_key)
+        if key_id is None or key_id >= len(offsets) - 1:
+            return []
+        start, end = int(offsets[key_id]), int(offsets[key_id + 1])
+        global_ids = self.global_ids()
+        return [
+            (int(global_ids[position]), int(count))
+            for position, count in zip(positions[start:end], counts[start:end])
+        ]
+
+    def _match_keys(self, query_branch_sets: Sequence[Counter], csr: _Csr):
+        """Resolve every query branch key against the vocabulary.
+
+        Returns ``(rows, key_ids, query_counts)`` int64 arrays with one
+        element per *matched* (query, branch key) pair, or ``None`` when no
+        key is known.  Keys newer than the supplied CSR snapshot (possible
+        only mid-concurrent-append) are treated as unknown, keeping the
+        whole read consistent with one snapshot.  This vocabulary pass is
+        the only Python-level loop of the query kernels.
+        """
+        known = len(csr[0]) - 1
+        key_ids: List[int] = []
+        row_ids: List[int] = []
+        query_counts: List[int] = []
+        lookup = self._key_ids.get
+        for row, query_branches in enumerate(query_branch_sets):
+            for key, query_count in query_branches.items():
+                key_id = lookup(key)
+                if key_id is not None and key_id < known:
+                    key_ids.append(key_id)
+                    row_ids.append(row)
+                    query_counts.append(query_count)
+        if not key_ids:
+            return None
+        return (
+            np.asarray(row_ids, dtype=np.int64),
+            np.asarray(key_ids, dtype=np.int64),
+            np.asarray(query_counts, dtype=np.int64),
+        )
+
+    def _gather(self, query_branch_sets: Sequence[Counter], csr: Optional[_Csr] = None):
+        """Gather all matched postings of a query batch in one vectorized pass.
+
+        Returns ``(rows, cols, values)`` int64 arrays — one element per
+        matched posting — or ``None`` when nothing matched.  The postings
+        are materialised by a single range-concatenation gather over the
+        CSR arrays.
+        """
+        if csr is None:
+            csr = self._snapshot()
+        matched = self._match_keys(query_branch_sets, csr)
+        if matched is None:
+            return None
+        offsets, all_positions, all_counts, _rows = csr
+        row_ids, keys, query_counts = matched
+        starts = offsets[keys]
+        lengths = offsets[keys + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return None
+        # Concatenated [start, end) ranges: repeat each start and add the
+        # within-segment offset 0..length-1.
+        ends = np.cumsum(lengths)
+        flat = np.repeat(starts - (ends - lengths), lengths) + np.arange(total, dtype=np.int64)
+        cols = all_positions[flat]
+        values = np.minimum(np.repeat(query_counts, lengths), all_counts[flat])
+        rows = np.repeat(row_ids, lengths)
+        return rows, cols, values
+
+    # ------------------------------------------------------------------ #
+    # vectorized intersection / GBD kernels
+    # ------------------------------------------------------------------ #
+    def intersection_row(
+        self, query_branches: Counter, *, view: Optional[Tuple[_Csr, int]] = None
+    ) -> np.ndarray:
+        """Return ``|B_Q ∩ B_G|`` for every row as a dense ``(D,)`` array.
+
+        One vocabulary pass over the query's branch keys, one vectorized
+        gather of the matching CSR segments, and a single ``bincount``
+        scatter-add — no Python-level loop over postings.  ``view``
+        optionally pins the ``(csr, num_graphs)`` snapshot the caller is
+        computing against (see :meth:`view`).
+        """
+        csr, num_graphs = view if view is not None else (None, self.num_graphs)
+        gathered = self._gather((query_branches,), csr)
+        if gathered is None:
+            return np.zeros(num_graphs, dtype=np.int64)
+        _rows, cols, values = gathered
+        # The weighted sums are exact small integers, so float64 is lossless.
+        return np.bincount(cols, weights=values, minlength=num_graphs).astype(np.int64)
+
+    def intersection_matrix(
+        self,
+        query_branch_sets: Sequence[Counter],
+        *,
+        view: Optional[Tuple[_Csr, int]] = None,
+    ) -> np.ndarray:
+        """Return the ``(Q, D)`` multiset-intersection matrix of a query batch.
+
+        One vectorized gather materialises every matched posting of the
+        whole batch, then each query row is filled by a ``bincount``
+        scatter-add over its (contiguous, pre-sorted) slice — entries are
+        identical to stacking :meth:`intersection_row` per query, at a
+        fraction of the per-call overhead.
+        """
+        num_queries = len(query_branch_sets)
+        csr, num_graphs = view if view is not None else (None, self.num_graphs)
+        gathered = self._gather(query_branch_sets, csr)
+        if gathered is None:
+            return np.zeros((num_queries, num_graphs), dtype=np.int64)
+        rows, cols, values = gathered
+        # ``rows`` is sorted by construction; slice out each query's run.
+        boundaries = np.searchsorted(rows, np.arange(num_queries + 1, dtype=np.int64))
+        out = np.zeros((num_queries, num_graphs), dtype=np.float64)
+        for row in range(num_queries):
+            start, end = boundaries[row], boundaries[row + 1]
+            if start == end:
+                continue
+            out[row] = np.bincount(
+                cols[start:end], weights=values[start:end], minlength=num_graphs
+            )
+        return out.astype(np.int64)
+
+    def gbd_row(self, num_query_vertices: int, query_branches: Counter) -> np.ndarray:
+        """Return ``GBD(Q, G)`` for every row as a dense ``(D,)`` array."""
+        intersections = self.intersection_row(query_branches)
+        return np.maximum(int(num_query_vertices), self.orders()) - intersections
+
+    def gbd_matrix(
+        self, num_query_vertices: Sequence[int], query_branch_sets: Sequence[Counter]
+    ) -> np.ndarray:
+        """Return the ``(Q, D)`` GBD matrix of a query batch in one pass."""
+        vertices = np.asarray(list(num_query_vertices), dtype=np.int64)
+        intersections = self.intersection_matrix(query_branch_sets)
+        return np.maximum(vertices[:, None], self.orders()[None, :]) - intersections
+
+    def __repr__(self) -> str:
+        return (
+            f"<ColumnarBranchStore rows={self.num_graphs} keys={self.num_keys} "
+            f"postings={self.num_postings} pending={len(self._pending_keys)}>"
+        )

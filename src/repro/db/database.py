@@ -26,7 +26,7 @@ from repro.core.gbd import graph_branch_distance, variant_graph_branch_distance
 from repro.exceptions import DatasetError
 from repro.graphs.graph import Graph, union_label_alphabets
 
-__all__ = ["GraphDatabase", "StoredGraph"]
+__all__ = ["GraphDatabase", "GraphDatabaseShard", "StoredGraph"]
 
 
 @dataclass(frozen=True)
@@ -61,15 +61,29 @@ class GraphDatabase:
         self._entries: List[StoredGraph] = []
         self._vertex_labels: set = set()
         self._edge_labels: set = set()
-        self._subscribers: List[Callable[[StoredGraph], None]] = []
+        # Each subscriber is a (callback-or-WeakMethod, batched) pair.
+        self._subscribers: List = []
         self._revision = 0
         if graphs is not None:
-            for graph in graphs:
-                self.add(graph)
+            self.add_many(graphs)
 
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
+    def _make_entry(self, graph: Graph, branches: Optional[Counter]) -> StoredGraph:
+        entry = StoredGraph(
+            graph_id=len(self._entries),
+            graph=graph,
+            branches=branch_multiset(graph) if branches is None else branches,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
+        self._entries.append(entry)
+        self._vertex_labels |= graph.vertex_label_set()
+        self._edge_labels |= graph.edge_label_set()
+        self._revision += 1
+        return entry
+
     def add(self, graph: Graph, *, branches: Optional[Counter] = None) -> int:
         """Add a graph; pre-compute its branch multiset; return its id.
 
@@ -81,24 +95,28 @@ class GraphDatabase:
         :class:`StoredGraph` so derived structures (e.g. the branch inverted
         index) stay consistent with incremental additions.
         """
-        graph_id = len(self._entries)
-        entry = StoredGraph(
-            graph_id=graph_id,
-            graph=graph,
-            branches=branch_multiset(graph) if branches is None else branches,
-            num_vertices=graph.num_vertices,
-            num_edges=graph.num_edges,
-        )
-        self._entries.append(entry)
-        self._vertex_labels |= graph.vertex_label_set()
-        self._edge_labels |= graph.edge_label_set()
-        self._revision += 1
-        self._notify(entry)
-        return graph_id
+        entry = self._make_entry(graph, branches)
+        self._notify((entry,))
+        return entry.graph_id
+
+    def add_many(self, graphs: Iterable[Graph]) -> List[int]:
+        """Add several graphs with a single round of notifications; return their ids.
+
+        Per-entry subscribers still see every graph, but subscribers
+        registered with ``subscribe(..., batched=True)`` receive the whole
+        batch in one call — so bulk loads trigger one cache invalidation /
+        one derived-structure refresh instead of one per graph.  Combined
+        with the columnar index's append buffer this makes ``extend`` of
+        ``k`` graphs cost one compaction, not ``k`` dense rebuilds.
+        """
+        entries = [self._make_entry(graph, None) for graph in graphs]
+        if entries:
+            self._notify(entries)
+        return [entry.graph_id for entry in entries]
 
     @property
     def revision(self) -> int:
-        """Monotonic mutation counter: increments once per :meth:`add`.
+        """Monotonic mutation counter: increments once per added graph.
 
         Derived artifacts (fitted priors, serving snapshots) record the
         revision they were built against, so staleness is detectable
@@ -106,13 +124,21 @@ class GraphDatabase:
         """
         return self._revision
 
-    def subscribe(self, callback: Callable[[StoredGraph], None]) -> None:
-        """Register ``callback`` to be invoked with every newly added entry.
+    def subscribe(
+        self, callback: Callable, *, batched: bool = False
+    ) -> None:
+        """Register ``callback`` to be invoked with newly added entries.
 
         This is the incremental hook that keeps auxiliary structures (the
         :class:`~repro.db.index.BranchInvertedIndex`, serving engines) from
         silently serving stale state when graphs are added after they were
         built.
+
+        With ``batched=False`` (default) the callback receives one
+        :class:`StoredGraph` per added graph.  With ``batched=True`` it
+        receives the *list* of entries of each mutation — one call per
+        :meth:`add`, and one call total per :meth:`add_many`/:meth:`extend`
+        bulk load, which is what lets derived structures compact once.
 
         Bound methods are held through weak references, so an index or
         engine that is otherwise dropped does not stay alive (and keep being
@@ -120,29 +146,35 @@ class GraphDatabase:
         callables are held strongly — pair them with :meth:`unsubscribe`.
         """
         if inspect.ismethod(callback):
-            self._subscribers.append(weakref.WeakMethod(callback))
+            self._subscribers.append((weakref.WeakMethod(callback), batched))
         else:
-            self._subscribers.append(callback)
+            self._subscribers.append((callback, batched))
 
-    def unsubscribe(self, callback: Callable[[StoredGraph], None]) -> None:
+    def unsubscribe(self, callback: Callable) -> None:
         """Remove a previously registered callback (no-op when absent)."""
         for subscriber in list(self._subscribers):
-            resolved = subscriber() if isinstance(subscriber, weakref.WeakMethod) else subscriber
+            held, _batched = subscriber
+            resolved = held() if isinstance(held, weakref.WeakMethod) else held
             if resolved is None or resolved == callback:
                 self._subscribers.remove(subscriber)
 
-    def _notify(self, entry: StoredGraph) -> None:
+    def _notify(self, entries: Sequence[StoredGraph]) -> None:
         """Invoke live subscribers; prune the ones whose owners were collected."""
         dead = []
         for subscriber in list(self._subscribers):
-            if isinstance(subscriber, weakref.WeakMethod):
-                callback = subscriber()
+            held, batched = subscriber
+            if isinstance(held, weakref.WeakMethod):
+                callback = held()
                 if callback is None:
                     dead.append(subscriber)
                     continue
             else:
-                callback = subscriber
-            callback(entry)
+                callback = held
+            if batched:
+                callback(list(entries))
+            else:
+                for entry in entries:
+                    callback(entry)
         for subscriber in dead:
             self._subscribers.remove(subscriber)
 
@@ -156,8 +188,38 @@ class GraphDatabase:
         return state
 
     def extend(self, graphs: Iterable[Graph]) -> List[int]:
-        """Add several graphs and return their ids."""
-        return [self.add(graph) for graph in graphs]
+        """Add several graphs and return their ids (one notification round)."""
+        return self.add_many(graphs)
+
+    # ------------------------------------------------------------------ #
+    # sharding
+    # ------------------------------------------------------------------ #
+    def shard(self, num_shards: int) -> List["GraphDatabaseShard"]:
+        """Partition the database into id-preserving, read-only shard views.
+
+        Entries are split into ``min(num_shards, len(self))`` contiguous
+        blocks; each view exposes the usual read API but keeps the *global*
+        graph ids, so per-shard query answers (accepted ids, score dicts)
+        can be merged by simple union — the basis of shard-parallel scoring
+        and of the serving executor's ``"data-parallel"`` mode.
+
+        The views are snapshots: graphs added to the parent afterwards are
+        not reflected (re-shard to pick them up), and the views themselves
+        reject mutation.
+        """
+        if num_shards < 1:
+            raise DatasetError("the number of shards must be at least 1")
+        if len(self._entries) == 0:
+            raise DatasetError("cannot shard an empty database")
+        count = min(int(num_shards), len(self._entries))
+        shards = []
+        for shard_index in range(count):
+            low = (len(self._entries) * shard_index) // count
+            high = (len(self._entries) * (shard_index + 1)) // count
+            shards.append(
+                GraphDatabaseShard(self, self._entries[low:high], shard_index, count)
+            )
+        return shards
 
     # ------------------------------------------------------------------ #
     # access
@@ -253,3 +315,67 @@ class GraphDatabase:
 
     def __repr__(self) -> str:
         return f"<GraphDatabase {self.name!r} |D|={len(self)}>"
+
+
+class GraphDatabaseShard(GraphDatabase):
+    """A read-only, id-preserving view over a contiguous slice of a database.
+
+    Produced by :meth:`GraphDatabase.shard`.  The view shares the parent's
+    :class:`StoredGraph` entries (no graph copies) and keeps their global
+    ids, so anything computed against a shard — GBDs, posterior scores,
+    accepted sets — speaks the same id space as the full database and can be
+    merged with the other shards' results by plain union.
+
+    ``__getitem__`` therefore indexes by *global* graph id (restricted to
+    the ids present in this shard), and mutation is rejected: a shard is a
+    snapshot taken at :meth:`~GraphDatabase.shard` time.
+    """
+
+    def __init__(
+        self,
+        parent: GraphDatabase,
+        entries: Sequence[StoredGraph],
+        shard_index: int,
+        num_shards: int,
+    ) -> None:
+        self.name = f"{parent.name}#{shard_index}/{num_shards}"
+        self._entries = list(entries)
+        # Share the parent's label alphabets: the probabilistic model's D
+        # depends on the *database* alphabets, not the shard's subset.
+        self._vertex_labels = set(parent._vertex_labels)
+        self._edge_labels = set(parent._edge_labels)
+        self._subscribers: List = []
+        self._revision = parent.revision
+        self.shard_index = int(shard_index)
+        self.num_shards = int(num_shards)
+        self._entries_by_id: Dict[int, StoredGraph] = {
+            entry.graph_id: entry for entry in self._entries
+        }
+
+    def add(self, graph: Graph, *, branches: Optional[Counter] = None) -> int:
+        raise DatasetError(
+            "shard views are read-only snapshots; add graphs to the parent "
+            "database and re-shard"
+        )
+
+    def add_many(self, graphs: Iterable[Graph]) -> List[int]:
+        raise DatasetError(
+            "shard views are read-only snapshots; add graphs to the parent "
+            "database and re-shard"
+        )
+
+    def __getitem__(self, graph_id: int) -> StoredGraph:
+        try:
+            return self._entries_by_id[graph_id]
+        except KeyError as exc:
+            raise DatasetError(
+                f"graph id {graph_id} is not part of shard "
+                f"{self.shard_index}/{self.num_shards}"
+            ) from exc
+
+    def graph_ids(self) -> List[int]:
+        """The global graph ids covered by this shard (in id order)."""
+        return [entry.graph_id for entry in self._entries]
+
+    def __repr__(self) -> str:
+        return f"<GraphDatabaseShard {self.name!r} |D|={len(self)}>"

@@ -1,14 +1,19 @@
 """Inverted branch index over a graph database.
 
 The index maps each canonical branch key to the list of (graph id, count)
-pairs containing it.  It supports three operations used by the search and
-serving layers:
+pairs containing it.  Storage is delegated to a CSR-style
+:class:`~repro.db.columnar.ColumnarBranchStore` (branch-key vocabulary plus
+contiguous ``offsets``/``positions``/``counts`` arrays with an append
+buffer), so the operations used by the search and serving layers are all
+vectorized:
 
 * fast computation of ``|B_Q ∩ B_G|`` for *all* database graphs at once
-  (one pass over the query's branches instead of one merge per graph),
+  (one gather over the query's CSR segments plus a ``bincount`` scatter-add
+  instead of one merge per graph),
 * a dense vectorized variant (:meth:`gbd_array`) returning the GBD of the
-  query against every database graph as a numpy array — the default GBD
-  path of the batched serving engine, and
+  query against every database graph as a numpy array, and its batched form
+  :meth:`gbd_matrix` returning the ``(Q, D)`` GBD matrix of a whole query
+  batch in one pass — the default GBD paths of the serving engine, and
 * a branch-count lower bound on GED (the filter of Zheng et al. [15]) that
   can optionally pre-prune candidates before the probabilistic scoring —
   this is the "index pruning" ablation of the benchmark suite.
@@ -17,16 +22,19 @@ The index subscribes to the database's incremental hook
 (:meth:`~repro.db.database.GraphDatabase.subscribe`), so graphs added to the
 database *after* construction are reflected in the postings automatically —
 previously the index silently served stale, incomplete candidate sets.
+Additions land in the store's append buffer and are folded in by a single
+compaction on the next read, so bulk loads stay cheap.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Tuple
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.branches import branch_multiset
+from repro.db.columnar import ColumnarBranchStore
 from repro.db.database import GraphDatabase, StoredGraph
 from repro.graphs.graph import Graph
 
@@ -38,25 +46,12 @@ class BranchInvertedIndex:
 
     def __init__(self, database: GraphDatabase) -> None:
         self.database = database
-        self._postings: Dict[Tuple, List[Tuple[int, int]]] = defaultdict(list)
-        self._num_indexed = 0
-        self._orders: Optional[np.ndarray] = None
-        self._build()
+        self._store = ColumnarBranchStore(database)
         database.subscribe(self._on_graph_added)
 
-    def _build(self) -> None:
-        for entry in self.database:
-            self._index_entry(entry)
-
-    def _index_entry(self, entry: StoredGraph) -> None:
-        for key, count in entry.branches.items():
-            self._postings[key].append((entry.graph_id, count))
-        self._num_indexed += 1
-
     def _on_graph_added(self, entry: StoredGraph) -> None:
-        """Incremental hook: keep the postings consistent with the database."""
-        self._index_entry(entry)
-        self._orders = None  # the dense orders vector must be rebuilt
+        """Incremental hook: buffer the new entry's postings in the store."""
+        self._store.append(entry)
 
     def __setstate__(self, state):
         # The database drops its (weakly held) subscribers when pickled;
@@ -68,71 +63,80 @@ class BranchInvertedIndex:
     # queries
     # ------------------------------------------------------------------ #
     @property
+    def store(self) -> ColumnarBranchStore:
+        """The columnar postings store backing this index."""
+        return self._store
+
+    @property
     def num_distinct_branches(self) -> int:
         """Number of distinct branch keys present in the database."""
-        return len(self._postings)
+        return self._store.num_keys
 
     @property
     def num_indexed_graphs(self) -> int:
         """Number of database graphs covered by the postings."""
-        return self._num_indexed
+        return self._store.num_graphs
 
     def postings(self, branch_key: Tuple) -> List[Tuple[int, int]]:
         """Return the ``(graph_id, count)`` postings list of one branch key."""
-        return list(self._postings.get(branch_key, ()))
+        return self._store.postings(branch_key)
 
-    def intersection_sizes(self, query: Graph, *, query_branches: Optional[Counter] = None) -> Dict[int, int]:
+    def intersection_sizes(
+        self, query: Graph, *, query_branches: Optional[Counter] = None
+    ) -> Dict[int, int]:
         """Return ``{graph_id: |B_Q ∩ B_G|}`` for every database graph.
 
         Graphs sharing no branch with the query are omitted (their
         intersection size is zero).
         """
         branches_q = branch_multiset(query) if query_branches is None else query_branches
-        sizes: Dict[int, int] = defaultdict(int)
-        for key, query_count in branches_q.items():
-            for graph_id, graph_count in self._postings.get(key, ()):
-                sizes[graph_id] += min(query_count, graph_count)
-        return dict(sizes)
+        row = self._store.intersection_row(branches_q)
+        global_ids = self._store.global_ids()
+        nonzero = np.flatnonzero(row)
+        return {int(global_ids[position]): int(row[position]) for position in nonzero}
 
     def gbd_all(self, query: Graph, *, query_branches: Optional[Counter] = None) -> Dict[int, int]:
         """Return ``{graph_id: GBD(Q, G)}`` for every database graph via the index."""
         branches_q = branch_multiset(query) if query_branches is None else query_branches
-        intersections = self.intersection_sizes(query, query_branches=branches_q)
-        gbds = {}
-        for entry in self.database:
-            intersection = intersections.get(entry.graph_id, 0)
-            gbds[entry.graph_id] = max(query.num_vertices, entry.num_vertices) - intersection
-        return gbds
+        gbds = self._store.gbd_row(query.num_vertices, branches_q)
+        global_ids = self._store.global_ids()
+        return {int(graph_id): int(gbd) for graph_id, gbd in zip(global_ids, gbds)}
 
     def extended_orders_array(self, num_query_vertices: int) -> np.ndarray:
         """Return ``max(|V_Q|, |V_G|)`` for every database graph as an array."""
-        return np.maximum(int(num_query_vertices), self._orders_array())
+        return np.maximum(int(num_query_vertices), self._store.orders())
 
     def gbd_array(self, query: Graph, *, query_branches: Optional[Counter] = None) -> np.ndarray:
         """Return ``GBD(Q, G)`` for every database graph as a dense numpy array.
 
-        The array is indexed by graph id (ids are assigned contiguously by
-        :meth:`GraphDatabase.add`).  This is the vectorized form of
-        :meth:`gbd_all` — one pass over the query's branches accumulates the
-        multiset-intersection sizes, then a single numpy subtraction produces
-        all GBDs at once; it is the default GBD path of the serving engine.
+        The array is indexed by store position — identical to graph id for a
+        plain :class:`GraphDatabase` (ids are assigned contiguously by
+        :meth:`GraphDatabase.add`; shard views map positions to global ids
+        via ``store.global_ids()``).  This is the vectorized form of
+        :meth:`gbd_all`: one gather over the query's CSR segments plus a
+        ``bincount`` scatter-add produces all intersection sizes, then a
+        single numpy subtraction yields every GBD at once.
         """
         branches_q = branch_multiset(query) if query_branches is None else query_branches
-        intersections = np.zeros(len(self.database), dtype=np.int64)
-        for key, query_count in branches_q.items():
-            for graph_id, graph_count in self._postings.get(key, ()):
-                intersections[graph_id] += min(query_count, graph_count)
-        return np.maximum(query.num_vertices, self._orders_array()) - intersections
+        return self._store.gbd_row(query.num_vertices, branches_q)
 
-    def _orders_array(self) -> np.ndarray:
-        """Dense ``|V_G|`` per graph id, rebuilt lazily after additions."""
-        if self._orders is None or len(self._orders) != len(self.database):
-            self._orders = np.fromiter(
-                (entry.num_vertices for entry in self.database),
-                dtype=np.int64,
-                count=len(self.database),
-            )
-        return self._orders
+    def gbd_matrix(
+        self,
+        queries: Sequence[Graph],
+        *,
+        query_branches: Optional[Sequence[Counter]] = None,
+    ) -> np.ndarray:
+        """Return the ``(Q, D)`` GBD matrix of a query batch in one vectorized pass.
+
+        Row ``i`` equals ``gbd_array(queries[i])``; the whole batch is
+        produced by a single scatter-add over the flattened matrix, which is
+        what the serving engine's batched path builds on.
+        """
+        if query_branches is None:
+            query_branches = [branch_multiset(query) for query in queries]
+        return self._store.gbd_matrix(
+            [query.num_vertices for query in queries], list(query_branches)
+        )
 
     def candidates_by_gbd_bound(
         self,
@@ -150,8 +154,11 @@ class BranchInvertedIndex:
         (the probabilistic score already drives acceptance) but gives the
         ablation benchmark its pruning variant.
         """
-        gbds = self.gbd_all(query, query_branches=query_branches)
-        return [graph_id for graph_id, gbd in gbds.items() if gbd <= 2 * tau_hat]
+        branches_q = branch_multiset(query) if query_branches is None else query_branches
+        gbds = self._store.gbd_row(query.num_vertices, branches_q)
+        global_ids = self._store.global_ids()
+        survivors = np.flatnonzero(gbds <= 2 * int(tau_hat))
+        return [int(global_ids[position]) for position in survivors]
 
     def __repr__(self) -> str:
         return (

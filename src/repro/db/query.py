@@ -9,6 +9,7 @@ can compute precision/recall/F1 uniformly across GBDA and the baselines.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
@@ -25,6 +26,28 @@ class SimilarityQuery:
     query_graph: Graph
     tau_hat: int
     gamma: float = 0.9
+    #: Lazily cached canonical branch multiset of the query graph (see
+    #: :meth:`branches`); never part of equality or construction.
+    _branches: Optional[Counter] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def branches(self) -> Counter:
+        """Return (and cache) ``B_Q``, the query's canonical branch multiset.
+
+        Extracting the multiset is the per-query constant cost of the online
+        stage (Step 2's input), so the search and serving layers share one
+        extraction per query object instead of repeating it per scoring
+        path.  The query is a request-scoped value object: mutating
+        ``query_graph`` after the first scoring call is not supported.
+        """
+        branches = self._branches
+        if branches is None:
+            from repro.core.branches import branch_multiset
+
+            branches = branch_multiset(self.query_graph)
+            object.__setattr__(self, "_branches", branches)
+        return branches
 
     def __post_init__(self) -> None:
         try:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional
 
 from repro.baselines.ged_exact import exact_ged
-from repro.datasets.registry import Dataset, GroundTruth
+from repro.datasets.registry import Dataset
 from repro.db.database import GraphDatabase
 from repro.exceptions import DatasetError
 from repro.graphs.graph import Graph

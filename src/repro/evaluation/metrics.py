@@ -14,7 +14,7 @@ degenerate cases follow the usual information-retrieval definitions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Set, Tuple
+from typing import Iterable, Set, Tuple
 
 __all__ = ["ConfusionCounts", "precision_recall_f1", "evaluate_answer", "aggregate_counts"]
 

@@ -10,7 +10,7 @@ directly from the pytest output and from the committed logs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import List, Mapping, Sequence, Union
 
 Number = Union[int, float, str, bool]
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from repro.exceptions import ServingError
 

@@ -2,23 +2,36 @@
 
 :class:`BatchQueryEngine` answers batches of
 :class:`~repro.db.query.SimilarityQuery` against a fitted GBDA model.  It
+is a vectorized caller of the shared
+:class:`~repro.core.plan.ExecutionCore` — the single implementation of
+Algorithm 1's online steps also behind :meth:`GBDASearch.query` — and
 exploits the key structural fact of the posterior: ``Φ = Pr[GED <= τ̂ |
-GBD = ϕ]`` depends only on the integer triple ``(ϕ, τ̂, |V'1|)``.  For a
-fixed τ̂ the engine therefore pre-computes (lazily, on first use) a dense
-posterior lookup vector per extended order — see
-:meth:`~repro.core.estimator.GBDAEstimator.posterior_table` — after which
-scoring the *whole* database is:
+GBD = ϕ]`` depends only on the integer triple ``(ϕ, τ̂, |V'1|)``.  Scoring
+the whole database is therefore:
 
-1. one pass over the query's branches through the
-   :class:`~repro.db.index.BranchInvertedIndex` (the ``gbd_all`` /
-   :meth:`~repro.db.index.BranchInvertedIndex.gbd_array` path) to obtain
-   every GBD at once,
+1. one pass over the query's branches through the columnar branch index
+   (:class:`~repro.db.columnar.ColumnarBranchStore` — CSR postings, one
+   ``bincount`` scatter-add) to obtain every GBD at once,
 2. a vectorized numpy table lookup mapping GBDs to posteriors, and
-3. a single threshold comparison against γ,
+3. a single threshold comparison against γ.
 
-instead of the per-graph Python loop of :meth:`GBDASearch.query`.  Answers
-are bit-identical to the loop path because the tables are filled by the very
-same :meth:`GBDAEstimator.posterior` evaluations.
+:meth:`query_batch` goes one step further: the whole batch's GBDs come
+from **one** ``(Q, D)`` columnar intersection pass
+(:meth:`~repro.db.index.BranchInvertedIndex.gbd_matrix`), and τ̂/γ-sorted
+groups share one posterior (or boolean acceptance) lookup table each —
+true batching instead of a per-query loop, with answers identical to the
+loop path in input order.
+
+Answers are bit-identical to :meth:`GBDASearch.query` (and its scalar
+:meth:`~repro.core.search.GBDASearch.query_reference` loop) because the
+tables are filled by the very same :meth:`GBDAEstimator.posterior`
+evaluations.
+
+For shard-parallel scoring, :meth:`shard_engines` splits the engine into
+engines over id-preserving database shards
+(:meth:`~repro.db.database.GraphDatabase.shard`) whose per-query answers
+:meth:`merge_answers` unions back — the building block of the serving
+executor's ``"data-parallel"`` mode.
 
 Repeated queries are served from an optional LRU result cache
 (:class:`~repro.serving.cache.QueryResultCache`), and the engine stays
@@ -34,8 +47,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.branches import branch_multiset
 from repro.core.estimator import GBDAEstimator
+from repro.core.plan import CandidateScores, ExecutionCore
 from repro.db.database import GraphDatabase
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import QueryAnswer, SimilarityQuery
@@ -54,7 +67,9 @@ class BatchQueryEngine:
     Parameters
     ----------
     database:
-        The graph database ``D`` to serve (non-empty).
+        The graph database ``D`` to serve (non-empty).  An id-preserving
+        shard view (:meth:`GraphDatabase.shard`) works too; answers then
+        cover the shard's graphs under their global ids.
     estimator:
         A :class:`GBDAEstimator` built from fitted Λ2/Λ3 priors.
     max_tau:
@@ -101,19 +116,22 @@ class BatchQueryEngine:
         self.cache: Optional[QueryResultCache] = (
             QueryResultCache(self.cache_size) if self.cache_size else None
         )
-        # The index subscribes to the database's add-hook, so both the
-        # postings and the dense order vector track incremental additions.
-        self._index = BranchInvertedIndex(database)
-        self._tables: Dict[Tuple[int, int], np.ndarray] = {}
+        # The shared execution core: columnar branch index (subscribed to
+        # the database's add-hook) plus the (τ̂, |V'1|) posterior tables.
+        self._core = ExecutionCore(
+            database, estimator, max_tau=self.max_tau, error_class=ServingError
+        )
+        self._core.ensure_index()
         #: Version of the offline model serving the answers.  0 for an
         #: engine built directly from a search; the incremental
         #: OfflineFitter bumps it on every refit so snapshots are ordered.
         self.model_version: int = 0
-        # Cached answers are scoped to the database contents: adding a graph
-        # must drop them or the cache would keep serving pre-add result sets.
-        database.subscribe(self._on_graph_added)
+        # Cached answers are scoped to the database contents: adding graphs
+        # must drop them or the cache would keep serving pre-add result
+        # sets.  The batched hook clears once per bulk load.
+        database.subscribe(self._on_graphs_added, batched=True)
 
-    def _on_graph_added(self, entry) -> None:
+    def _on_graphs_added(self, entries) -> None:
         if self.cache is not None:
             self.cache.clear()
 
@@ -122,7 +140,7 @@ class BatchQueryEngine:
         # weakly held subscribers on pickling, so re-register the cache
         # invalidation hook in the unpickled copy.
         self.__dict__.update(state)
-        self.database.subscribe(self._on_graph_added)
+        self.database.subscribe(self._on_graphs_added, batched=True)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -140,22 +158,22 @@ class BatchQueryEngine:
             **kwargs,
         )
 
+    @property
+    def _index(self) -> BranchInvertedIndex:
+        """The columnar branch index owned by the execution core."""
+        return self._core.ensure_index()
+
     # ------------------------------------------------------------------ #
-    # posterior lookup tables
+    # posterior lookup tables (delegated to the execution core)
     # ------------------------------------------------------------------ #
     def posterior_vector(self, tau_hat: int, extended_order: int) -> np.ndarray:
         """Return the dense posterior vector for one ``(τ̂, |V'1|)`` pair.
 
         ``vector[ϕ] = Pr[GED <= τ̂ | GBD = ϕ]`` for ``ϕ in 0..|V'1|``;
         computed on first use via :meth:`GBDAEstimator.posterior_row` and
-        cached for the lifetime of the engine.
+        cached in the shared execution core for the lifetime of the engine.
         """
-        key = (int(tau_hat), max(int(extended_order), 1))
-        vector = self._tables.get(key)
-        if vector is None:
-            vector = np.asarray(self.estimator.posterior_row(key[0], key[1]), dtype=np.float64)
-            self._tables[key] = vector
-        return vector
+        return self._core.posterior_vector(tau_hat, extended_order)
 
     def warm(self, tau_hats: Iterable[int], extended_orders: Optional[Iterable[int]] = None) -> int:
         """Pre-compute posterior vectors ahead of traffic; return the table count.
@@ -164,47 +182,40 @@ class BatchQueryEngine:
         the database — the exact orders hit by queries no larger than the
         largest stored graph; larger queries extend the tables lazily.
         """
-        if extended_orders is None:
-            extended_orders = sorted({entry.num_vertices for entry in self.database})
-        orders = list(extended_orders)
-        for tau_hat in tau_hats:
-            if tau_hat > self.max_tau:
-                raise ServingError(
-                    f"τ̂={tau_hat} exceeds the pre-computed maximum {self.max_tau}"
-                )
-            for order in orders:
-                self.posterior_vector(tau_hat, order)
-        return len(self._tables)
+        return self._core.warm(tau_hats, extended_orders)
 
     @property
     def num_cached_tables(self) -> int:
         """Number of ``(τ̂, |V'1|)`` posterior vectors currently materialised."""
-        return len(self._tables)
+        return len(self._core.tables)
 
     def tables_state(self) -> List[Tuple[int, int, List[float]]]:
         """Export the materialised posterior vectors (snapshot layer)."""
         return [
             (tau_hat, order, vector.tolist())
-            for (tau_hat, order), vector in sorted(self._tables.items())
+            for (tau_hat, order), vector in sorted(self._core.tables.items())
         ]
 
     def load_tables(self, state: Iterable[Tuple[int, int, Sequence[float]]]) -> None:
         """Restore posterior vectors exported by :meth:`tables_state`."""
         for tau_hat, order, values in state:
-            self._tables[(int(tau_hat), int(order))] = np.asarray(values, dtype=np.float64)
+            self._core.tables[(int(tau_hat), int(order))] = np.asarray(
+                values, dtype=np.float64
+            )
 
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
+    def _validate_tau(self, tau_hat: int) -> None:
+        # Single source of truth: the core raises ServingError (its
+        # configured error_class) with the canonical message.
+        self._core.validate_tau(tau_hat)
+
     def query(self, query: SimilarityQuery) -> QueryAnswer:
         """Answer one similarity query (cache-backed, vectorized scoring)."""
-        if query.tau_hat > self.max_tau:
-            raise ServingError(
-                f"τ̂={query.tau_hat} exceeds the pre-computed maximum {self.max_tau}; "
-                "re-fit the offline stage with a larger max_tau"
-            )
+        self._validate_tau(query.tau_hat)
         start = time.perf_counter()
-        query_branches = branch_multiset(query.query_graph)
+        query_branches = query.branches()
         cache_key = None
         if self.cache is not None:
             cache_key = query_cache_key(query_branches, query.tau_hat, query.gamma)
@@ -218,62 +229,159 @@ class BatchQueryEngine:
                     scores=dict(cached.scores),
                     elapsed_seconds=time.perf_counter() - start,
                 )
-        answer = self._score(query, query_branches, start)
+        scored = self._core.execute(
+            query, query_branches=query_branches, use_pruning=self.use_index_pruning
+        )
+        answer = self._answer_from_scores(scored, time.perf_counter() - start)
         if self.cache is not None:
             # Cache a private copy for the same reason.
             self.cache.put(cache_key, dataclasses.replace(answer, scores=dict(answer.scores)))
         return answer
 
     def query_batch(self, queries: Iterable[SimilarityQuery]) -> List[QueryAnswer]:
-        """Answer a batch of queries, sharing posterior tables and the cache.
+        """Answer a batch of queries with true batched scoring, in input order.
 
-        Answers are returned in input order.  The lazily built ``(τ̂, |V'1|)``
-        tables are shared across the whole batch (and across batches), so the
-        amortised per-query cost is the vectorized scoring alone.
+        Cached queries are served from the LRU; the remainder go through the
+        execution core's matrix path — one ``(Q, D)`` columnar intersection
+        pass for the whole batch, then one shared lookup table per τ̂/γ
+        group, reusing the lazily built ``(τ̂, |V'1|)`` tables across
+        batches.  Answers are identical to calling :meth:`query` per query;
+        each scored answer's latency is the batch scoring time amortised
+        over the queries it was scored with.
         """
-        return [self.query(query) for query in queries]
-
-    def _score(self, query: SimilarityQuery, query_branches, start: float) -> QueryAnswer:
-        """Vectorized Steps 2–4 of Algorithm 1 over the whole database."""
-        num_query_vertices = query.query_graph.num_vertices
-        gbds = self._index.gbd_array(query.query_graph, query_branches=query_branches)
-        orders = self._index.extended_orders_array(num_query_vertices)
-
-        posteriors = np.empty(len(gbds), dtype=np.float64)
-        for order in np.unique(orders):
-            mask = orders == order
-            vector = self.posterior_vector(query.tau_hat, int(order))
-            posteriors[mask] = vector[gbds[mask]]
-
-        accepted_mask = posteriors >= query.gamma
-        if self.use_index_pruning:
-            # Same candidate set as candidates_by_gbd_bound: one edit changes
-            # at most two branches, so GBD > 2τ̂ certifies GED > τ̂.
-            eligible = gbds <= 2 * query.tau_hat
-            accepted_mask &= eligible
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            self._validate_tau(query.tau_hat)
+        answers: List[Optional[QueryAnswer]] = [None] * len(queries)
+        if self.cache is None:
+            pending = list(range(len(queries)))
+            pending_branches = [query.branches() for query in queries]
+            pending_keys: List = [None] * len(queries)
         else:
-            eligible = None
-        accepted_ids = frozenset(int(graph_id) for graph_id in np.nonzero(accepted_mask)[0])
+            pending = []
+            pending_branches = []
+            pending_keys = []
+            for position, query in enumerate(queries):
+                start = time.perf_counter()
+                query_branches = query.branches()
+                cache_key = query_cache_key(query_branches, query.tau_hat, query.gamma)
+                cached = self.cache.get(cache_key)
+                if cached is not None:
+                    answers[position] = dataclasses.replace(
+                        cached,
+                        scores=dict(cached.scores),
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                    continue
+                pending.append(position)
+                pending_branches.append(query_branches)
+                pending_keys.append(cache_key)
 
+        if pending:
+            start = time.perf_counter()
+            scored_list = self._core.execute_batch(
+                [queries[position] for position in pending],
+                query_branches=pending_branches,
+                use_pruning=self.use_index_pruning,
+                # keep_scores="all" needs every candidate's posterior; the
+                # other modes let the core classify through the boolean
+                # acceptance tables and materialise only accepted scores.
+                need="full" if self.keep_scores == "all" else "accepted",
+            )
+            per_query_elapsed = (time.perf_counter() - start) / len(pending)
+            for position, scored, cache_key in zip(pending, scored_list, pending_keys):
+                answer = self._answer_from_scores(scored, per_query_elapsed)
+                answers[position] = answer
+                if self.cache is not None:
+                    self.cache.put(
+                        cache_key, dataclasses.replace(answer, scores=dict(answer.scores))
+                    )
+        return answers  # type: ignore[return-value]
+
+    def _answer_from_scores(self, scored: CandidateScores, elapsed: float) -> QueryAnswer:
+        """Assemble a :class:`QueryAnswer` from the core's dense results."""
+        accepted_ids = scored.accepted_id_set()
         if self.keep_scores == "all":
             # With pruning, mirror the loop: pruned graphs are never scored.
-            candidates = np.nonzero(eligible)[0] if eligible is not None else range(len(posteriors))
-            scores = {int(i): float(posteriors[i]) for i in candidates}
+            scores = scored.scores_dict("candidates")
         elif self.keep_scores == "accepted":
-            scores = {graph_id: float(posteriors[graph_id]) for graph_id in accepted_ids}
+            scores = scored.scores_dict("accepted")
         else:
             scores = {}
-
         return QueryAnswer(
             method=self.method_name,
             accepted_ids=accepted_ids,
             scores=scores,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=elapsed,
         )
 
     def search(self, query_graph, tau_hat: int, gamma: float = 0.9) -> QueryAnswer:
         """Convenience wrapper mirroring :meth:`GBDASearch.search`."""
         return self.query(SimilarityQuery(query_graph, tau_hat, gamma))
+
+    # ------------------------------------------------------------------ #
+    # shard-parallel scoring
+    # ------------------------------------------------------------------ #
+    def shard_engines(self, num_shards: int) -> List["BatchQueryEngine"]:
+        """Split into engines over id-preserving database shards.
+
+        Each returned engine scores one contiguous shard of the database
+        (same estimator, same τ̂ limit, same pruning setting; result caches
+        are disabled — merged answers are cached by the caller if at all).
+        Because shard views keep global graph ids, the per-shard answers for
+        one query merge back with :meth:`merge_answers` into exactly the
+        full engine's answer.
+        """
+        shards = self.database.shard(num_shards)
+        engines = []
+        for shard in shards:
+            engine = BatchQueryEngine(
+                shard,
+                self.estimator,
+                max_tau=self.max_tau,
+                cache_size=None,
+                keep_scores=self.keep_scores,
+                use_index_pruning=self.use_index_pruning,
+            )
+            engine.model_version = self.model_version
+            engines.append(engine)
+        return engines
+
+    @staticmethod
+    def merge_answers(partials: Sequence[QueryAnswer]) -> QueryAnswer:
+        """Union per-shard answers for one query into the full-database answer.
+
+        Acceptance is decided per graph, so the union of the shards'
+        accepted sets (and score dicts) is exactly the unsharded answer.
+        The merged latency is the slowest shard's — the critical path of a
+        parallel execution.
+        """
+        if not partials:
+            raise ServingError("cannot merge an empty list of partial answers")
+        accepted: frozenset = frozenset()
+        scores: Dict[int, float] = {}
+        for partial in partials:
+            accepted |= partial.accepted_ids
+            scores.update(partial.scores)
+        return QueryAnswer(
+            method=partials[0].method,
+            accepted_ids=accepted,
+            scores=scores,
+            elapsed_seconds=max(partial.elapsed_seconds for partial in partials),
+        )
+
+    def query_sharded(self, query: SimilarityQuery, num_shards: int) -> QueryAnswer:
+        """Score ``query`` shard-by-shard in process and merge (parity helper).
+
+        The serving executor's ``"data-parallel"`` mode runs the same
+        per-shard scoring across process workers; this in-process form
+        exists for tests and diagnostics — it verifies shard decomposition
+        without pool overhead.
+        """
+        partials = [engine.query(query) for engine in self.shard_engines(num_shards)]
+        return self.merge_answers(partials)
 
     # ------------------------------------------------------------------ #
     # persistence (delegates to repro.serving.snapshot)

@@ -1,11 +1,10 @@
-"""Concurrent serving driver: shard a query stream across workers.
+"""Concurrent serving driver: shard queries — or the database — across workers.
 
 :class:`ServingExecutor` spreads a stream of similarity queries over a pool
-of workers, each answering its shard through the shared (or per-process
-copy of the) :class:`~repro.serving.engine.BatchQueryEngine`, and merges the
-per-shard :class:`~repro.db.query.QueryAnswer` lists back into input order.
+of workers and merges the per-worker :class:`~repro.db.query.QueryAnswer`
+lists back into input order.
 
-Three execution modes are supported:
+Four execution modes are supported:
 
 * ``"serial"`` — answer everything inline (baseline / debugging);
 * ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor` sharing
@@ -15,8 +14,18 @@ Three execution modes are supported:
   cheap to start and preserves cache counters;
 * ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` that
   ships a pickled copy of the engine to every worker once (pool
-  initializer).  True parallelism at the cost of start-up and of per-worker
-  caches (hit/miss counters stay in the workers).
+  initializer) and partitions the *query stream*.  True parallelism at the
+  cost of start-up and of per-worker caches (hit/miss counters stay in the
+  workers);
+* ``"data-parallel"`` — partitions the *database* instead: the engine is
+  split into id-preserving shard engines
+  (:meth:`~repro.serving.engine.BatchQueryEngine.shard_engines`), each
+  process worker scores **every** query against its shard through the
+  batched matrix path, and the per-shard answers are merged by union
+  (:meth:`BatchQueryEngine.merge_answers`).  Workers ship one shard each
+  instead of the full engine, so memory per worker scales down with the
+  shard — the mode to reach databases too large (or too slow) to score in
+  one process.
 
 Every run produces a :class:`~repro.serving.stats.ServingStats` with
 wall-clock throughput, per-query latency percentiles, and cache counters.
@@ -35,7 +44,7 @@ from repro.serving.stats import ServingStats
 
 __all__ = ["ServingExecutor"]
 
-_MODES = ("serial", "thread", "process")
+_MODES = ("serial", "thread", "process", "data-parallel")
 
 #: Per-process engine installed by the process-pool initializer.
 _WORKER_ENGINE: Optional[BatchQueryEngine] = None
@@ -54,17 +63,26 @@ def _serve_shard_in_process(
     return [(position, _WORKER_ENGINE.query(query)) for position, query in shard]
 
 
+def _serve_stream_on_shard(
+    engine: BatchQueryEngine, queries: Sequence[SimilarityQuery]
+) -> List[QueryAnswer]:
+    """Data-parallel worker body: batch-score the whole stream on one shard."""
+    return engine.query_batch(queries)
+
+
 class ServingExecutor:
-    """Shard query streams across a worker pool and merge the answers.
+    """Shard query streams (or the database) across a worker pool.
 
     Parameters
     ----------
     engine:
         The serving engine answering the queries.
     num_workers:
-        Number of shards/workers (>= 1).  ``1`` degenerates to serial.
+        Number of shards/workers (>= 1).  ``1`` degenerates to serial (for
+        ``"data-parallel"``: a single database shard).
     mode:
-        ``"serial"``, ``"thread"`` (default), or ``"process"``.
+        ``"serial"``, ``"thread"`` (default), ``"process"``, or
+        ``"data-parallel"``.
     """
 
     def __init__(
@@ -83,6 +101,10 @@ class ServingExecutor:
         self.mode = mode
         self.last_stats: Optional[ServingStats] = None
         self.total_stats = ServingStats()
+        # Data-parallel shard engines, built lazily and rebuilt when the
+        # database grows (shard views are snapshots).
+        self._shard_engines: Optional[List[BatchQueryEngine]] = None
+        self._shard_revision: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # execution
@@ -94,13 +116,20 @@ class ServingExecutor:
         into the lifetime :attr:`total_stats`.
         """
         stream = list(queries)
-        shards = self._shard(stream)
+        if self.mode == "data-parallel":
+            shards: List = []
+            num_batches = len(self._shards_for_run()) if stream else 0
+        else:
+            shards = self._shard(stream)
+            num_batches = len(shards)
         cache = self.engine.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
 
         start = time.perf_counter()
-        if self.mode == "serial" or len(shards) <= 1:
+        if self.mode == "data-parallel":
+            indexed = self._run_data_parallel(stream)
+        elif self.mode == "serial" or len(shards) <= 1:
             indexed = [
                 (position, self.engine.query(query))
                 for shard in shards
@@ -118,11 +147,11 @@ class ServingExecutor:
 
         stats = ServingStats(
             num_queries=len(stream),
-            num_batches=len(shards),
+            num_batches=num_batches,
             elapsed_seconds=elapsed,
             latencies=[answer.elapsed_seconds for answer in answers if answer is not None],
         )
-        if cache is not None and self.mode != "process":
+        if cache is not None and self.mode not in ("process", "data-parallel"):
             stats.cache_hits = cache.hits - hits_before
             stats.cache_misses = cache.misses - misses_before
         self.last_stats = stats
@@ -159,6 +188,36 @@ class ServingExecutor:
             for result in pool.map(_serve_shard_in_process, shards):
                 merged.extend(result)
         return merged
+
+    # ------------------------------------------------------------------ #
+    # data-parallel mode: partition the database, not the stream
+    # ------------------------------------------------------------------ #
+    def _shards_for_run(self) -> List[BatchQueryEngine]:
+        """Return (building or rebuilding as needed) the shard engines."""
+        revision = self.engine.database.revision
+        if self._shard_engines is None or self._shard_revision != revision:
+            num_shards = min(self.num_workers, len(self.engine.database))
+            self._shard_engines = self.engine.shard_engines(num_shards)
+            self._shard_revision = revision
+        return self._shard_engines
+
+    def _run_data_parallel(self, stream) -> List[Tuple[int, QueryAnswer]]:
+        if not stream:
+            return []
+        shard_engines = self._shards_for_run()
+        if len(shard_engines) == 1:
+            partial_lists = [_serve_stream_on_shard(shard_engines[0], stream)]
+        else:
+            with ProcessPoolExecutor(max_workers=len(shard_engines)) as pool:
+                futures = [
+                    pool.submit(_serve_stream_on_shard, engine, stream)
+                    for engine in shard_engines
+                ]
+                partial_lists = [future.result() for future in futures]
+        return [
+            (position, BatchQueryEngine.merge_answers([plist[position] for plist in partial_lists]))
+            for position in range(len(stream))
+        ]
 
     def __repr__(self) -> str:
         return (

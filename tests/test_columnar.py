@@ -1,0 +1,158 @@
+"""Tests for the CSR columnar branch store (repro.db.columnar)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.branches import branch_multiset
+from repro.core.gbd import branch_intersection_size, graph_branch_distance
+from repro.db.columnar import ColumnarBranchStore
+from repro.db.database import GraphDatabase
+from repro.graphs.generators import random_labeled_graph
+
+
+@pytest.fixture
+def random_database():
+    rng = random.Random(23)
+    graphs = [
+        random_labeled_graph(rng.randint(3, 9), rng.randint(2, 12), seed=rng)
+        for _ in range(30)
+    ]
+    return GraphDatabase(graphs, name="columnar-random")
+
+
+def _queries(num, seed):
+    rng = random.Random(seed)
+    return [
+        random_labeled_graph(rng.randint(2, 10), rng.randint(1, 14), seed=rng)
+        for _ in range(num)
+    ]
+
+
+class TestCsrLayout:
+    def test_counts_shapes_and_vocabulary(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        store.compact()
+        assert store.num_graphs == len(random_database)
+        distinct = {key for entry in random_database for key in entry.branches}
+        assert store.num_keys == len(distinct)
+        assert store.num_postings == sum(
+            len(entry.branches) for entry in random_database
+        )
+
+    def test_postings_match_database_and_stay_sorted(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        for entry in random_database:
+            for key, count in entry.branches.items():
+                postings = store.postings(key)
+                assert (entry.graph_id, count) in postings
+                ids = [graph_id for graph_id, _count in postings]
+                assert ids == sorted(ids)
+
+    def test_unknown_key_and_empty_store(self):
+        store = ColumnarBranchStore()
+        assert store.num_graphs == 0
+        assert store.postings(("missing", ())) == []
+        assert store.intersection_row(branch_multiset(random_labeled_graph(3, 2, seed=0))).shape == (0,)
+
+    def test_orders_and_global_ids(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        assert store.orders().tolist() == [e.num_vertices for e in random_database]
+        assert store.global_ids().tolist() == [e.graph_id for e in random_database]
+
+
+class TestAppendBufferCompaction:
+    def test_appends_are_lazy_and_compaction_is_batched(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        store.compact()
+        before = store.num_compactions
+        extras = _queries(5, seed=3)
+        entries = GraphDatabase(extras)
+        for entry in entries:
+            store.append(
+                type(entry)(
+                    graph_id=store.num_graphs,
+                    graph=entry.graph,
+                    branches=entry.branches,
+                    num_vertices=entry.num_vertices,
+                    num_edges=entry.num_edges,
+                )
+            )
+        # five appends buffered, still zero extra compactions
+        assert store.num_compactions == before
+        store.intersection_row(branch_multiset(extras[0]))  # any read compacts
+        assert store.num_compactions == before + 1
+        store.intersection_row(branch_multiset(extras[0]))
+        assert store.num_compactions == before + 1  # reads stay no-ops
+
+    def test_results_identical_after_incremental_appends(self):
+        rng = random.Random(5)
+        graphs = [random_labeled_graph(rng.randint(3, 7), rng.randint(2, 9), seed=rng) for _ in range(20)]
+        incremental = GraphDatabase(graphs[:10], name="inc")
+        store = ColumnarBranchStore(incremental)
+        store.compact()
+        for graph in graphs[10:]:
+            incremental.add(graph)
+            store.append(incremental[len(incremental) - 1])
+        bulk_store = ColumnarBranchStore(GraphDatabase(graphs, name="bulk"))
+        for query in _queries(5, seed=9):
+            branches = branch_multiset(query)
+            assert (
+                store.intersection_row(branches).tolist()
+                == bulk_store.intersection_row(branches).tolist()
+            )
+
+
+class TestVectorizedKernels:
+    def test_intersection_row_matches_pairwise(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        for query in _queries(8, seed=11):
+            branches = branch_multiset(query)
+            row = store.intersection_row(branches)
+            for entry in random_database:
+                expected = branch_intersection_size(branches, entry.branches)
+                assert row[entry.graph_id] == expected
+
+    def test_gbd_row_matches_direct_gbd(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        for query in _queries(8, seed=13):
+            row = store.gbd_row(query.num_vertices, branch_multiset(query))
+            for entry in random_database:
+                assert row[entry.graph_id] == graph_branch_distance(query, entry.graph)
+
+    def test_matrix_kernels_match_row_kernels(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        queries = _queries(7, seed=17)
+        branch_sets = [branch_multiset(query) for query in queries]
+        inter = store.intersection_matrix(branch_sets)
+        gbd = store.gbd_matrix([q.num_vertices for q in queries], branch_sets)
+        assert inter.shape == gbd.shape == (len(queries), len(random_database))
+        assert inter.dtype == gbd.dtype == np.int64
+        for i, query in enumerate(queries):
+            assert inter[i].tolist() == store.intersection_row(branch_sets[i]).tolist()
+            assert gbd[i].tolist() == store.gbd_row(query.num_vertices, branch_sets[i]).tolist()
+
+    def test_empty_batch_and_disjoint_queries(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        assert store.intersection_matrix([]).shape == (0, len(random_database))
+        stranger = random_labeled_graph(
+            4, 4, vertex_labels=["Z1"], edge_labels=["zz"], seed=0
+        )
+        matrix = store.intersection_matrix([branch_multiset(stranger)])
+        assert not matrix.any()
+
+    def test_shard_stores_keep_global_ids(self, random_database):
+        full = ColumnarBranchStore(random_database)
+        shards = random_database.shard(3)
+        query = _queries(1, seed=19)[0]
+        branches = branch_multiset(query)
+        merged = {}
+        for shard in shards:
+            store = ColumnarBranchStore(shard)
+            row = store.gbd_row(query.num_vertices, branches)
+            for global_id, value in zip(store.global_ids().tolist(), row.tolist()):
+                merged[global_id] = value
+        assert merged == dict(enumerate(full.gbd_row(query.num_vertices, branches).tolist()))

@@ -105,6 +105,104 @@ class TestBranchInvertedIndex:
         assert index.postings(("missing", ())) == []
 
 
+class TestBatchNotifications:
+    def test_extend_notifies_batched_subscribers_once(self, triangle, path_graph, paper_g1):
+        database = GraphDatabase([triangle])
+        single_calls = []
+        batch_calls = []
+        database.subscribe(single_calls.append)
+        database.subscribe(lambda entries: batch_calls.append(list(entries)), batched=True)
+
+        database.extend([path_graph, paper_g1, triangle.copy(name="t2")])
+        # per-entry subscribers see every graph; batched ones exactly one call
+        assert len(single_calls) == 3
+        assert len(batch_calls) == 1
+        assert len(batch_calls[0]) == 3
+
+        database.add(triangle.copy(name="t3"))
+        assert len(single_calls) == 4
+        assert len(batch_calls) == 2
+        assert len(batch_calls[1]) == 1
+
+    def test_add_many_returns_contiguous_ids_and_bumps_revision(self, triangle, path_graph):
+        database = GraphDatabase([triangle])
+        before = database.revision
+        ids = database.add_many([path_graph, triangle.copy(name="b")])
+        assert ids == [1, 2]
+        assert database.revision == before + 2
+
+    def test_bulk_load_compacts_the_index_once(self, triangle, path_graph):
+        database = GraphDatabase([triangle, path_graph])
+        index = BranchInvertedIndex(database)
+        index.gbd_all(triangle)  # force the initial compaction
+        before = index.store.num_compactions
+
+        database.extend([triangle.copy(name=f"bulk{i}") for i in range(10)])
+        assert index.num_indexed_graphs == 12  # appends buffered immediately
+        assert index.store.num_compactions == before  # ...but not compacted yet
+        gbds = index.gbd_all(triangle)
+        assert index.store.num_compactions == before + 1  # one merge for 10 adds
+        assert sum(1 for value in gbds.values() if value == 0) == 11
+
+    def test_unsubscribe_detaches_batched_callback(self, triangle):
+        database = GraphDatabase([triangle])
+        calls = []
+
+        def hook(entries):
+            calls.append(entries)
+
+        database.subscribe(hook, batched=True)
+        database.unsubscribe(hook)
+        database.add(triangle.copy(name="late"))
+        assert calls == []
+
+
+class TestShardViews:
+    def test_shards_partition_and_preserve_global_ids(self):
+        graphs = [random_labeled_graph(4, 4, seed=i) for i in range(10)]
+        database = GraphDatabase(graphs, name="shardable")
+        shards = database.shard(3)
+        assert [len(shard) for shard in shards] == [3, 3, 4]
+        seen = [graph_id for shard in shards for graph_id in shard.graph_ids()]
+        assert seen == list(range(10))
+        # entries are shared, not copied, and reachable by their global id
+        assert shards[2][9] is database[9]
+
+    def test_shard_views_are_read_only(self):
+        database = GraphDatabase([random_labeled_graph(4, 4, seed=0)])
+        shard = database.shard(1)[0]
+        with pytest.raises(DatasetError):
+            shard.add(random_labeled_graph(4, 4, seed=1))
+        with pytest.raises(DatasetError):
+            shard.extend([random_labeled_graph(4, 4, seed=2)])
+
+    def test_shard_rejects_foreign_ids_and_bad_counts(self):
+        graphs = [random_labeled_graph(4, 4, seed=i) for i in range(4)]
+        database = GraphDatabase(graphs)
+        first, second = database.shard(2)
+        with pytest.raises(DatasetError):
+            first[3]  # id 3 lives in the second shard
+        assert second[3].graph_id == 3
+        with pytest.raises(DatasetError):
+            database.shard(0)
+        with pytest.raises(DatasetError):
+            GraphDatabase().shard(2)
+
+    def test_more_shards_than_graphs_clamps(self):
+        database = GraphDatabase([random_labeled_graph(4, 4, seed=i) for i in range(2)])
+        shards = database.shard(5)
+        assert len(shards) == 2
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_shards_share_parent_label_alphabets(self):
+        g1 = Graph.from_dicts({0: "A", 1: "B"}, {(0, 1): "x"})
+        g2 = Graph.from_dicts({0: "C", 1: "D"}, {(0, 1): "y"})
+        database = GraphDatabase([g1, g2])
+        for shard in database.shard(2):
+            assert shard.num_vertex_labels == database.num_vertex_labels
+            assert shard.num_edge_labels == database.num_edge_labels
+
+
 class TestDatabaseCatalog:
     def test_catalog_row_structure(self, small_database, paper_g1):
         catalog = DatabaseCatalog.from_database(small_database, queries=[paper_g1], scale_free=True)

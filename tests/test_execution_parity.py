@@ -1,0 +1,144 @@
+"""Cross-path parity: every online execution path returns identical answers.
+
+The multi-layer refactor leaves four ways to answer one similarity query —
+
+* :meth:`GBDASearch.query` (thin wrapper over the :class:`ExecutionCore`),
+* :meth:`GBDASearch.query_reference` (the literal per-pair Algorithm 1 loop),
+* :meth:`BatchQueryEngine.query` (vectorized single-query serving) and
+  :meth:`BatchQueryEngine.query_batch` (true batched matrix scoring), and
+* shard-parallel scoring (per-shard engines merged by
+  :meth:`BatchQueryEngine.merge_answers`, the executor's ``"data-parallel"``
+  decomposition) —
+
+and this property test drives all of them across seeds, γ/τ̂ grids, query
+shapes, and pruning on/off, asserting bit-identical accepted sets and
+posterior scores everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine
+
+MAX_TAU = 3
+_FITTED_CACHE = {}
+
+
+def _fitted(seed: int, pruning: bool):
+    """Build (once per configuration) a fitted search + engines + shards."""
+    key = (seed, pruning)
+    if key not in _FITTED_CACHE:
+        rng = random.Random(100 + seed)
+        graphs = [
+            random_labeled_graph(rng.randint(4, 9), rng.randint(3, 12), seed=rng)
+            for _ in range(25)
+        ]
+        database = GraphDatabase(graphs, name=f"parity-{seed}")
+        search = GBDASearch(
+            database,
+            max_tau=MAX_TAU,
+            num_prior_pairs=80,
+            seed=seed,
+            use_index_pruning=pruning,
+        ).fit()
+        engine = BatchQueryEngine.from_search(search, keep_scores="all", cache_size=None)
+        default_engine = BatchQueryEngine.from_search(search, cache_size=None)
+        shard_engines = engine.shard_engines(3)
+        _FITTED_CACHE[key] = (search, engine, default_engine, shard_engines)
+    return _FITTED_CACHE[key]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.sampled_from([0, 1]),
+    pruning=st.booleans(),
+    query_seed=st.integers(min_value=0, max_value=40),
+    tau_hat=st.integers(min_value=0, max_value=MAX_TAU),
+    gamma=st.sampled_from([0.05, 0.3, 0.5, 0.75, 0.9]),
+)
+def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
+    search, engine, default_engine, shard_engines = _fitted(seed, pruning)
+    qrng = random.Random(query_seed)
+    query = SimilarityQuery(
+        random_labeled_graph(qrng.randint(3, 10), qrng.randint(2, 14), seed=qrng),
+        tau_hat,
+        gamma,
+    )
+
+    reference = search.query_reference(query)
+    wrapped = search.query(query)
+    single = engine.query(query)
+    # batch the query together with a decoy so the matrix path really runs
+    # a multi-row group (decoy shares τ̂; different graph and γ)
+    decoy = SimilarityQuery(
+        random_labeled_graph(4, 4, seed=query_seed + 1), tau_hat, 0.5
+    )
+    batched = engine.query_batch([decoy, query])[1]
+    fast = default_engine.query_batch([query])[0]  # accepted-only fast path
+    sharded = BatchQueryEngine.merge_answers(
+        [shard for shard in (e.query(query) for e in shard_engines)]
+    )
+
+    expected_ids = reference.answer.accepted_ids
+    assert wrapped.answer.accepted_ids == expected_ids
+    assert single.accepted_ids == expected_ids
+    assert batched.accepted_ids == expected_ids
+    assert fast.accepted_ids == expected_ids
+    assert sharded.accepted_ids == expected_ids
+
+    # posterior scores are bit-identical, not merely approximately equal
+    assert wrapped.posteriors == reference.posteriors
+    assert wrapped.gbd_values == reference.gbd_values
+    assert single.scores == reference.posteriors
+    assert batched.scores == reference.posteriors
+    assert sharded.scores == reference.posteriors
+    assert fast.scores == {gid: reference.posteriors[gid] for gid in expected_ids}
+
+
+@pytest.mark.parametrize("pruning", [False, True])
+def test_query_batch_returns_input_order(pruning):
+    search, engine, _default, _shards = _fitted(0, pruning)
+    qrng = random.Random(7)
+    queries = [
+        SimilarityQuery(
+            random_labeled_graph(qrng.randint(3, 9), qrng.randint(2, 12), seed=qrng),
+            qrng.randint(0, MAX_TAU),
+            qrng.choice([0.25, 0.5, 0.9]),
+        )
+        for _ in range(17)
+    ]
+    answers = engine.query_batch(queries)
+    assert len(answers) == len(queries)
+    for query, answer in zip(queries, answers):
+        assert answer.accepted_ids == search.query(query).answer.accepted_ids
+
+
+def test_data_parallel_executor_matches_batch():
+    from repro.serving import ServingExecutor
+
+    search, engine, default_engine, _shards = _fitted(1, False)
+    qrng = random.Random(3)
+    queries = [
+        SimilarityQuery(
+            random_labeled_graph(qrng.randint(3, 9), qrng.randint(2, 12), seed=qrng),
+            qrng.randint(0, MAX_TAU),
+            0.5,
+        )
+        for _ in range(8)
+    ]
+    executor = ServingExecutor(default_engine, num_workers=2, mode="data-parallel")
+    answers = executor.map(queries)
+    expected = default_engine.query_batch(queries)
+    for answer, reference in zip(answers, expected):
+        assert answer.accepted_ids == reference.accepted_ids
+        assert answer.scores == reference.scores
+    assert executor.last_stats.num_queries == len(queries)

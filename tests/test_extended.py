@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.ged_exact import exact_ged
 from repro.core.gbd import graph_branch_distance
 from repro.graphs.extended import ExtendedGraphView, extend_pair, extended_order
-from repro.graphs.graph import Graph, VIRTUAL_LABEL
+from repro.graphs.graph import VIRTUAL_LABEL
 
 
 class TestExtendedGraphView:

@@ -1,6 +1,5 @@
 """Integration tests: the full GBDA pipeline against baselines and ground truth."""
 
-import pytest
 
 from repro.baselines.branch_filter import BranchFilterGED
 from repro.baselines.greedy_sort import GreedySortGED
