@@ -17,6 +17,7 @@ The rendered table is written to ``results/offline_fit.txt``.
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import time
@@ -119,6 +120,31 @@ def test_vectorized_offline_fit_speedup(results_dir):
     (results_dir / "offline_fit.txt").write_text(rendered + "\n", encoding="utf-8")
     print()
     print(rendered)
+
+    # Machine-readable record for the CI artifact upload / perf trajectory.
+    payload = {
+        "benchmark": "offline",
+        "mode": mode,
+        "num_samples": NUM_SAMPLES,
+        "seconds": {
+            "pair_gbd_sampling": sampling_seconds,
+            "gmm_fit_scalar": scalar_seconds,
+            "gmm_fit_numpy": numpy_seconds,
+        },
+        "samples_per_second": {
+            "scalar": NUM_SAMPLES / scalar_seconds,
+            "numpy": NUM_SAMPLES / numpy_seconds,
+            "sampling": NUM_SAMPLES / sampling_seconds,
+        },
+        "vectorized_speedup": speedup,
+        "em_iterations": {
+            "scalar": scalar_prior.mixture.n_iterations_,
+            "numpy": numpy_prior.mixture.n_iterations_,
+        },
+    }
+    (results_dir / "BENCH_offline.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized fit is only {speedup:.2f}x the scalar path "

@@ -27,13 +27,21 @@ traversal — the headline batching win is measured against the per-query
 loop API, and the single-engine comparison is kept as a no-regression
 guard.)
 
+A third benchmark exercises the pruned filter-and-verify execution layer
+on a selective workload (size-diverse database, small queries, small τ̂,
+high γ): the γ-threshold inversion plus the GBD lower bound must clear
+≥3x the unpruned engine's QPS with bit-identical answers, and the run
+emits the machine-readable ``results/BENCH_serving.json`` (QPS, prune
+rate, latency percentiles) that CI uploads as an artifact.
+
 Setting ``REPRO_SMOKE=1`` (the CI smoke job) shrinks the workload and
 keeps only the parity assertions; rendered tables land in
-``results/serving_throughput.txt``.
+``results/serving_throughput.txt`` / ``serving_selective.txt``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import time
@@ -53,6 +61,16 @@ NUM_QUERIES = 10 if SMOKE else 30
 MIN_SPEEDUP = 3.0          # vectorized engine vs per-query GBDASearch.query
 MIN_BATCH_SPEEDUP = 2.0    # batched matrix path vs per-query GBDASearch.query
 MIN_BATCH_VS_SINGLE = 0.8  # batched must never regress vs per-query engine
+
+# Selective filter-and-verify workload: small queries with tight thresholds
+# against a size-diverse database, so the GBD lower bound eliminates most of
+# the database per query (high γ, small τ̂ — the paper's filtering sweet spot).
+# Smoke mode keeps the size spread narrow enough that the posterior tables
+# stay worth building for a 400-graph database.
+SELECTIVE_DB_SIZE = 400 if SMOKE else 16_000
+SELECTIVE_MAX_ORDER = 40 if SMOKE else 120
+SELECTIVE_QUERIES = 8 if SMOKE else 24
+MIN_PRUNED_SPEEDUP = 3.0   # pruned engine vs unpruned engine on that workload
 
 
 def _build_database(seed: int = 0) -> GraphDatabase:
@@ -244,4 +262,135 @@ def test_batched_matrix_and_sharded_parity(workload, results_dir):
         assert batch_vs_single >= MIN_BATCH_VS_SINGLE, (
             f"batched QPS {batch_qps:.1f} regressed to {batch_vs_single:.2f}x "
             f"of per-query engine QPS {single_qps:.1f}"
+        )
+
+
+def test_pruned_selective_workload(results_dir):
+    """Filter-and-verify pruned execution: ≥3x QPS on a selective workload.
+
+    The database mixes graph sizes 8..120 while the queries stay small
+    (8..12 vertices) with small τ̂ and high γ.  The γ-threshold inversion
+    plus the GBD lower bound then eliminates ~96% of the candidates with
+    O(1) arithmetic per graph, and only the survivors' postings are read
+    through the (key, order)-block index — the unpruned engine scores the
+    whole database per query.  Answers must be bit-identical.  Also emits
+    the machine-readable ``BENCH_serving.json`` (QPS, prune rate, latency
+    percentiles) consumed by the CI artifact upload.
+    """
+    rng = random.Random(5)
+    graphs = []
+    for _ in range(SELECTIVE_DB_SIZE):
+        order = rng.randint(8, SELECTIVE_MAX_ORDER)
+        graphs.append(
+            random_labeled_graph(order, rng.randint(order - 1, 2 * order), seed=rng)
+        )
+    database = GraphDatabase(graphs, name=f"Selective-{SELECTIVE_DB_SIZE}")
+    search = GBDASearch(database, max_tau=3, num_prior_pairs=300, seed=2).fit()
+
+    qrng = random.Random(6)
+    queries = []
+    for position in range(SELECTIVE_QUERIES):
+        order = qrng.randint(8, 12)
+        queries.append(
+            SimilarityQuery(
+                random_labeled_graph(order, qrng.randint(order - 1, 2 * order), seed=qrng),
+                position % 2,  # τ̂ ∈ {0, 1}: tight similarity thresholds
+                0.95,
+            )
+        )
+
+    pruned = BatchQueryEngine.from_search(search, cache_size=None)
+    unpruned = BatchQueryEngine.from_search(search, cache_size=None, pruned_execution=False)
+
+    # Correctness first: filter-and-verify must be bit-identical (warm pass).
+    pruned_answers = [pruned.query(query) for query in queries]
+    for query, pruned_answer in zip(queries, pruned_answers):
+        unpruned_answer = unpruned.query(query)
+        assert pruned_answer.accepted_ids == unpruned_answer.accepted_ids
+        assert pruned_answer.scores == unpruned_answer.scores
+
+    counters_before = pruned.prune_counters
+    pruned_seconds, _ = _best_of(2, lambda: [pruned.query(q) for q in queries])
+    counters_after = pruned.prune_counters
+    unpruned_seconds, _ = _best_of(2, lambda: [unpruned.query(q) for q in queries])
+    batch_pruned_seconds, _ = _best_of(2, lambda: pruned.query_batch(queries))
+    batch_unpruned_seconds, _ = _best_of(2, lambda: unpruned.query_batch(queries))
+
+    pruned_qps = len(queries) / pruned_seconds
+    unpruned_qps = len(queries) / unpruned_seconds
+    speedup = pruned_qps / unpruned_qps
+    batch_speedup = batch_pruned_seconds and (batch_unpruned_seconds / batch_pruned_seconds)
+    generated = counters_after["candidates_generated"] - counters_before["candidates_generated"]
+    eliminated = counters_after["candidates_pruned"] - counters_before["candidates_pruned"]
+    prune_rate = eliminated / generated if generated else 0.0
+
+    # Latency percentiles (and the prune counters as serving stats) come
+    # from one executor pass over the pruned engine.
+    executor = ServingExecutor(pruned, num_workers=1, mode="serial")
+    executor.map(queries)
+    stats = executor.last_stats
+
+    payload = {
+        "benchmark": "serving",
+        "mode": "smoke" if SMOKE else "full",
+        "selective": {
+            "database_size": SELECTIVE_DB_SIZE,
+            "num_queries": len(queries),
+            "tau_hats": [0, 1],
+            "gamma": 0.95,
+            "qps": {
+                "pruned": pruned_qps,
+                "unpruned": unpruned_qps,
+                "speedup": speedup,
+                "batch_pruned": len(queries) / batch_pruned_seconds,
+                "batch_unpruned": len(queries) / batch_unpruned_seconds,
+                "batch_speedup": batch_speedup,
+            },
+            "prune": {
+                "candidates_generated": generated,
+                "candidates_pruned": eliminated,
+                "candidates_verified": generated - eliminated,
+                "prune_rate": prune_rate,
+            },
+            "latency_seconds": {
+                "mean": stats.mean_latency,
+                "p50": stats.p50_latency,
+                "p95": stats.p95_latency,
+                "p99": stats.p99_latency,
+            },
+        },
+    }
+    (results_dir / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"Pruned filter-and-verify on |D|={SELECTIVE_DB_SIZE}, {len(queries)} queries "
+        f"(tau in {{0, 1}}, gamma=0.95, query sizes 8..12, db sizes 8..{SELECTIVE_MAX_ORDER})",
+        "",
+        f"{'engine':<38}{'seconds':>10}{'QPS':>12}",
+        f"{'unpruned (full scan)':<38}{unpruned_seconds:>10.3f}{unpruned_qps:>12.1f}",
+        f"{'pruned (filter-and-verify)':<38}{pruned_seconds:>10.3f}{pruned_qps:>12.1f}",
+        f"{'unpruned query_batch':<38}{batch_unpruned_seconds:>10.3f}"
+        f"{len(queries) / batch_unpruned_seconds:>12.1f}",
+        f"{'pruned query_batch':<38}{batch_pruned_seconds:>10.3f}"
+        f"{len(queries) / batch_pruned_seconds:>12.1f}",
+        "",
+        f"pruned speedup: {speedup:.1f}x (required >= {MIN_PRUNED_SPEEDUP:.0f}x), "
+        f"batched: {batch_speedup:.1f}x",
+        f"prune rate: {prune_rate:.1%} "
+        f"({eliminated} of {generated} candidates eliminated by bound arithmetic)",
+        f"latency p50/p95/p99: {stats.p50_latency * 1e3:.2f} / "
+        f"{stats.p95_latency * 1e3:.2f} / {stats.p99_latency * 1e3:.2f} ms",
+    ]
+    rendered = "\n".join(lines)
+    (results_dir / "serving_selective.txt").write_text(rendered + "\n", encoding="utf-8")
+    print()
+    print(rendered)
+
+    assert prune_rate > 0.5, "the selective workload should prune most candidates"
+    if not SMOKE:
+        assert speedup >= MIN_PRUNED_SPEEDUP, (
+            f"pruned QPS {pruned_qps:.1f} is only {speedup:.2f}x "
+            f"the unpruned engine QPS {unpruned_qps:.1f}"
         )

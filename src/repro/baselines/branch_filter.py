@@ -11,18 +11,22 @@ probabilistic treatment GBDA adds on top.
 
 from __future__ import annotations
 
-import math
-
 from repro.baselines.base import PairwiseGEDEstimator
-from repro.core.gbd import graph_branch_distance
+from repro.core.gbd import ged_lower_bound, graph_branch_distance
 from repro.graphs.graph import Graph
 
 __all__ = ["branch_lower_bound", "BranchFilterGED"]
 
 
-def branch_lower_bound(g1: Graph, g2: Graph) -> float:
-    """Lower bound of GED from the branch distance: ``ceil(GBD / 2)``."""
-    return math.ceil(graph_branch_distance(g1, g2) / 2.0)
+def branch_lower_bound(g1: Graph, g2: Graph) -> int:
+    """Lower bound of GED from the branch distance: ``ceil(GBD / 2)``.
+
+    Delegates to the shared bound kernel
+    :func:`repro.core.gbd.ged_lower_bound` — the same math the pruned
+    execution layer applies in whole-array form — so the bound has a single
+    source of truth.
+    """
+    return ged_lower_bound(graph_branch_distance(g1, g2))
 
 
 class BranchFilterGED(PairwiseGEDEstimator):

@@ -19,7 +19,7 @@ from repro.core.gbd import (
 from repro.core.estimator import GBDAEstimator
 from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
-from repro.core.plan import CandidateScores, ExecutionCore
+from repro.core.plan import CandidateScores, ExecutionCore, FilterCounters
 from repro.core.search import GBDASearch, SearchResult
 from repro.core.variants import GBDAV1Search, GBDAV2Search
 
@@ -35,6 +35,7 @@ __all__ = [
     "GEDPrior",
     "CandidateScores",
     "ExecutionCore",
+    "FilterCounters",
     "GBDASearch",
     "SearchResult",
     "GBDAV1Search",

@@ -16,7 +16,9 @@ and stored with graphs".
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.core.branches import branch_multiset
@@ -75,12 +77,31 @@ def variant_graph_branch_distance(
     return max(g1.num_vertices, g2.num_vertices) - weight * intersection
 
 
-def gbd_upper_bound_on_ged(gbd_value: int) -> int:
-    """Trivial relationship used for sanity checks: ``GED >= GBD / 2``.
+def ged_lower_bound(gbd_value: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+    """The branch bound ``GED >= ceil(GBD / 2)``, for scalars or whole arrays.
 
-    A single edit operation changes at most two branches (the paper uses this
-    fact when bounding the range of ``phi`` given ``GED = tau``), therefore
-    ``GBD <= 2 * GED`` and the returned value is a lower bound on GED implied
-    by an observed GBD.
+    A single edit operation changes at most two branches (it relabels one
+    vertex, or touches one edge and hence its two endpoints' branches), so
+    ``GBD <= 2 * GED``.  This is the single source of truth for the bound
+    math shared by the pairwise branch filter
+    (:func:`repro.baselines.branch_filter.branch_lower_bound`) and the
+    vectorized pruned execution paths.
     """
-    return (gbd_value + 1) // 2
+    if isinstance(gbd_value, np.ndarray):
+        return (gbd_value + 1) // 2
+    return (int(gbd_value) + 1) // 2
+
+
+def max_gbd_for_ged(tau: int) -> int:
+    """Largest GBD compatible with ``GED <= τ``: the contrapositive of the bound.
+
+    ``GBD > 2 τ`` certifies ``GED > τ`` (see :func:`ged_lower_bound`), so a
+    similarity search with threshold ``τ̂`` may discard any graph whose GBD
+    — or whose GBD *lower bound* — exceeds ``2 τ̂`` without scoring it.
+    """
+    return 2 * int(tau)
+
+
+def gbd_upper_bound_on_ged(gbd_value: int) -> int:
+    """Legacy name of :func:`ged_lower_bound` (kept for API compatibility)."""
+    return ged_lower_bound(gbd_value)

@@ -31,6 +31,17 @@ intersection pass and contiguous group views, optionally skipping the full
 posterior materialisation when the caller only needs accepted graphs and
 their scores (``need="accepted"`` — the serving engine's default mode).
 
+On top of these sits the **pruned filter-and-verify layer**
+(:meth:`execute_pruned` and the ``pruned=True`` batch mode): the ``(τ̂,
+γ)`` acceptance rule is inverted into a per-order max-acceptable-GBD
+threshold (:meth:`acceptance_threshold`), candidates whose GBD *lower
+bound* — computed from per-graph norms in O(1) each — exceeds it are
+eliminated before any postings traversal, and a selectivity cost model
+picks dense or sparse index-driven verification for the survivors.
+:meth:`execute_topk` ranks by posterior with bound-based early
+termination.  All pruned paths return bit-identical accepted sets and
+scores; :class:`FilterCounters` tracks their effectiveness.
+
 Thread-safety: queries may run concurrently from threads sharing one engine
 (the serving executor's ``"thread"`` mode).  The lookup-table caches are
 published as immutable ``(array, frozenset-of-filled-orders)`` pairs swapped
@@ -54,12 +65,13 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, T
 import numpy as np
 
 from repro.core.estimator import GBDAEstimator
+from repro.core.gbd import max_gbd_for_ged
 from repro.db.database import GraphDatabase
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import SimilarityQuery
 from repro.exceptions import SearchError
 
-__all__ = ["CandidateScores", "ExecutionCore"]
+__all__ = ["CandidateScores", "ExecutionCore", "FilterCounters"]
 
 #: A published lookup table: the dense matrix plus the orders whose rows
 #: are guaranteed filled *in that matrix* (immutable, swapped atomically).
@@ -70,6 +82,60 @@ _Table = Tuple[np.ndarray, FrozenSet[int]]
 #: work of the current call — serving workloads cross the bar immediately,
 #: one-shot large-τ̂ experiment queries never pay for rows they don't use.
 _TABLE_COST_FACTOR = 4
+
+#: Selectivity bar of the pruned-execution cost model: the sparse,
+#: index-driven candidate generation ((key, order)-block probes and
+#: compacted bincounts) wins only when the bound filter leaves at most
+#: ``D / _SPARSE_COST_FACTOR`` candidates; above that the dense kernels'
+#: contiguous memory traffic amortises better than per-block gathers.
+_SPARSE_COST_FACTOR = 8
+
+#: Chunk size of the top-k verification loop: candidates are verified in
+#: upper-bound order this many at a time, so the loop can stop as soon as
+#: the k-th best verified posterior dominates every remaining bound.
+_TOPK_CHUNK = 512
+
+#: How many repeat queries of one (τ̂, γ, |V_Q|, snapshot) shape reuse a
+#: memoized dense-plan decision before the selectivity estimate is re-run —
+#: bounds the damage of one unusually broad query poisoning its shape.
+_DENSE_SIGNATURE_TTL = 32
+
+
+@dataclass
+class FilterCounters:
+    """Cumulative filter-effectiveness counters of one execution core.
+
+    ``candidates_generated`` counts every (query, graph) pair a query was
+    answerable over, ``candidates_pruned`` the pairs eliminated by O(1)
+    bound arithmetic before any postings traversal (or by top-k early
+    termination), and ``candidates_verified`` the pairs actually scored.
+    ``dense_passes`` / ``sparse_passes`` record which strategy the cost
+    model picked per verification pass.
+    """
+
+    candidates_generated: int = 0
+    candidates_pruned: int = 0
+    candidates_verified: int = 0
+    dense_passes: int = 0
+    sparse_passes: int = 0
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of generated candidates eliminated without scoring."""
+        if self.candidates_generated <= 0:
+            return 0.0
+        return self.candidates_pruned / self.candidates_generated
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary (for stats objects / benchmark JSON)."""
+        return {
+            "candidates_generated": self.candidates_generated,
+            "candidates_pruned": self.candidates_pruned,
+            "candidates_verified": self.candidates_verified,
+            "dense_passes": self.dense_passes,
+            "sparse_passes": self.sparse_passes,
+            "prune_rate": self.prune_rate,
+        }
 
 
 @dataclass
@@ -93,6 +159,11 @@ class CandidateScores:
     #: Pre-extracted accepted (ids, posteriors) lists, filled by the batched
     #: path (one group-level ``nonzero`` instead of per-query scans).
     accepted_items: Optional[Tuple[List[int], List[float]]] = None
+    #: Store positions of the rows the arrays cover, or ``None`` when they
+    #: span the whole store.  The pruned filter-and-verify paths materialise
+    #: arrays only for bound-surviving candidates and record them here;
+    #: their consumers read :attr:`accepted_items` / :meth:`accepted_id_set`.
+    positions: Optional[np.ndarray] = None
 
     def candidate_positions(self) -> np.ndarray:
         """Positions that were actually scored (all, unless pruning masked some)."""
@@ -167,6 +238,16 @@ class ExecutionCore:
         # Direct-evaluation cache: (τ̂, |V'1|, ϕ) -> posterior.  Writes are
         # idempotent (same float recomputed), so no lock is needed.
         self._pair_cache: Dict[Tuple[int, int, int], float] = {}
+        # Memo of _use_tables calls that found every row already filled —
+        # tables only ever grow, so a fully-covered verdict stays true.
+        self._tables_ready: set = set()
+        # (τ̂, γ, |V_Q|, snapshot) signatures whose cost model chose the
+        # dense plan — repeat queries of the same shape skip the bound
+        # estimation (plan choice never affects answers).  Each entry is a
+        # countdown: the estimate is re-run periodically, so one broad query
+        # cannot permanently disable pruning for selective queries that
+        # merely share its shape.
+        self._dense_signatures: Dict[Tuple, int] = {}
         # Snapshot-derived caches keyed by snapshot length.  The store only
         # ever appends, so one length identifies one prefix — entries are
         # idempotent and concurrent duplicate computation is benign (no
@@ -174,15 +255,33 @@ class ExecutionCore:
         # snapshots).
         self._distinct_orders: Dict[int, np.ndarray] = {}
         self._orders_rows: Dict[Tuple[int, int], np.ndarray] = {}
+        self._order_codes_cache: Dict[int, np.ndarray] = {}
+        self._order_partition_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # γ-threshold inversion cache: (τ̂, γ) -> {order: max acceptable GBD}.
+        # Entries are idempotent (derived from the posterior vectors), so no
+        # lock is needed; see acceptance_threshold.
+        self._gbd_thresholds: Dict[Tuple[int, float], Dict[int, int]] = {}
+        # Dense order-indexed form of the same inversion (hot-path lookup);
+        # -2 marks a not-yet-inverted order, filled idempotently on demand.
+        self._threshold_arrays: Dict[Tuple[int, float], np.ndarray] = {}
+        # Suffix-max posterior cache for top-k upper bounds:
+        # (τ̂, order) -> vector with entry[ϕ] = max posterior over GBD >= ϕ.
+        self._suffix_max: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Cumulative filter-effectiveness counters across every query this
+        #: core answered (updated under a dedicated lock; see FilterCounters).
+        self.filter_counters = FilterCounters()
+        self._counter_lock = threading.Lock()
 
     def __getstate__(self):
         state = self.__dict__.copy()
         del state["_table_lock"]  # locks are not picklable
+        del state["_counter_lock"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._table_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # index and posterior tables
@@ -251,6 +350,144 @@ class ExecutionCore:
             self._orders_rows[key] = row
         return row
 
+    def _order_codes(self, db_orders: np.ndarray, distinct: np.ndarray) -> np.ndarray:
+        """Cached ``position -> index into distinct orders`` map of a snapshot."""
+        if len(self._order_codes_cache) > 64:
+            self._order_codes_cache = {}
+        key = len(db_orders)
+        codes = self._order_codes_cache.get(key)
+        if codes is None:
+            codes = np.searchsorted(distinct, db_orders)
+            self._order_codes_cache[key] = codes
+        return codes
+
+    def _order_partition(
+        self, db_orders: np.ndarray, distinct: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rows of a snapshot grouped by ``|V_G|``: ``(row order, starts, ends)``.
+
+        ``row_order[starts[i]:ends[i]]`` are the (ascending) store positions
+        whose order is ``distinct[i]``.  Built once per snapshot, this turns
+        "all rows of the eligible orders" into a few slice concatenations —
+        O(E) per query instead of an O(D) scan.
+        """
+        if len(self._order_partition_cache) > 16:
+            self._order_partition_cache = {}
+        key = len(db_orders)
+        cached = self._order_partition_cache.get(key)
+        if cached is None:
+            row_order = np.argsort(db_orders, kind="stable")
+            sorted_orders = db_orders[row_order]
+            starts = np.searchsorted(sorted_orders, distinct, side="left")
+            ends = np.searchsorted(sorted_orders, distinct, side="right")
+            cached = (row_order, starts, ends)
+            self._order_partition_cache[key] = cached
+        return cached
+
+    def _eligible_positions(
+        self,
+        db_orders: np.ndarray,
+        distinct: np.ndarray,
+        eligible_orders: np.ndarray,
+    ) -> np.ndarray:
+        """Sorted store positions whose order is marked eligible — O(E)."""
+        row_order, starts, ends = self._order_partition(db_orders, distinct)
+        slots = np.flatnonzero(eligible_orders)
+        if len(slots) == len(distinct):
+            return np.arange(len(db_orders), dtype=np.int64)
+        chunks = [row_order[starts[slot] : ends[slot]] for slot in slots.tolist()]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        positions = np.concatenate(chunks)
+        positions.sort()
+        return positions
+
+    def _count(
+        self, generated: int, pruned: int, verified: int, *, sparse: Optional[bool] = None
+    ) -> None:
+        """Fold one pass's filter-effectiveness numbers into the counters."""
+        with self._counter_lock:
+            counters = self.filter_counters
+            counters.candidates_generated += generated
+            counters.candidates_pruned += pruned
+            counters.candidates_verified += verified
+            if sparse is True:
+                counters.sparse_passes += 1
+            elif sparse is False:
+                counters.dense_passes += 1
+
+    # ------------------------------------------------------------------ #
+    # γ-threshold inversion: (τ̂, γ) acceptance as a max-acceptable GBD
+    # ------------------------------------------------------------------ #
+    def acceptance_threshold(self, tau_hat: int, gamma: float, extended_order: int) -> int:
+        """Largest GBD an accepted graph of this extended order can have.
+
+        Inverts the Step-4 rule ``Φ(ϕ) >= γ`` into ``ϕ <= threshold``: the
+        returned value is ``max{ϕ : posterior(ϕ, τ̂, |V'1|) >= γ}`` (or -1
+        when no GBD is acceptable).  Taking the *maximum* accepting ϕ keeps
+        the inversion sound even where the tabulated posterior is not
+        monotone in ϕ — a candidate whose GBD lower bound exceeds the
+        threshold provably cannot be accepted, whatever its exact GBD.
+        Cached per ``(τ̂, γ, |V'1|)`` for the lifetime of the core.
+        """
+        key = (int(tau_hat), float(gamma))
+        per_order = self._gbd_thresholds.setdefault(key, {})
+        order = max(int(extended_order), 1)
+        threshold = per_order.get(order)
+        if threshold is None:
+            accepting = np.flatnonzero(
+                self.posterior_vector(tau_hat, order) >= float(gamma)
+            )
+            threshold = int(accepting[-1]) if accepting.size else -1
+            per_order[order] = threshold
+        return threshold
+
+    def _thresholds_for(
+        self, tau_hat: int, gamma: float, extended_orders: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`acceptance_threshold` over an array of orders."""
+        return self._threshold_lookup(tau_hat, gamma, extended_orders)[extended_orders]
+
+    def _threshold_lookup(
+        self, tau_hat: int, gamma: float, extended_orders: np.ndarray
+    ) -> np.ndarray:
+        """Dense ``order -> max acceptable GBD`` array covering the given orders.
+
+        The hot-path form of :meth:`acceptance_threshold`: one cached
+        ``int64`` vector per ``(τ̂, γ)``, filled lazily only for the orders
+        actually requested (-2 marks an order not inverted yet) and indexed
+        with a single numpy take per query.  Fills are idempotent, so
+        concurrent readers are safe without a lock.
+        """
+        key = (int(tau_hat), float(gamma))
+        max_order = int(extended_orders[-1]) if len(extended_orders) else 1
+        lookup = self._threshold_arrays.get(key)
+        if lookup is None or len(lookup) <= max_order:
+            grown = np.full(max_order + 2, -2, dtype=np.int64)
+            if lookup is not None:
+                grown[: len(lookup)] = lookup
+            lookup = grown
+            self._threshold_arrays[key] = lookup
+        requested = np.asarray(extended_orders, dtype=np.int64)
+        for order in requested[lookup[requested] == -2].tolist():
+            lookup[order] = self.acceptance_threshold(tau_hat, gamma, order)
+        return lookup
+
+    def _suffix_max_vector(self, tau_hat: int, extended_order: int) -> np.ndarray:
+        """``vector[ϕ] = max posterior over GBD >= ϕ`` for one (τ̂, |V'1|).
+
+        Given a GBD *lower bound* ϕ, ``vector[ϕ]`` upper-bounds the
+        candidate's true posterior — the admissible bound driving top-k
+        early termination.  Cached idempotently per (τ̂, order).
+        """
+        key = (int(tau_hat), max(int(extended_order), 1))
+        suffix = self._suffix_max.get(key)
+        if suffix is None:
+            vector = self.posterior_vector(key[0], key[1])
+            suffix = np.maximum.accumulate(vector[::-1])[::-1].copy()
+            self._suffix_max[key] = suffix
+        return suffix
+
     # ------------------------------------------------------------------ #
     # posterior strategies: dense tables vs direct pair evaluation
     # ------------------------------------------------------------------ #
@@ -264,11 +501,21 @@ class ExecutionCore:
         serving-sized databases, never for one-shot large-τ̂ queries over a
         handful of graphs (the paper-experiment shape).
         """
+        # Hot path: once every needed row exists the answer can never flip
+        # back (tables only grow), so the scan is skipped on repeat calls.
+        # The key holds the exact order list — different lists never collide.
+        ready_key = (tau_hat, tuple(needed_orders))
+        if ready_key in self._tables_ready:
+            return True
+        if len(self._tables_ready) > 512:
+            self._tables_ready = set()  # bound the memo like the sibling caches
         missing = sum(
             order + 1
             for order in needed_orders
             if (tau_hat, max(order, 1)) not in self._tables
         )
+        if missing == 0:
+            self._tables_ready.add(ready_key)
         return missing <= _TABLE_COST_FACTOR * num_scored
 
     def _posteriors_direct(
@@ -402,11 +649,135 @@ class ExecutionCore:
             posteriors = lut.take(orders * lut.shape[1] + gbds)
         else:
             posteriors = self._posteriors_direct(query.tau_hat, orders, gbds)
-        eligible = gbds <= 2 * query.tau_hat if use_pruning else None
+        eligible = gbds <= max_gbd_for_ged(query.tau_hat) if use_pruning else None
         accepted = posteriors >= query.gamma
         if eligible is not None:
             accepted &= eligible
+        self._count(len(gbds), 0, len(gbds), sparse=False)
         return CandidateScores(global_ids, gbds, posteriors, accepted, eligible)
+
+    def execute_pruned(
+        self,
+        query: SimilarityQuery,
+        *,
+        query_branches: Optional[Counter] = None,
+        use_pruning: bool = False,
+    ) -> CandidateScores:
+        """Filter-and-verify variant of :meth:`execute` for accepted-only callers.
+
+        The ``(τ̂, γ)`` acceptance rule is inverted into a per-order
+        max-acceptable-GBD threshold (:meth:`acceptance_threshold`, further
+        capped by the branch bound ``2 τ̂`` when ``use_pruning`` is on), and
+        every candidate whose GBD *lower bound* exceeds it is eliminated
+        with O(1) arithmetic before any postings traversal.  The bound is
+        the per-graph-norm math of
+        :meth:`ColumnarBranchStore.gbd_lower_bound_row`, evaluated once per
+        *distinct* ``|V_G|`` (it depends on the row only through its order)
+        rather than per row.  Survivors are verified exactly, through either
+        the dense intersection pass or the sparse index-driven kernels —
+        whichever the selectivity cost model predicts cheaper.  Accepted
+        sets and scores are bit-identical to :meth:`execute` (and hence to
+        ``query_reference``); per-candidate posteriors are *not*
+        materialised, so the result carries :attr:`CandidateScores.positions`
+        and is meant for ``need="accepted"`` consumers.
+        """
+        self.validate_tau(query.tau_hat)
+        branches = query.branches() if query_branches is None else query_branches
+        store = self.ensure_index().store
+        csr, db_orders, global_ids = store.view()
+        num_rows = len(db_orders)
+        num_query_vertices = query.query_graph.num_vertices
+        tau_hat, gamma = query.tau_hat, query.gamma
+        signature = (tau_hat, gamma, num_query_vertices, num_rows)
+        remaining = self._dense_signatures.get(signature)
+        if remaining is not None:
+            if remaining > 0:
+                # Lost updates between racing threads only stretch the TTL.
+                self._dense_signatures[signature] = remaining - 1
+                return self.execute(
+                    query, query_branches=branches, use_pruning=use_pruning
+                )
+            # Countdown expired: drop and re-estimate (pop, not del — a
+            # racing thread may have removed the entry already).
+            self._dense_signatures.pop(signature, None)
+        distinct = self._store_distinct_orders(db_orders)
+        extended = np.maximum(num_query_vertices, distinct)
+        needed_orders = extended.tolist()
+        if not self._use_tables(tau_hat, needed_orders, num_rows):
+            # One-shot workload: inverting the thresholds would cost more
+            # posterior evaluations than it saves — score directly.
+            return self.execute(query, query_branches=branches, use_pruning=use_pruning)
+
+        # Step 4 inverted: per distinct extended order, the largest GBD an
+        # accepted graph may have (and, with pruning, may survive at all).
+        thresholds = self._thresholds_for(tau_hat, gamma, extended)
+        if use_pruning:
+            thresholds = np.minimum(thresholds, max_gbd_for_ged(tau_hat))
+
+        # O(1)-per-candidate elimination: the lower bound depends on the row
+        # only through |V_G|, so eligibility is decided per distinct order.
+        matched_total = store.matched_query_total(branches)
+        lower_bounds = extended - np.minimum(matched_total, distinct)
+        eligible_orders = lower_bounds <= thresholds
+        if not eligible_orders.any():
+            self._count(num_rows, num_rows, 0)
+            empty = np.empty(0, dtype=np.int64)
+            return CandidateScores(
+                empty,
+                empty,
+                None,
+                np.empty(0, dtype=bool),
+                None,
+                accepted_items=([], []),
+                positions=empty,
+            )
+
+        # Cost model: estimate selectivity from the per-order row counts
+        # (O(u)) before materialising anything per-row.
+        _row_order, starts, ends = self._order_partition(db_orders, distinct)
+        num_eligible = int((ends - starts)[eligible_orders].sum())
+        if num_eligible * _SPARSE_COST_FACTOR > num_rows:
+            # Low selectivity: compacted verification would cost more than
+            # it saves — the plain dense pass is the better plan.  Remember
+            # the shape so its next repeats skip the estimation too.
+            if len(self._dense_signatures) > 4096:
+                self._dense_signatures = {}
+            self._dense_signatures[signature] = _DENSE_SIGNATURE_TTL
+            return self.execute(query, query_branches=branches, use_pruning=use_pruning)
+        positions = self._eligible_positions(db_orders, distinct, eligible_orders)
+        self._count(num_rows, num_rows - num_eligible, num_eligible, sparse=True)
+
+        # Verification: exact GBDs for the survivors only, through the
+        # (key, order)-block index — pruned rows' postings are never read.
+        view = (csr, num_rows)
+        intersections = store.intersection_for_orders(
+            branches, distinct[eligible_orders], positions, view=view
+        )
+        sub_orders = np.maximum(num_query_vertices, db_orders[positions])
+        sub_gbds = sub_orders - intersections
+
+        accept_orders = extended[eligible_orders].tolist()
+        accept_lut = self._accept_lut_for(tau_hat, gamma, accept_orders)
+        accepted = accept_lut.take(sub_orders * accept_lut.shape[1] + sub_gbds)
+        if use_pruning:
+            accepted &= sub_gbds <= max_gbd_for_ged(tau_hat)
+
+        hits = np.flatnonzero(accepted)
+        sub_ids = global_ids[positions]
+        if hits.size:
+            lut = self._lut_for(tau_hat, np.unique(sub_orders[hits]).tolist())
+            hit_posteriors = lut[sub_orders[hits], sub_gbds[hits]].tolist()
+        else:
+            hit_posteriors = []
+        return CandidateScores(
+            sub_ids,
+            sub_gbds,
+            None,
+            accepted,
+            None,
+            accepted_items=(sub_ids[hits].tolist(), hit_posteriors),
+            positions=positions,
+        )
 
     def execute_batch(
         self,
@@ -415,6 +786,7 @@ class ExecutionCore:
         query_branches: Optional[Sequence[Counter]] = None,
         use_pruning: bool = False,
         need: str = "full",
+        pruned: bool = False,
     ) -> List[CandidateScores]:
         """Score a batch of queries; return per-query results in input order.
 
@@ -426,14 +798,19 @@ class ExecutionCore:
         acceptance tables classify the whole matrix directly and posteriors
         are materialised only for accepted graphs — the serving engine's
         default mode; ``need="full"`` keeps dense per-graph posteriors.
+        With ``pruned=True`` (accepted-only callers), each ``(τ̂, γ)`` group
+        additionally runs the filter-and-verify bound elimination of
+        :meth:`execute_pruned` before its intersections are computed.
         Accepted sets and scores are identical to calling :meth:`execute`
-        per query either way.
+        per query every way.
         """
         queries = list(queries)
         for query in queries:
             self.validate_tau(query.tau_hat)
         if query_branches is None:
             query_branches = [query.branches() for query in queries]
+        if pruned and need == "accepted" and queries:
+            return self._execute_batch_pruned(queries, query_branches, use_pruning)
         store = self.ensure_index().store
         # One coherent snapshot for the whole batch (see execute()).
         csr, db_orders, global_ids = store.view()
@@ -491,9 +868,12 @@ class ExecutionCore:
                 flat_keys = group_orders * lut.shape[1] + group_gbds
                 posterior_group = lut.take(flat_keys)
                 accepted_group = posterior_group >= gamma
-            eligible_group = group_gbds <= 2 * tau_hat if use_pruning else None
+            eligible_group = (
+                group_gbds <= max_gbd_for_ged(tau_hat) if use_pruning else None
+            )
             if eligible_group is not None:
                 accepted_group &= eligible_group
+            self._count(group_gbds.size, 0, group_gbds.size, sparse=False)
 
             # Extract every accepted (query, graph) pair of the group with
             # one flat nonzero scan instead of per-query mask passes.
@@ -521,6 +901,300 @@ class ExecutionCore:
                 )
             start = end
         return results  # type: ignore[return-value]
+
+    def _execute_batch_pruned(
+        self,
+        queries: List[SimilarityQuery],
+        query_branches: Sequence[Counter],
+        use_pruning: bool,
+    ) -> List[CandidateScores]:
+        """Filter-and-verify form of the batched path (``need="accepted"``).
+
+        Each ``(τ̂, γ)`` group first eliminates (query, graph) pairs whose
+        GBD lower bound exceeds the inverted acceptance threshold — O(1)
+        arithmetic per pair, decided per (query, distinct |V_G|) — and only
+        the union of each group's surviving rows is run through the columnar
+        intersection kernels (sparse compacted submatrix or dense pass, by
+        estimated selectivity).  Answers are bit-identical to the unpruned
+        batch in input order.
+        """
+        store = self.ensure_index().store
+        csr, db_orders, global_ids = store.view()
+        num_rows = len(db_orders)
+        distinct = self._store_distinct_orders(db_orders)
+        codes = self._order_codes(db_orders, distinct)
+        view = (csr, num_rows)
+        empty = np.empty(0, dtype=np.int64)
+
+        sorted_positions = sorted(
+            range(len(queries)), key=lambda i: (queries[i].tau_hat, queries[i].gamma)
+        )
+        results: List[Optional[CandidateScores]] = [None] * len(queries)
+        start = 0
+        total = len(sorted_positions)
+        while start < total:
+            first = queries[sorted_positions[start]]
+            tau_hat, gamma = first.tau_hat, first.gamma
+            end = start
+            while (
+                end < total
+                and queries[sorted_positions[end]].tau_hat == tau_hat
+                and queries[sorted_positions[end]].gamma == gamma
+            ):
+                end += 1
+            group = sorted_positions[start:end]
+            start = end
+            group_size = len(group)
+            vertices = np.asarray(
+                [queries[i].query_graph.num_vertices for i in group], dtype=np.int64
+            )
+            group_branches = [query_branches[i] for i in group]
+            # (group, distinct-order) extended orders and bound elimination.
+            extended = np.maximum(vertices[:, None], distinct[None, :])
+            unique_orders = np.unique(extended)
+            if not self._use_tables(
+                tau_hat, unique_orders.tolist(), group_size * num_rows
+            ):
+                for i in group:
+                    results[i] = self.execute(
+                        queries[i], query_branches=query_branches[i], use_pruning=use_pruning
+                    )
+                continue
+            thresholds = self._threshold_lookup(tau_hat, gamma, unique_orders)[extended]
+            if use_pruning:
+                thresholds = np.minimum(thresholds, max_gbd_for_ged(tau_hat))
+            totals = np.asarray(
+                [store.matched_query_total(branches) for branches in group_branches],
+                dtype=np.int64,
+            )
+            lower_bounds = extended - np.minimum(totals[:, None], distinct[None, :])
+            eligible = lower_bounds <= thresholds  # (group, distinct orders)
+            union_orders = eligible.any(axis=0)
+            generated = group_size * num_rows
+            if not union_orders.any():
+                self._count(generated, generated, 0)
+                for i in group:
+                    results[i] = CandidateScores(
+                        empty,
+                        empty,
+                        None,
+                        np.empty(0, dtype=bool),
+                        None,
+                        accepted_items=([], []),
+                        positions=empty,
+                    )
+                continue
+            _row_order, starts, ends = self._order_partition(db_orders, distinct)
+            if int((ends - starts)[union_orders].sum()) * _SPARSE_COST_FACTOR > num_rows:
+                # Low selectivity: re-run this group through the plain dense
+                # batch machinery (cached order rows, whole-matrix LUT
+                # classification) — answers are identical either way.
+                group_results = self.execute_batch(
+                    [queries[i] for i in group],
+                    query_branches=group_branches,
+                    use_pruning=use_pruning,
+                    need="accepted",
+                    pruned=False,
+                )
+                for i, result in zip(group, group_results):
+                    results[i] = result
+                continue
+            # Index-driven generation: every query touches only the postings
+            # of the union's surviving orders.
+            positions = self._eligible_positions(db_orders, distinct, union_orders)
+            union_values = distinct[union_orders]
+            eligible_sub = eligible[:, codes[positions]]  # (group, survivors)
+            # Count every cell whose intersection is actually computed (the
+            # whole union per query) as verified — prune_rate must reflect
+            # work truly skipped, not per-query eligibility.
+            verified = group_size * len(positions)
+            self._count(generated, generated - verified, verified, sparse=True)
+            intersections = np.vstack(
+                [
+                    store.intersection_for_orders(
+                        branches, union_values, positions, view=view
+                    )
+                    for branches in group_branches
+                ]
+            )
+            sub_orders = np.maximum(vertices[:, None], db_orders[positions][None, :])
+            sub_gbds = sub_orders - intersections
+            # Classify only the eligible cells — ineligible ones are pruned
+            # by construction and their orders may lack LUT rows.
+            accepted = np.zeros(sub_gbds.shape, dtype=bool)
+            if verified:
+                cell_orders = sub_orders[eligible_sub]
+                cell_gbds = sub_gbds[eligible_sub]
+                accept_lut = self._accept_lut_for(
+                    tau_hat, gamma, np.unique(cell_orders).tolist()
+                )
+                cell_accepted = accept_lut.take(
+                    cell_orders * accept_lut.shape[1] + cell_gbds
+                )
+                if use_pruning:
+                    cell_accepted &= cell_gbds <= max_gbd_for_ged(tau_hat)
+                accepted[eligible_sub] = cell_accepted
+
+            # One flat nonzero scan extracts every accepted pair of the group.
+            num_cols = accepted.shape[1]
+            hit_flat = np.flatnonzero(accepted)
+            hit_rows, hit_cols = np.divmod(hit_flat, num_cols)
+            sub_ids = global_ids[positions]
+            hit_ids = sub_ids[hit_cols].tolist()
+            if hit_flat.size:
+                hit_orders = sub_orders.ravel()[hit_flat]
+                hit_gbds = sub_gbds.ravel()[hit_flat]
+                lut = self._lut_for(tau_hat, np.unique(hit_orders).tolist())
+                hit_posteriors = lut[hit_orders, hit_gbds].tolist()
+            else:
+                hit_posteriors = []
+            hit_bounds = np.searchsorted(hit_rows, np.arange(group_size + 1))
+            for row, position in enumerate(group):
+                lo, hi = hit_bounds[row], hit_bounds[row + 1]
+                results[position] = CandidateScores(
+                    sub_ids,
+                    sub_gbds[row],
+                    None,
+                    accepted[row],
+                    None,
+                    accepted_items=(hit_ids[lo:hi], hit_posteriors[lo:hi]),
+                    positions=positions,
+                )
+        return results  # type: ignore[return-value]
+
+    def execute_topk(
+        self,
+        query: SimilarityQuery,
+        k: int,
+        *,
+        query_branches: Optional[Counter] = None,
+        use_pruning: bool = False,
+    ) -> List[Tuple[int, float]]:
+        """Rank the database by posterior; return the top ``k`` (id, Φ) pairs.
+
+        The ranking is exactly the first ``k`` entries of the full γ=0
+        scoring sorted by ``(-posterior, graph id)`` — deterministic under
+        ties.  Bound-based early termination: every row's posterior is
+        *upper*-bounded from its GBD lower bound through the suffix-max of
+        the posterior vector (:meth:`_suffix_max_vector`), candidates are
+        verified in upper-bound order, and the loop stops as soon as the
+        k-th best verified posterior strictly dominates every remaining
+        bound.  With ``use_pruning`` the ranking covers only the branch-bound
+        candidate set (``GBD <= 2 τ̂``), mirroring the pruning search.
+        """
+        self.validate_tau(query.tau_hat)
+        k = int(k)
+        if k < 1:
+            raise self.error_class("top_k must be a positive integer")
+        branches = query.branches() if query_branches is None else query_branches
+        store = self.ensure_index().store
+        csr, db_orders, global_ids = store.view()
+        num_rows = len(db_orders)
+        if num_rows == 0:
+            return []
+        num_query_vertices = query.query_graph.num_vertices
+        orders_row = self._orders_row(db_orders, num_query_vertices)
+        distinct = self._store_distinct_orders(db_orders)
+        extended = np.maximum(num_query_vertices, distinct)
+        tau_hat = query.tau_hat
+        view = (csr, num_rows)
+
+        if not self._use_tables(tau_hat, extended.tolist(), num_rows):
+            # One-shot workload: score everything directly and sort.
+            gbds = orders_row - store.intersection_row(branches, view=view)
+            posteriors = self._posteriors_direct(tau_hat, orders_row, gbds)
+            candidates = np.arange(num_rows)
+            if use_pruning:
+                candidates = np.flatnonzero(gbds <= max_gbd_for_ged(tau_hat))
+            self._count(num_rows, 0, num_rows, sparse=False)
+            ranked = candidates[
+                np.lexsort((global_ids[candidates], -posteriors[candidates]))
+            ][:k]
+            return [
+                (int(global_ids[row]), float(posteriors[row])) for row in ranked
+            ]
+
+        # Per-distinct-order GBD lower bounds and posterior upper bounds.
+        matched_total = store.matched_query_total(branches)
+        lower_bounds = extended - np.minimum(matched_total, distinct)
+        upper_by_order = np.asarray(
+            [
+                float(self._suffix_max_vector(tau_hat, int(order))[bound])
+                for order, bound in zip(extended, lower_bounds)
+            ],
+            dtype=np.float64,
+        )
+        if use_pruning:
+            # Rows whose bound already certifies GED > τ̂ leave the ranking.
+            upper_by_order[lower_bounds > max_gbd_for_ged(tau_hat)] = -np.inf
+        codes = self._order_codes(db_orders, distinct)
+        upper_row = upper_by_order[codes]
+
+        candidate_order = np.argsort(-upper_row, kind="stable")
+        zero_rows = np.empty(0, dtype=np.int64)
+        if use_pruning:
+            candidate_order = candidate_order[
+                np.isfinite(upper_row[candidate_order])
+            ]
+        else:
+            # A zero upper bound *determines* the score: posterior ∈ [0, 0].
+            # Those rows join the ranking with score 0.0 without any
+            # verification — only sound without the branch-bound candidate
+            # restriction (pruning membership needs the exact GBD).
+            zero_rows = np.flatnonzero(upper_row <= 0.0)
+            candidate_order = candidate_order[upper_row[candidate_order] > 0.0]
+        lut = self._lut_for(tau_hat, extended.tolist())
+        # Per-chunk verification reads only the visited rows' postings
+        # (intersection_subrow); if the bounds are not terminating the scan
+        # after ~1/8 of the database, one dense pass amortises better than
+        # further per-chunk gathers.
+        gbds: Optional[np.ndarray] = None
+        dense_after = num_rows // _SPARSE_COST_FACTOR
+        scored_ids: List[np.ndarray] = []
+        scored_posteriors: List[np.ndarray] = []
+        kth_score = -np.inf
+        num_kept = 0
+        cursor = 0
+        verified = 0
+        while cursor < len(candidate_order):
+            if num_kept >= k and upper_row[candidate_order[cursor]] < kth_score:
+                break  # every remaining bound is strictly below the k-th best
+            chunk = np.sort(candidate_order[cursor : cursor + _TOPK_CHUNK])
+            cursor += len(chunk)
+            verified += len(chunk)
+            if gbds is None and cursor > dense_after:
+                gbds = orders_row - store.intersection_row(branches, view=view)
+            if gbds is not None:
+                chunk_gbds = gbds[chunk]
+            else:
+                chunk_gbds = orders_row[chunk] - store.intersection_subrow(
+                    branches, chunk, view=view
+                )
+            if use_pruning:
+                survivors = chunk_gbds <= max_gbd_for_ged(tau_hat)
+                chunk = chunk[survivors]
+                chunk_gbds = chunk_gbds[survivors]
+                if not len(chunk):
+                    continue
+            chunk_posteriors = lut[orders_row[chunk], chunk_gbds]
+            scored_ids.append(global_ids[chunk])
+            scored_posteriors.append(chunk_posteriors)
+            num_kept += len(chunk)
+            if num_kept >= k:
+                flat = np.concatenate(scored_posteriors)
+                kth_score = float(np.partition(flat, -k)[-k])
+        if zero_rows.size and (num_kept < k or kth_score <= 0.0):
+            # Zero-bound rows can only matter when the k-th best is 0 (ties
+            # resolve by graph id) or fewer than k rows were scored.
+            scored_ids.append(global_ids[zero_rows])
+            scored_posteriors.append(np.zeros(len(zero_rows), dtype=np.float64))
+        self._count(num_rows, num_rows - verified, verified, sparse=None)
+        if not scored_ids:
+            return []
+        ids = np.concatenate(scored_ids)
+        posteriors = np.concatenate(scored_posteriors)
+        ranked = np.lexsort((ids, -posteriors))[:k]
+        return [(int(ids[row]), float(posteriors[row])) for row in ranked]
 
     def warm(
         self, tau_hats: Iterable[int], extended_orders: Optional[Iterable[int]] = None

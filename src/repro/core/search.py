@@ -256,6 +256,46 @@ class GBDASearch:
         )
         return SearchResult(answer=answer, gbd_values=gbd_values, posteriors=posteriors)
 
+    def query_topk(self, query: SimilarityQuery, k: Optional[int] = None) -> QueryAnswer:
+        """Answer a top-k query: the ``k`` database graphs ranked by posterior.
+
+        ``k`` defaults to ``query.top_k``.  The ranking (descending
+        posterior, ties broken by ascending graph id) is computed by the
+        shared core with bound-based early termination
+        (:meth:`~repro.core.plan.ExecutionCore.execute_topk`) and equals the
+        first ``k`` entries of :meth:`query_topk_reference` exactly.  With
+        ``use_index_pruning`` the ranking covers only the branch-bound
+        candidate set, mirroring :meth:`query`.
+        """
+        self._require_fitted()
+        if k is None:
+            k = query.top_k
+        if k is None:
+            raise SearchError("query_topk needs top_k on the query or an explicit k")
+        start = time.perf_counter()
+        ranking = self._core.execute_topk(query, k, use_pruning=self.use_index_pruning)
+        return QueryAnswer(
+            method=self.method_name,
+            accepted_ids=frozenset(graph_id for graph_id, _score in ranking),
+            scores=dict(ranking),
+            elapsed_seconds=time.perf_counter() - start,
+            ranking=ranking,
+        )
+
+    def query_topk_reference(self, query: SimilarityQuery, k: int) -> List:
+        """Reference top-k ranking: full γ=0 scoring, sorted, first ``k``.
+
+        Runs the literal per-pair loop (:meth:`query_reference`) with γ=0 —
+        so every candidate is scored — and sorts by ``(-posterior, graph
+        id)``.  This is the ground truth the early-terminating
+        :meth:`query_topk` is verified against.
+        """
+        reference = self.query_reference(
+            SimilarityQuery(query.query_graph, query.tau_hat, 0.0)
+        )
+        ranked = sorted(reference.posteriors.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[: int(k)]
+
     def search(self, query_graph: Graph, tau_hat: int, gamma: float = 0.9) -> QueryAnswer:
         """Convenience wrapper: build the query object and return just the answer."""
         return self.query(SimilarityQuery(query_graph, tau_hat, gamma)).answer

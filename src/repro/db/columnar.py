@@ -64,6 +64,11 @@ class ColumnarBranchStore:
     def __init__(self, entries: Iterable = ()) -> None:
         self._key_ids: Dict[Tuple, int] = {}
         self._keys: List[Tuple] = []
+        # Per-key norm: the largest multiplicity of the key in any single
+        # row.  Monotone under appends, which is what makes the lower-bound
+        # kernels race-safe (a cap newer than a CSR snapshot only loosens
+        # the bound — see matched_query_total).
+        self._key_caps: List[int] = []
         # Per-row metadata, grown on append.
         self._row_global_ids: List[int] = []
         self._row_orders: List[int] = []
@@ -73,9 +78,17 @@ class ColumnarBranchStore:
         self._pending_keys: List[int] = []
         self._pending_positions: List[int] = []
         self._pending_counts: List[int] = []
-        # Caches of the dense per-row vectors.
+        # Caches of the dense per-row / per-key vectors.
         self._global_ids_cache: Optional[np.ndarray] = None
         self._orders_cache: Optional[np.ndarray] = None
+        self._caps_cache: Optional[np.ndarray] = None
+        # (postings array identity, composite codes) of the last snapshot
+        # probed by intersection_subrow — see _composite_for.
+        self._composite_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # (postings array identity, (sorted codes, permutation, stride)) of
+        # the last snapshot's (key, row-order) block index — see
+        # _order_blocks_for.
+        self._order_blocks_cache: Optional[Tuple[np.ndarray, Tuple]] = None
         self._compact_lock = threading.Lock()
         #: Number of compaction passes performed (bulk-load tests pin this).
         self.num_compactions = 0
@@ -108,17 +121,23 @@ class ColumnarBranchStore:
             self._row_global_ids.append(int(entry.graph_id))
             self._row_orders.append(int(entry.num_vertices))
             key_ids = self._key_ids
+            caps = self._key_caps
             for key, count in entry.branches.items():
+                count = int(count)
                 key_id = key_ids.get(key)
                 if key_id is None:
                     key_id = len(self._keys)
                     key_ids[key] = key_id
                     self._keys.append(key)
+                    caps.append(count)
+                elif count > caps[key_id]:
+                    caps[key_id] = count
                 self._pending_keys.append(key_id)
                 self._pending_positions.append(position)
-                self._pending_counts.append(int(count))
+                self._pending_counts.append(count)
             self._global_ids_cache = None
             self._orders_cache = None
+            self._caps_cache = None
         return position
 
     def compact(self) -> bool:
@@ -235,6 +254,22 @@ class ColumnarBranchStore:
         if self._orders_cache is None or len(self._orders_cache) != self.num_graphs:
             self._orders_cache = np.asarray(self._row_orders, dtype=np.int64)
         return self._orders_cache
+
+    def branch_totals(self) -> np.ndarray:
+        """Dense ``position -> |B_G|`` vector of total branch counts.
+
+        A graph contributes exactly one branch per vertex (Definition 2), so
+        the total branch count of a row equals its vertex count — this is
+        the per-graph norm the lower-bound kernels cap intersections with,
+        exposed under its own name so the bound math reads as written.
+        """
+        return self.orders()
+
+    def key_caps(self) -> np.ndarray:
+        """Dense ``key id -> max per-row multiplicity`` vector (cached)."""
+        if self._caps_cache is None or len(self._caps_cache) != len(self._key_caps):
+            self._caps_cache = np.asarray(self._key_caps, dtype=np.int64)
+        return self._caps_cache
 
     # ------------------------------------------------------------------ #
     # postings access
@@ -364,6 +399,264 @@ class ColumnarBranchStore:
                 cols[start:end], weights=values[start:end], minlength=num_graphs
             )
         return out.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # GBD lower-bound kernels and sparse (position-restricted) intersections
+    # ------------------------------------------------------------------ #
+    def matched_query_total(self, query_branches: Counter) -> int:
+        """Upper bound on ``|B_Q ∩ B_G|`` valid for *every* row: ``Σ_k min(q_k, cap_k)``.
+
+        One vocabulary pass over the query's branch keys; keys absent from
+        the vocabulary can match nothing and contribute 0.  Reading the live
+        caps while a concurrent append raises them is safe: a larger cap
+        only loosens the bound (never past ``|B_Q|``), so the derived GBD
+        lower bound stays a true lower bound for any CSR snapshot.
+        """
+        caps = self._key_caps
+        lookup = self._key_ids.get
+        total = 0
+        for key, count in query_branches.items():
+            key_id = lookup(key)
+            if key_id is not None:
+                cap = caps[key_id]
+                total += count if count <= cap else cap
+        return total
+
+    def gbd_lower_bound_row(
+        self,
+        num_query_vertices: int,
+        query_branches: Counter,
+        *,
+        db_orders: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized lower bound on ``GBD(Q, G)`` for every row — O(1) per row.
+
+        ``|B_Q ∩ B_G| <= min(Σ_k min(q_k, cap_k), |B_G|)`` (the per-key-cap
+        and branch-count norms), so
+
+        ``GBD(Q, G) >= max(|V_Q|, |V_G|) - min(matched_total, |V_G|)``.
+
+        Because ``matched_total <= |B_Q| = |V_Q|``, this dominates the plain
+        size-difference bound ``| |V_Q| - |V_G| |``.  No postings are
+        traversed — the whole row costs one vocabulary pass plus two dense
+        numpy ops, which is what lets the pruned execution layer discard
+        candidates before touching the index.  ``db_orders`` optionally pins
+        the per-row order vector of the caller's snapshot.
+        """
+        orders = self.orders() if db_orders is None else db_orders
+        total = self.matched_query_total(query_branches)
+        return np.maximum(int(num_query_vertices), orders) - np.minimum(total, orders)
+
+    def gbd_lower_bound_matrix(
+        self,
+        num_query_vertices: Sequence[int],
+        query_branch_sets: Sequence[Counter],
+        *,
+        db_orders: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched form of :meth:`gbd_lower_bound_row`: the ``(Q, D)`` bound matrix."""
+        orders = self.orders() if db_orders is None else db_orders
+        vertices = np.asarray(list(num_query_vertices), dtype=np.int64)
+        totals = np.asarray(
+            [self.matched_query_total(branches) for branches in query_branch_sets],
+            dtype=np.int64,
+        )
+        return np.maximum(vertices[:, None], orders[None, :]) - np.minimum(
+            totals[:, None], orders[None, :]
+        )
+
+    def _composite_for(self, csr: _Csr) -> Tuple[np.ndarray, int]:
+        """Flat sorted ``key_id * stride + position`` view of a CSR snapshot.
+
+        Within a key the postings are position-sorted and keys are laid out
+        in id order, so the composite codes are strictly increasing — one
+        global ``searchsorted`` can probe any (key, row) pair.  Built once
+        per compaction (O(P)) and cached against the snapshot's identity.
+        """
+        offsets, all_positions, _counts, rows_covered = csr
+        stride = max(int(rows_covered), 1)
+        cached = self._composite_cache
+        if cached is not None and cached[0] is all_positions:
+            return cached[1], stride
+        keys_of_postings = np.repeat(
+            np.arange(len(offsets) - 1, dtype=np.int64), np.diff(offsets)
+        )
+        composite = keys_of_postings * stride + all_positions
+        self._composite_cache = (all_positions, composite)
+        return composite, stride
+
+    def intersection_subrow(
+        self,
+        query_branches: Counter,
+        positions: np.ndarray,
+        *,
+        view: Optional[Tuple[_Csr, int]] = None,
+    ) -> np.ndarray:
+        """``|B_Q ∩ B_G|`` for a sorted subset of rows, without a full gather.
+
+        Instead of materialising every posting of the query's keys (O(P))
+        and masking, all K · E (query key, surviving row) pairs are probed
+        at once by a single ``searchsorted`` against the composite-sorted
+        CSR (:meth:`_composite_for`) — the index-driven sparse strategy of
+        the pruned execution layer: when the bound filter leaves few
+        candidates, the postings of the pruned rows are never touched.
+        Entries equal ``intersection_row(...)[positions]`` exactly.
+        """
+        csr = view[0] if view is not None else self._snapshot()
+        offsets, _all_positions, all_counts, _rows = csr
+        positions = np.asarray(positions, dtype=np.int64)
+        num_positions = len(positions)
+        out = np.zeros(num_positions, dtype=np.int64)
+        if num_positions == 0 or len(all_counts) == 0:
+            return out
+        matched = self._match_keys((query_branches,), csr)
+        if matched is None:
+            return out
+        _query_rows, key_ids, query_counts = matched
+        order = np.argsort(key_ids, kind="stable")
+        key_ids = key_ids[order]
+        query_counts = query_counts[order]
+        composite, stride = self._composite_for(csr)
+        probes = (key_ids[:, None] * stride + positions[None, :]).ravel()
+        slots = np.searchsorted(composite, probes)
+        slots_clipped = np.minimum(slots, len(composite) - 1)
+        hits = composite[slots_clipped] == probes
+        if not hits.any():
+            return out
+        counts = all_counts[slots_clipped[hits]]
+        capped = np.minimum(np.repeat(query_counts, num_positions)[hits], counts)
+        columns = np.tile(np.arange(num_positions, dtype=np.int64), len(key_ids))[hits]
+        # Weighted sums are exact small integers, so float64 is lossless.
+        return np.bincount(columns, weights=capped, minlength=num_positions).astype(
+            np.int64
+        )
+
+    def _order_blocks_for(self, csr: _Csr) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Postings of a snapshot re-indexed by ``(key, row order)`` blocks.
+
+        Returns ``(sorted codes, permutation, stride)`` where ``codes =
+        key_id * stride + |V_row|`` and ``permutation`` maps the sorted
+        order back to posting slots.  Every ``(branch key, vertex count)``
+        pair owns one contiguous block, located by two ``searchsorted``
+        probes — the backbone of :meth:`intersection_for_orders`.  Built
+        once per compaction (O(P log P)) and cached against the snapshot.
+        """
+        offsets, all_positions, _counts, rows_covered = csr
+        cached = self._order_blocks_cache
+        if cached is not None and cached[0] is all_positions:
+            return cached[1]
+        orders = self.orders()[: int(rows_covered)]
+        stride = int(orders.max()) + 1 if len(orders) else 1
+        keys_of_postings = np.repeat(
+            np.arange(len(offsets) - 1, dtype=np.int64), np.diff(offsets)
+        )
+        codes = keys_of_postings * stride + orders[all_positions]
+        permutation = np.argsort(codes, kind="stable")
+        blocks = (codes[permutation], permutation, stride)
+        self._order_blocks_cache = (all_positions, blocks)
+        return blocks
+
+    def intersection_for_orders(
+        self,
+        query_branches: Counter,
+        order_values: np.ndarray,
+        positions: np.ndarray,
+        *,
+        view: Optional[Tuple[_Csr, int]] = None,
+    ) -> np.ndarray:
+        """``|B_Q ∩ B_G|`` for every row whose ``|V_G|`` is in ``order_values``.
+
+        ``positions`` must be exactly the (sorted) store positions of those
+        rows — the shape the pruned execution layer produces, where bound
+        eligibility is decided per distinct order.  Each (query key,
+        eligible order) pair is one contiguous block of the
+        :meth:`_order_blocks_for` index, so the kernel touches only the
+        postings that actually belong to surviving candidates: O(K · U · log
+        P) block probes plus O(hits) gather — the postings of pruned-out
+        rows are never read.  Entries equal
+        ``intersection_row(...)[positions]`` exactly.
+        """
+        csr = view[0] if view is not None else self._snapshot()
+        offsets, all_positions, all_counts, _rows = csr
+        positions = np.asarray(positions, dtype=np.int64)
+        num_positions = len(positions)
+        out = np.zeros(num_positions, dtype=np.int64)
+        if num_positions == 0 or len(all_positions) == 0:
+            return out
+        matched = self._match_keys((query_branches,), csr)
+        if matched is None:
+            return out
+        _query_rows, key_ids, query_counts = matched
+        codes_sorted, permutation, stride = self._order_blocks_for(csr)
+        order_values = np.asarray(order_values, dtype=np.int64)
+        probe_codes = (key_ids[:, None] * stride + order_values[None, :]).ravel()
+        starts = np.searchsorted(codes_sorted, probe_codes, side="left")
+        ends = np.searchsorted(codes_sorted, probe_codes, side="right")
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return out
+        # Concatenated [start, end) block ranges (cf. _gather).
+        block_ends = np.cumsum(lengths)
+        flat = np.repeat(starts - (block_ends - lengths), lengths) + np.arange(
+            total, dtype=np.int64
+        )
+        posting_slots = permutation[flat]
+        rows = all_positions[posting_slots]
+        counts = all_counts[posting_slots]
+        capped = np.minimum(
+            np.repeat(np.repeat(query_counts, len(order_values)), lengths), counts
+        )
+        columns = np.searchsorted(positions, rows)
+        # Weighted sums are exact small integers, so float64 is lossless.
+        return np.bincount(columns, weights=capped, minlength=num_positions).astype(
+            np.int64
+        )
+
+    def intersection_submatrix(
+        self,
+        query_branch_sets: Sequence[Counter],
+        positions: np.ndarray,
+        *,
+        view: Optional[Tuple[_Csr, int]] = None,
+    ) -> np.ndarray:
+        """``(Q, E)`` intersection matrix restricted to sorted row ``positions``.
+
+        General-purpose compacted batch kernel: one gather materialises the
+        batch's matched postings, postings outside ``positions`` are masked
+        away, and each query row is filled by a ``bincount`` over the
+        *compacted* position space — the dense arrays scale with E, not the
+        database size D.  (The pruned execution layer's batch path uses
+        :meth:`intersection_for_orders` per query instead, which also skips
+        the gather of the pruned rows' postings.)  Columns equal
+        ``intersection_matrix(...)[:, positions]`` exactly.
+        """
+        num_queries = len(query_branch_sets)
+        csr = view[0] if view is not None else None
+        positions = np.asarray(positions, dtype=np.int64)
+        out = np.zeros((num_queries, len(positions)), dtype=np.int64)
+        if positions.size == 0:
+            return out
+        gathered = self._gather(query_branch_sets, csr)
+        if gathered is None:
+            return out
+        rows, cols, values = gathered
+        slots = np.searchsorted(positions, cols)
+        slots_clipped = np.minimum(slots, len(positions) - 1)
+        member = positions[slots_clipped] == cols
+        rows = rows[member]
+        compact = slots_clipped[member]
+        values = values[member]
+        boundaries = np.searchsorted(rows, np.arange(num_queries + 1, dtype=np.int64))
+        dense = np.zeros((num_queries, len(positions)), dtype=np.float64)
+        for row in range(num_queries):
+            start, end = boundaries[row], boundaries[row + 1]
+            if start == end:
+                continue
+            dense[row] = np.bincount(
+                compact[start:end], weights=values[start:end], minlength=len(positions)
+            )
+        return dense.astype(np.int64)
 
     def gbd_row(self, num_query_vertices: int, query_branches: Counter) -> np.ndarray:
         """Return ``GBD(Q, G)`` for every row as a dense ``(D,)`` array."""

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.branches import branch_multiset
+from repro.core.gbd import max_gbd_for_ged
 from repro.db.columnar import ColumnarBranchStore
 from repro.db.database import GraphDatabase, StoredGraph
 from repro.graphs.graph import Graph
@@ -157,8 +158,20 @@ class BranchInvertedIndex:
         branches_q = branch_multiset(query) if query_branches is None else query_branches
         gbds = self._store.gbd_row(query.num_vertices, branches_q)
         global_ids = self._store.global_ids()
-        survivors = np.flatnonzero(gbds <= 2 * int(tau_hat))
+        survivors = np.flatnonzero(gbds <= max_gbd_for_ged(tau_hat))
         return [int(global_ids[position]) for position in survivors]
+
+    def gbd_lower_bound_array(
+        self, query: Graph, *, query_branches: Optional[Counter] = None
+    ) -> np.ndarray:
+        """Vectorized GBD lower bound for every database graph (store positions).
+
+        Entry-wise ``<= gbd_array(query)`` always; computed from per-graph
+        norms only (O(1) per graph, no postings traversal) — see
+        :meth:`ColumnarBranchStore.gbd_lower_bound_row`.
+        """
+        branches_q = branch_multiset(query) if query_branches is None else query_branches
+        return self._store.gbd_lower_bound_row(query.num_vertices, branches_q)
 
     def __repr__(self) -> str:
         return (

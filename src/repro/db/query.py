@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
@@ -26,6 +26,11 @@ class SimilarityQuery:
     query_graph: Graph
     tau_hat: int
     gamma: float = 0.9
+    #: Optional top-k mode: when set, the query asks for the ``top_k``
+    #: database graphs ranked by posterior (ties broken by ascending graph
+    #: id) instead of the γ-thresholded answer set — γ is ignored by the
+    #: ranking.  Engines route such queries through their top-k path.
+    top_k: Optional[int] = None
     #: Lazily cached canonical branch multiset of the query graph (see
     #: :meth:`branches`); never part of equality or construction.
     _branches: Optional[Counter] = field(
@@ -64,10 +69,22 @@ class SimilarityQuery:
             raise QueryError("the probability threshold γ must be a number in [0, 1]") from exc
         if not 0.0 <= gamma <= 1.0:
             raise QueryError("the probability threshold γ must lie in [0, 1]")
+        top_k = self.top_k
+        if top_k is not None:
+            try:
+                value = int(top_k)
+                if value != top_k:
+                    raise QueryError("top_k must be a positive integer or None")
+            except (TypeError, ValueError) as exc:
+                raise QueryError("top_k must be a positive integer or None") from exc
+            if value < 1:
+                raise QueryError("top_k must be a positive integer or None")
+            top_k = value
         # Normalise so downstream arithmetic/comparisons see native numbers
         # even when the caller passed e.g. numpy scalars or 2.0 / "0.5".
         object.__setattr__(self, "tau_hat", tau_hat)
         object.__setattr__(self, "gamma", gamma)
+        object.__setattr__(self, "top_k", top_k)
 
 
 @dataclass
@@ -85,12 +102,17 @@ class QueryAnswer:
         estimated GEDs for the baselines); useful for diagnostics.
     elapsed_seconds:
         Online wall-clock time spent answering the query.
+    ranking:
+        For top-k answers only: the ``(graph id, score)`` pairs ordered by
+        descending score (ascending id under ties) — the ordered view of
+        ``accepted_ids``/``scores``, which are unordered containers.
     """
 
     method: str
     accepted_ids: FrozenSet[int]
     scores: Dict[int, float] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    ranking: Optional[List[Tuple[int, float]]] = None
 
     @property
     def size(self) -> int:

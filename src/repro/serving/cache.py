@@ -18,21 +18,43 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, OrderedDict
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.exceptions import ServingError
 
 __all__ = ["QueryResultCache", "query_cache_key"]
 
 
-def query_cache_key(query_branches: Counter, tau_hat: int, gamma: float) -> Tuple:
+def query_cache_key(
+    query_branches: Counter,
+    tau_hat: int,
+    gamma: float,
+    *,
+    revision: int = 0,
+    model_version: int = 0,
+    top_k: Optional[int] = None,
+) -> Tuple:
     """Build the canonical cache key of one similarity query.
 
     The branch multiset is canonicalised as a frozenset of
     ``(branch_key, count)`` items — order-free and hashable regardless of
-    the label types — and combined with the two thresholds.
+    the label types — and combined with the two thresholds, the top-k mode
+    (``None`` for thresholded answers), and the *state* the answer was
+    computed against: the database ``revision`` and the offline
+    ``model_version``.  A GBDA answer is only determined by the query triple
+    *given* those two; keying them in means an engine copy that lost its
+    add-hook (e.g. an unpickled process-pool worker whose database grew via
+    ``add_many``) can never serve a stale pre-add result set — the key
+    simply stops matching.
     """
-    return (frozenset(query_branches.items()), int(tau_hat), float(gamma))
+    return (
+        frozenset(query_branches.items()),
+        int(tau_hat),
+        float(gamma),
+        None if top_k is None else int(top_k),
+        int(revision),
+        int(model_version),
+    )
 
 
 class QueryResultCache:

@@ -87,6 +87,15 @@ class BatchQueryEngine:
         without scoring, exactly as the pruning search variant does —
         :meth:`from_search` propagates the search's setting so engine
         answers stay identical to the wrapped search either way.
+    pruned_execution:
+        When true (default) and the engine does not need every candidate's
+        posterior (``keep_scores != "all"``), queries run through the
+        filter-and-verify path of
+        :meth:`~repro.core.plan.ExecutionCore.execute_pruned`: the ``(τ̂,
+        γ)`` acceptance rule is inverted into a max-acceptable-GBD
+        threshold and candidates are eliminated by O(1) GBD-lower-bound
+        arithmetic before any postings traversal.  Answers are bit-identical
+        either way; set to false to benchmark the unpruned engine.
     """
 
     method_name = "GBDA"
@@ -100,6 +109,7 @@ class BatchQueryEngine:
         cache_size: Optional[int] = 256,
         keep_scores: str = "accepted",
         use_index_pruning: bool = False,
+        pruned_execution: bool = True,
     ) -> None:
         if len(database) == 0:
             raise ServingError("cannot serve queries over an empty database")
@@ -112,6 +122,7 @@ class BatchQueryEngine:
         self.max_tau = int(max_tau)
         self.keep_scores = keep_scores
         self.use_index_pruning = bool(use_index_pruning)
+        self.pruned_execution = bool(pruned_execution)
         self.cache_size = int(cache_size) if cache_size else 0
         self.cache: Optional[QueryResultCache] = (
             QueryResultCache(self.cache_size) if self.cache_size else None
@@ -211,31 +222,117 @@ class BatchQueryEngine:
         # configured error_class) with the canonical message.
         self._core.validate_tau(tau_hat)
 
+    def _cache_key(self, query_branches, query: SimilarityQuery, top_k: Optional[int] = None):
+        """Cache key scoped to the current database revision and model version."""
+        return query_cache_key(
+            query_branches,
+            query.tau_hat,
+            query.gamma,
+            revision=self.database.revision,
+            model_version=self.model_version,
+            top_k=top_k,
+        )
+
+    @staticmethod
+    def _copy_answer(answer: QueryAnswer, elapsed: float) -> QueryAnswer:
+        """Private copy of a cached answer (fresh latency, unshared containers)."""
+        return dataclasses.replace(
+            answer,
+            scores=dict(answer.scores),
+            ranking=None if answer.ranking is None else list(answer.ranking),
+            elapsed_seconds=elapsed,
+        )
+
+    @property
+    def _pruned_path(self) -> bool:
+        """Whether filter-and-verify applies: ``keep_scores="all"`` needs every posterior."""
+        return self.pruned_execution and self.keep_scores != "all"
+
     def query(self, query: SimilarityQuery) -> QueryAnswer:
-        """Answer one similarity query (cache-backed, vectorized scoring)."""
+        """Answer one similarity query (cache-backed, vectorized scoring).
+
+        Queries carrying ``top_k`` are routed to :meth:`query_topk`; the
+        rest run through the pruned filter-and-verify path when the engine
+        configuration allows it (see ``pruned_execution``).
+        """
+        if query.top_k is not None:
+            return self.query_topk(query)
         self._validate_tau(query.tau_hat)
         start = time.perf_counter()
         query_branches = query.branches()
         cache_key = None
         if self.cache is not None:
-            cache_key = query_cache_key(query_branches, query.tau_hat, query.gamma)
+            cache_key = self._cache_key(query_branches, query)
             cached = self.cache.get(cache_key)
             if cached is not None:
                 # Hand out a copy: the serve time of *this* lookup replaces
-                # the cold-path latency, and the scores dict is duplicated so
+                # the cold-path latency, and the containers are duplicated so
                 # a caller mutating its answer cannot corrupt the cache.
-                return dataclasses.replace(
-                    cached,
-                    scores=dict(cached.scores),
-                    elapsed_seconds=time.perf_counter() - start,
-                )
-        scored = self._core.execute(
-            query, query_branches=query_branches, use_pruning=self.use_index_pruning
-        )
+                return self._copy_answer(cached, time.perf_counter() - start)
+        if self._pruned_path:
+            scored = self._core.execute_pruned(
+                query, query_branches=query_branches, use_pruning=self.use_index_pruning
+            )
+        else:
+            scored = self._core.execute(
+                query, query_branches=query_branches, use_pruning=self.use_index_pruning
+            )
         answer = self._answer_from_scores(scored, time.perf_counter() - start)
         if self.cache is not None:
             # Cache a private copy for the same reason.
-            self.cache.put(cache_key, dataclasses.replace(answer, scores=dict(answer.scores)))
+            self.cache.put(cache_key, self._copy_answer(answer, answer.elapsed_seconds))
+        return answer
+
+    def query_topk(self, query: SimilarityQuery, k: Optional[int] = None) -> QueryAnswer:
+        """Answer a top-k query: the ``k`` best graphs ranked by posterior.
+
+        ``k`` defaults to ``query.top_k``.  The returned answer's
+        :attr:`~repro.db.query.QueryAnswer.ranking` lists ``(graph id,
+        posterior)`` pairs by descending posterior (ascending id under ties
+        — deterministic), ``accepted_ids``/``scores`` cover the same graphs.
+        Ranking uses bound-based early termination
+        (:meth:`~repro.core.plan.ExecutionCore.execute_topk`) and is exactly
+        the first ``k`` of the full γ=0 scoring.
+        """
+        if k is None:
+            k = query.top_k
+        if k is None:
+            raise ServingError(
+                "query_topk needs top_k on the query or an explicit k argument"
+            )
+        k = int(k)
+        if k < 1:
+            raise ServingError("top_k must be a positive integer")
+        self._validate_tau(query.tau_hat)
+        start = time.perf_counter()
+        query_branches = query.branches()
+        cache_key = None
+        if self.cache is not None:
+            # Rankings are γ-independent, so the key canonicalises γ to 0.0
+            # — queries differing only in γ share one cache entry.
+            cache_key = query_cache_key(
+                query_branches,
+                query.tau_hat,
+                0.0,
+                revision=self.database.revision,
+                model_version=self.model_version,
+                top_k=k,
+            )
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                return self._copy_answer(cached, time.perf_counter() - start)
+        ranking = self._core.execute_topk(
+            query, k, query_branches=query_branches, use_pruning=self.use_index_pruning
+        )
+        answer = QueryAnswer(
+            method=self.method_name,
+            accepted_ids=frozenset(graph_id for graph_id, _score in ranking),
+            scores=dict(ranking),
+            elapsed_seconds=time.perf_counter() - start,
+            ranking=ranking,
+        )
+        if self.cache is not None:
+            self.cache.put(cache_key, self._copy_answer(answer, answer.elapsed_seconds))
         return answer
 
     def query_batch(self, queries: Iterable[SimilarityQuery]) -> List[QueryAnswer]:
@@ -255,29 +352,30 @@ class BatchQueryEngine:
         for query in queries:
             self._validate_tau(query.tau_hat)
         answers: List[Optional[QueryAnswer]] = [None] * len(queries)
-        if self.cache is None:
-            pending = list(range(len(queries)))
-            pending_branches = [query.branches() for query in queries]
-            pending_keys: List = [None] * len(queries)
-        else:
-            pending = []
-            pending_branches = []
-            pending_keys = []
-            for position, query in enumerate(queries):
-                start = time.perf_counter()
-                query_branches = query.branches()
-                cache_key = query_cache_key(query_branches, query.tau_hat, query.gamma)
-                cached = self.cache.get(cache_key)
-                if cached is not None:
-                    answers[position] = dataclasses.replace(
-                        cached,
-                        scores=dict(cached.scores),
-                        elapsed_seconds=time.perf_counter() - start,
-                    )
-                    continue
+        pending = []
+        pending_branches = []
+        pending_keys: List = []
+        for position, query in enumerate(queries):
+            if query.top_k is not None:
+                # Top-k queries rank instead of thresholding; answer them
+                # through the dedicated (cache-aware) path.
+                answers[position] = self.query_topk(query)
+                continue
+            if self.cache is None:
                 pending.append(position)
-                pending_branches.append(query_branches)
-                pending_keys.append(cache_key)
+                pending_branches.append(query.branches())
+                pending_keys.append(None)
+                continue
+            start = time.perf_counter()
+            query_branches = query.branches()
+            cache_key = self._cache_key(query_branches, query)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                answers[position] = self._copy_answer(cached, time.perf_counter() - start)
+                continue
+            pending.append(position)
+            pending_branches.append(query_branches)
+            pending_keys.append(cache_key)
 
         if pending:
             start = time.perf_counter()
@@ -289,15 +387,14 @@ class BatchQueryEngine:
                 # other modes let the core classify through the boolean
                 # acceptance tables and materialise only accepted scores.
                 need="full" if self.keep_scores == "all" else "accepted",
+                pruned=self._pruned_path,
             )
             per_query_elapsed = (time.perf_counter() - start) / len(pending)
             for position, scored, cache_key in zip(pending, scored_list, pending_keys):
                 answer = self._answer_from_scores(scored, per_query_elapsed)
                 answers[position] = answer
                 if self.cache is not None:
-                    self.cache.put(
-                        cache_key, dataclasses.replace(answer, scores=dict(answer.scores))
-                    )
+                    self.cache.put(cache_key, self._copy_answer(answer, per_query_elapsed))
         return answers  # type: ignore[return-value]
 
     def _answer_from_scores(self, scored: CandidateScores, elapsed: float) -> QueryAnswer:
@@ -344,6 +441,7 @@ class BatchQueryEngine:
                 cache_size=None,
                 keep_scores=self.keep_scores,
                 use_index_pruning=self.use_index_pruning,
+                pruned_execution=self.pruned_execution,
             )
             engine.model_version = self.model_version
             engines.append(engine)
@@ -372,6 +470,51 @@ class BatchQueryEngine:
             elapsed_seconds=max(partial.elapsed_seconds for partial in partials),
         )
 
+    @staticmethod
+    def merge_topk_answers(partials: Sequence[QueryAnswer], k: int) -> QueryAnswer:
+        """Merge per-shard top-k answers into the full-database top-k.
+
+        Each shard's top-k is a superset of the shard's contribution to the
+        global top-k, so re-ranking the union of the partial rankings by
+        ``(-posterior, graph id)`` and keeping the first ``k`` reproduces
+        exactly the unsharded ranking.
+        """
+        if not partials:
+            raise ServingError("cannot merge an empty list of partial answers")
+        merged: List[Tuple[int, float]] = []
+        for partial in partials:
+            merged.extend(partial.ranking or partial.scores.items())
+        merged.sort(key=lambda item: (-item[1], item[0]))
+        ranking = merged[: int(k)]
+        return QueryAnswer(
+            method=partials[0].method,
+            accepted_ids=frozenset(graph_id for graph_id, _score in ranking),
+            scores=dict(ranking),
+            elapsed_seconds=max(partial.elapsed_seconds for partial in partials),
+            ranking=ranking,
+        )
+
+    @staticmethod
+    def merge_for(query: SimilarityQuery, partials: Sequence[QueryAnswer]) -> QueryAnswer:
+        """Merge per-shard answers of one query, honouring its top-k mode."""
+        if query.top_k is not None:
+            return BatchQueryEngine.merge_topk_answers(partials, query.top_k)
+        return BatchQueryEngine.merge_answers(partials)
+
+    # ------------------------------------------------------------------ #
+    # filter effectiveness
+    # ------------------------------------------------------------------ #
+    @property
+    def prune_counters(self) -> Dict[str, float]:
+        """Cumulative filter-effectiveness counters of the execution core.
+
+        Keys: ``candidates_generated`` / ``candidates_pruned`` /
+        ``candidates_verified`` (plus the cost model's ``dense_passes`` /
+        ``sparse_passes`` and the derived ``prune_rate``) — see
+        :class:`~repro.core.plan.FilterCounters`.
+        """
+        return self._core.filter_counters.as_dict()
+
     def query_sharded(self, query: SimilarityQuery, num_shards: int) -> QueryAnswer:
         """Score ``query`` shard-by-shard in process and merge (parity helper).
 
@@ -381,7 +524,7 @@ class BatchQueryEngine:
         without pool overhead.
         """
         partials = [engine.query(query) for engine in self.shard_engines(num_shards)]
-        return self.merge_answers(partials)
+        return self.merge_for(query, partials)
 
     # ------------------------------------------------------------------ #
     # persistence (delegates to repro.serving.snapshot)

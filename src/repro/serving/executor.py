@@ -125,6 +125,10 @@ class ServingExecutor:
         cache = self.engine.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
+        # Filter-effectiveness counters live in the shared execution core,
+        # so deltas are observable for in-process modes only (process /
+        # data-parallel workers keep theirs, exactly like the cache stats).
+        prune_before = self.engine.prune_counters
 
         start = time.perf_counter()
         if self.mode == "data-parallel":
@@ -154,6 +158,17 @@ class ServingExecutor:
         if cache is not None and self.mode not in ("process", "data-parallel"):
             stats.cache_hits = cache.hits - hits_before
             stats.cache_misses = cache.misses - misses_before
+        if self.mode not in ("process", "data-parallel"):
+            prune_after = self.engine.prune_counters
+            stats.candidates_generated = int(
+                prune_after["candidates_generated"] - prune_before["candidates_generated"]
+            )
+            stats.candidates_pruned = int(
+                prune_after["candidates_pruned"] - prune_before["candidates_pruned"]
+            )
+            stats.candidates_verified = int(
+                prune_after["candidates_verified"] - prune_before["candidates_verified"]
+            )
         self.last_stats = stats
         self.total_stats.merge(stats)
         return answers  # type: ignore[return-value]
@@ -215,7 +230,14 @@ class ServingExecutor:
                 ]
                 partial_lists = [future.result() for future in futures]
         return [
-            (position, BatchQueryEngine.merge_answers([plist[position] for plist in partial_lists]))
+            (
+                position,
+                # merge_for honours per-query top-k mode: thresholded answers
+                # merge by union, rankings by re-sorting the shard top-k's.
+                BatchQueryEngine.merge_for(
+                    stream[position], [plist[position] for plist in partial_lists]
+                ),
+            )
             for position in range(len(stream))
         ]
 

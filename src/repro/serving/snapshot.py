@@ -34,9 +34,10 @@ __all__ = ["save_engine", "load_engine", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION"]
 
 SNAPSHOT_FORMAT = "repro.serving.engine-snapshot"
 #: Format version 2 adds the offline ``model_version`` and the priors' seed
-#: state (so a reloaded prior refits deterministically); version-1 files are
-#: still readable — the new fields default to 0 / seed 0.
-SNAPSHOT_VERSION = 2
+#: state (so a reloaded prior refits deterministically); version 3 adds the
+#: engine's ``pruned_execution`` flag.  Older files are still readable — the
+#: new fields default to 0 / seed 0 / pruned execution on.
+SNAPSHOT_VERSION = 3
 
 PathLike = Union[str, Path]
 
@@ -71,6 +72,7 @@ def save_engine(engine: BatchQueryEngine, path: PathLike) -> Path:
             "cache_size": engine.cache_size,
             "keep_scores": engine.keep_scores,
             "use_index_pruning": engine.use_index_pruning,
+            "pruned_execution": engine.pruned_execution,
         },
         "posterior_tables": engine.tables_state(),
     }
@@ -131,6 +133,7 @@ def load_engine(path: PathLike) -> BatchQueryEngine:
         cache_size=config["cache_size"] or None,
         keep_scores=config["keep_scores"],
         use_index_pruning=config.get("use_index_pruning", False),
+        pruned_execution=config.get("pruned_execution", True),
     )
     engine.load_tables(payload["posterior_tables"])
     engine.model_version = int(payload.get("model_version", 0))

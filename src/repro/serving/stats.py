@@ -33,6 +33,13 @@ class ServingStats:
     cache_hits, cache_misses:
         Result-cache counters accumulated during the run (0 when the engine
         runs without a cache).
+    candidates_generated, candidates_pruned, candidates_verified:
+        Filter-effectiveness counters of the pruned execution layer,
+        accumulated over the run's queries: (query, graph) pairs considered,
+        eliminated by bound arithmetic before scoring, and actually scored.
+        An unpruned engine reports every pair as generated *and* verified
+        (prune_rate 0); all three stay zero only when the counters live in
+        worker processes (process / data-parallel modes).
     """
 
     num_queries: int = 0
@@ -41,6 +48,9 @@ class ServingStats:
     latencies: List[float] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    candidates_generated: int = 0
+    candidates_pruned: int = 0
+    candidates_verified: int = 0
 
     # ------------------------------------------------------------------ #
     # derived metrics
@@ -84,10 +94,22 @@ class ServingStats:
         return self.percentile(95.0)
 
     @property
+    def p99_latency(self) -> float:
+        """99th-percentile per-query latency in seconds (tail SLO metric)."""
+        return self.percentile(99.0)
+
+    @property
     def cache_hit_rate(self) -> float:
         """Fraction of queries answered from the result cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of generated candidates eliminated without scoring."""
+        if self.candidates_generated <= 0:
+            return 0.0
+        return self.candidates_pruned / self.candidates_generated
 
     # ------------------------------------------------------------------ #
     # aggregation
@@ -105,6 +127,9 @@ class ServingStats:
         self.latencies.extend(other.latencies)
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.candidates_generated += other.candidates_generated
+        self.candidates_pruned += other.candidates_pruned
+        self.candidates_verified += other.candidates_verified
         return self
 
     def as_dict(self) -> Dict[str, float]:
@@ -117,9 +142,14 @@ class ServingStats:
             "mean_latency": self.mean_latency,
             "p50_latency": self.p50_latency,
             "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "candidates_generated": self.candidates_generated,
+            "candidates_pruned": self.candidates_pruned,
+            "candidates_verified": self.candidates_verified,
+            "prune_rate": self.prune_rate,
         }
 
     def __repr__(self) -> str:

@@ -156,3 +156,84 @@ class TestVectorizedKernels:
             for global_id, value in zip(store.global_ids().tolist(), row.tolist()):
                 merged[global_id] = value
         assert merged == dict(enumerate(full.gbd_row(query.num_vertices, branches).tolist()))
+
+
+class TestBoundKernels:
+    """GBD lower bounds and the sparse (position-restricted) kernels."""
+
+    def test_lower_bound_never_exceeds_true_gbd(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        for query in _queries(25, seed=31):
+            branches = branch_multiset(query)
+            bounds = store.gbd_lower_bound_row(query.num_vertices, branches)
+            gbds = store.gbd_row(query.num_vertices, branches)
+            assert (bounds <= gbds).all()
+            # the norm bound dominates the plain size-difference bound
+            assert (bounds >= np.abs(query.num_vertices - store.orders())).all()
+
+    def test_lower_bound_tight_for_database_members(self, random_database):
+        """A graph queried against itself must keep lb <= GBD = 0."""
+        store = ColumnarBranchStore(random_database)
+        for entry in random_database:
+            bounds = store.gbd_lower_bound_row(entry.num_vertices, entry.branches)
+            assert bounds[entry.graph_id] == 0
+
+    def test_lower_bound_matrix_matches_rows(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        queries = _queries(6, seed=37)
+        branch_sets = [branch_multiset(query) for query in queries]
+        matrix = store.gbd_lower_bound_matrix(
+            [query.num_vertices for query in queries], branch_sets
+        )
+        for i, query in enumerate(queries):
+            expected = store.gbd_lower_bound_row(query.num_vertices, branch_sets[i])
+            assert matrix[i].tolist() == expected.tolist()
+
+    def test_bounds_stay_sound_after_incremental_appends(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        rng = random.Random(41)
+        for _ in range(3):
+            graph = random_labeled_graph(rng.randint(2, 14), rng.randint(1, 20), seed=rng)
+            entry = GraphDatabase([graph])[0]
+            store.append(entry)
+            for query in _queries(5, seed=rng.randint(0, 10_000)):
+                branches = branch_multiset(query)
+                bounds = store.gbd_lower_bound_row(query.num_vertices, branches)
+                assert (bounds <= store.gbd_row(query.num_vertices, branches)).all()
+
+    def test_key_caps_track_max_multiplicity(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        caps = store.key_caps()
+        expected = {}
+        for entry in random_database:
+            for key, count in entry.branches.items():
+                expected[key] = max(expected.get(key, 0), count)
+        assert {
+            key: int(caps[key_id]) for key, key_id in store._key_ids.items()
+        } == expected
+
+    def test_matched_query_total_bounds_every_intersection(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        for query in _queries(10, seed=43):
+            branches = branch_multiset(query)
+            total = store.matched_query_total(branches)
+            assert total <= query.num_vertices  # |B_Q| branches overall
+            assert total >= int(store.intersection_row(branches).max(initial=0))
+
+    def test_subrow_and_submatrix_match_dense_selections(self, random_database):
+        store = ColumnarBranchStore(random_database)
+        queries = _queries(5, seed=47)
+        branch_sets = [branch_multiset(query) for query in queries]
+        dense = store.intersection_matrix(branch_sets)
+        for positions in (
+            np.arange(0, len(random_database), 3),
+            np.asarray([0]),
+            np.asarray([len(random_database) - 1]),
+            np.arange(len(random_database)),
+            np.empty(0, dtype=np.int64),
+        ):
+            sub = store.intersection_submatrix(branch_sets, positions)
+            assert sub.tolist() == dense[:, positions].tolist()
+            for i, branches in enumerate(branch_sets):
+                row = store.intersection_subrow(branches, positions)
+                assert row.tolist() == dense[i, positions].tolist()

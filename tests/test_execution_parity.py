@@ -5,14 +5,18 @@ The multi-layer refactor leaves four ways to answer one similarity query —
 * :meth:`GBDASearch.query` (thin wrapper over the :class:`ExecutionCore`),
 * :meth:`GBDASearch.query_reference` (the literal per-pair Algorithm 1 loop),
 * :meth:`BatchQueryEngine.query` (vectorized single-query serving) and
-  :meth:`BatchQueryEngine.query_batch` (true batched matrix scoring), and
+  :meth:`BatchQueryEngine.query_batch` (true batched matrix scoring) — each
+  in both the pruned filter-and-verify form (``pruned_execution=True``, the
+  default: γ-threshold inversion + GBD lower-bound elimination) and the
+  unpruned dense form, and
 * shard-parallel scoring (per-shard engines merged by
   :meth:`BatchQueryEngine.merge_answers`, the executor's ``"data-parallel"``
   decomposition) —
 
 and this property test drives all of them across seeds, γ/τ̂ grids, query
 shapes, and pruning on/off, asserting bit-identical accepted sets and
-posterior scores everywhere.
+posterior scores everywhere.  The top-k mode is verified against the first
+``k`` entries of the full γ=0 reference ranking (ties broken by graph id).
 """
 
 from __future__ import annotations
@@ -51,9 +55,19 @@ def _fitted(seed: int, pruning: bool):
             use_index_pruning=pruning,
         ).fit()
         engine = BatchQueryEngine.from_search(search, keep_scores="all", cache_size=None)
+        # default engine: accepted-only scores, pruned filter-and-verify path
         default_engine = BatchQueryEngine.from_search(search, cache_size=None)
+        unpruned_engine = BatchQueryEngine.from_search(
+            search, cache_size=None, pruned_execution=False
+        )
         shard_engines = engine.shard_engines(3)
-        _FITTED_CACHE[key] = (search, engine, default_engine, shard_engines)
+        _FITTED_CACHE[key] = (
+            search,
+            engine,
+            default_engine,
+            unpruned_engine,
+            shard_engines,
+        )
     return _FITTED_CACHE[key]
 
 
@@ -66,7 +80,7 @@ def _fitted(seed: int, pruning: bool):
     gamma=st.sampled_from([0.05, 0.3, 0.5, 0.75, 0.9]),
 )
 def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
-    search, engine, default_engine, shard_engines = _fitted(seed, pruning)
+    search, engine, default_engine, unpruned_engine, shard_engines = _fitted(seed, pruning)
     qrng = random.Random(query_seed)
     query = SimilarityQuery(
         random_labeled_graph(qrng.randint(3, 10), qrng.randint(2, 14), seed=qrng),
@@ -83,7 +97,10 @@ def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
         random_labeled_graph(4, 4, seed=query_seed + 1), tau_hat, 0.5
     )
     batched = engine.query_batch([decoy, query])[1]
-    fast = default_engine.query_batch([query])[0]  # accepted-only fast path
+    # pruned filter-and-verify (default engine) vs explicit unpruned engine
+    pruned_single = default_engine.query(query)
+    pruned_batch = default_engine.query_batch([decoy, query])[1]
+    unpruned = unpruned_engine.query(query)
     sharded = BatchQueryEngine.merge_answers(
         [shard for shard in (e.query(query) for e in shard_engines)]
     )
@@ -92,7 +109,9 @@ def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
     assert wrapped.answer.accepted_ids == expected_ids
     assert single.accepted_ids == expected_ids
     assert batched.accepted_ids == expected_ids
-    assert fast.accepted_ids == expected_ids
+    assert pruned_single.accepted_ids == expected_ids
+    assert pruned_batch.accepted_ids == expected_ids
+    assert unpruned.accepted_ids == expected_ids
     assert sharded.accepted_ids == expected_ids
 
     # posterior scores are bit-identical, not merely approximately equal
@@ -101,12 +120,25 @@ def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
     assert single.scores == reference.posteriors
     assert batched.scores == reference.posteriors
     assert sharded.scores == reference.posteriors
-    assert fast.scores == {gid: reference.posteriors[gid] for gid in expected_ids}
+    expected_accepted_scores = {gid: reference.posteriors[gid] for gid in expected_ids}
+    assert pruned_single.scores == expected_accepted_scores
+    assert pruned_batch.scores == expected_accepted_scores
+    assert unpruned.scores == expected_accepted_scores
+
+    # top-k mode: exactly the first k of the γ=0 reference ranking
+    k = 1 + (query_seed % 7)
+    expected_topk = search.query_topk_reference(query, k)
+    assert search.query_topk(query, k).ranking == expected_topk
+    assert default_engine.query_topk(query, k).ranking == expected_topk
+    sharded_topk = BatchQueryEngine.merge_topk_answers(
+        [e.query_topk(query, k) for e in shard_engines], k
+    )
+    assert sharded_topk.ranking == expected_topk
 
 
 @pytest.mark.parametrize("pruning", [False, True])
 def test_query_batch_returns_input_order(pruning):
-    search, engine, _default, _shards = _fitted(0, pruning)
+    search, engine, _default, _unpruned, _shards = _fitted(0, pruning)
     qrng = random.Random(7)
     queries = [
         SimilarityQuery(
@@ -125,7 +157,7 @@ def test_query_batch_returns_input_order(pruning):
 def test_data_parallel_executor_matches_batch():
     from repro.serving import ServingExecutor
 
-    search, engine, default_engine, _shards = _fitted(1, False)
+    search, engine, default_engine, _unpruned, _shards = _fitted(1, False)
     qrng = random.Random(3)
     queries = [
         SimilarityQuery(
@@ -142,3 +174,65 @@ def test_data_parallel_executor_matches_batch():
         assert answer.accepted_ids == reference.accepted_ids
         assert answer.scores == reference.scores
     assert executor.last_stats.num_queries == len(queries)
+
+
+@pytest.mark.parametrize("pruning", [False, True])
+def test_bound_filter_never_prunes_an_accepted_graph(pruning):
+    """The γ-threshold inversion is sound: pruned-out rows are never accepted.
+
+    (The accepted-set equality of the property test implies this; asserting
+    it directly on the counters documents the filter really fires.)
+    """
+    search, _engine, default_engine, _unpruned, _shards = _fitted(0, pruning)
+    before = default_engine.prune_counters
+    qrng = random.Random(99)
+    for _ in range(10):
+        query = SimilarityQuery(
+            random_labeled_graph(qrng.randint(3, 12), qrng.randint(2, 16), seed=qrng),
+            qrng.randint(0, MAX_TAU),
+            qrng.choice([0.5, 0.9, 0.99]),
+        )
+        assert (
+            default_engine.query(query).accepted_ids
+            == search.query_reference(query).answer.accepted_ids
+        )
+    after = default_engine.prune_counters
+    generated = after["candidates_generated"] - before["candidates_generated"]
+    pruned = after["candidates_pruned"] - before["candidates_pruned"]
+    verified = after["candidates_verified"] - before["candidates_verified"]
+    assert generated == pruned + verified > 0
+
+
+def test_topk_on_query_routes_through_every_path():
+    """``SimilarityQuery(top_k=...)`` is honoured by query/query_batch/executor."""
+    from repro.serving import ServingExecutor
+
+    search, _engine, default_engine, _unpruned, _shards = _fitted(0, False)
+    qrng = random.Random(5)
+    queries = [
+        SimilarityQuery(
+            random_labeled_graph(qrng.randint(3, 9), qrng.randint(2, 12), seed=qrng),
+            qrng.randint(0, MAX_TAU),
+            0.5,
+            top_k=qrng.randint(1, 6),
+        )
+        for _ in range(6)
+    ]
+    expected = [search.query_topk_reference(q, q.top_k) for q in queries]
+
+    for query, ranked in zip(queries, expected):
+        assert default_engine.query(query).ranking == ranked
+    for answer, ranked in zip(default_engine.query_batch(queries), expected):
+        assert answer.ranking == ranked
+        assert answer.accepted_ids == frozenset(gid for gid, _ in ranked)
+        assert answer.scores == dict(ranked)
+
+    executor = ServingExecutor(default_engine, num_workers=2, mode="data-parallel")
+    for answer, ranked in zip(executor.map(queries), expected):
+        assert answer.ranking == ranked
+
+    # regression: query_sharded must re-rank per-shard top-k's, not union them
+    for query, ranked in zip(queries, expected):
+        sharded = default_engine.query_sharded(query, 3)
+        assert sharded.ranking == ranked
+        assert sharded.accepted_ids == frozenset(gid for gid, _ in ranked)

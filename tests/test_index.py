@@ -134,3 +134,18 @@ class TestIncrementalConsistency:
         new_id = clone.database.add(triangle.copy(name="late"))
         assert clone.num_indexed_graphs == 3
         assert clone.gbd_all(triangle)[new_id] == 0
+
+
+def test_gbd_lower_bound_array_bounds_gbd_array():
+    rng = random.Random(67)
+    graphs = [
+        random_labeled_graph(rng.randint(3, 12), rng.randint(2, 16), seed=rng)
+        for _ in range(30)
+    ]
+    index = BranchInvertedIndex(GraphDatabase(graphs, name="index-bounds"))
+    for _ in range(10):
+        query = random_labeled_graph(rng.randint(2, 12), rng.randint(1, 16), seed=rng)
+        bounds = index.gbd_lower_bound_array(query)
+        gbds = index.gbd_array(query)
+        assert bounds.shape == gbds.shape
+        assert (bounds <= gbds).all()

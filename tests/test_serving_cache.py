@@ -70,3 +70,24 @@ class TestCacheKey:
         one = Counter({("A", ("x",)): 1})
         two = Counter({("A", ("x",)): 2})
         assert query_cache_key(one, 2, 0.5) != query_cache_key(two, 2, 0.5)
+
+    def test_key_distinguishes_database_revision(self):
+        """Same query, grown database: the key must not match (stale-answer bug)."""
+        branches = Counter({("A", ("x",)): 1})
+        base = query_cache_key(branches, 2, 0.5, revision=3)
+        assert query_cache_key(branches, 2, 0.5, revision=4) != base
+        assert query_cache_key(branches, 2, 0.5, revision=3) == base
+
+    def test_key_distinguishes_model_version(self):
+        branches = Counter({("A", ("x",)): 1})
+        base = query_cache_key(branches, 2, 0.5, model_version=1)
+        assert query_cache_key(branches, 2, 0.5, model_version=2) != base
+
+    def test_key_distinguishes_topk_mode(self):
+        """A thresholded answer and a top-k ranking must never share an entry."""
+        branches = Counter({("A", ("x",)): 1})
+        base = query_cache_key(branches, 2, 0.5)
+        assert query_cache_key(branches, 2, 0.5, top_k=5) != base
+        assert query_cache_key(branches, 2, 0.5, top_k=4) != query_cache_key(
+            branches, 2, 0.5, top_k=5
+        )

@@ -214,3 +214,114 @@ class TestIncrementalDatabase:
         loop = search.query(query)
         assert new_id in served.accepted_ids
         assert served.accepted_ids == loop.answer.accepted_ids
+
+
+class TestRevisionScopedCache:
+    def test_lost_add_hook_cannot_serve_stale_answers(self):
+        """Regression: cache keys are scoped to the database revision.
+
+        An engine copy that lost its add-hook (the unpickled process-pool
+        scenario — the hook is re-registered on unpickle, but a copy whose
+        registration is gone must still be safe) used to keep serving
+        pre-``add_many`` result sets from its cache.  With the revision in
+        the key, the old entries simply stop matching.
+        """
+        rng = random.Random(29)
+        graphs = [
+            random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+            for _ in range(20)
+        ]
+        database = GraphDatabase(graphs, name="serving-stale")
+        search = GBDASearch(database, max_tau=4, num_prior_pairs=100, seed=2).fit()
+        engine = BatchQueryEngine.from_search(search)
+        base = database[0].graph
+        query = SimilarityQuery(base, 2, 0.5)
+        engine.query(query)  # populate the cache
+
+        # Simulate the lost hook: the cache is NOT cleared on addition.
+        database.unsubscribe(engine._on_graphs_added)
+        new_ids = database.add_many([base.copy(name="post-pickle-duplicate")])
+
+        served = engine.query(query)
+        assert new_ids[0] in served.accepted_ids
+        assert served.accepted_ids == search.query(query).answer.accepted_ids
+
+    def test_model_version_scopes_cache_entries(self):
+        rng = random.Random(31)
+        graphs = [
+            random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+            for _ in range(15)
+        ]
+        search = GBDASearch(
+            GraphDatabase(graphs, name="serving-modelv"), max_tau=3, num_prior_pairs=80, seed=3
+        ).fit()
+        engine = BatchQueryEngine.from_search(search)
+        query = SimilarityQuery(graphs[0], 2, 0.5)
+        engine.query(query)
+        hits_before = engine.cache.hits
+        engine.query(query)
+        assert engine.cache.hits == hits_before + 1  # same state: served hot
+        engine.model_version += 1  # refit published: old answers unusable
+        engine.query(query)
+        assert engine.cache.hits == hits_before + 1  # key no longer matches
+
+
+class TestPrunedExecutionEngine:
+    def test_prune_counters_accumulate_and_answers_match(self, fitted):
+        pruned = BatchQueryEngine.from_search(fitted, cache_size=None)
+        unpruned = BatchQueryEngine.from_search(
+            fitted, cache_size=None, pruned_execution=False
+        )
+        assert pruned.pruned_execution and not unpruned.pruned_execution
+        for query in _random_queries(10, seed=41):
+            assert pruned.query(query).accepted_ids == unpruned.query(query).accepted_ids
+        counters = pruned.prune_counters
+        assert counters["candidates_generated"] == (
+            counters["candidates_pruned"] + counters["candidates_verified"]
+        )
+        assert 0.0 <= counters["prune_rate"] <= 1.0
+
+    def test_keep_scores_all_disables_filter_and_verify(self, fitted):
+        engine = BatchQueryEngine.from_search(fitted, keep_scores="all", cache_size=None)
+        assert not engine._pruned_path  # every candidate's posterior is needed
+
+    def test_pruned_execution_survives_snapshot(self, fitted, tmp_path):
+        engine = BatchQueryEngine.from_search(fitted, pruned_execution=False)
+        path = tmp_path / "engine.snapshot"
+        engine.save(path)
+        assert not BatchQueryEngine.load(path).pruned_execution
+
+
+class TestTopKServing:
+    def test_topk_answer_shape_and_determinism(self, fitted, engine):
+        query = SimilarityQuery(_random_queries(1, seed=51)[0].query_graph, 3, 0.5)
+        answer = engine.query_topk(query, 5)
+        assert len(answer.ranking) == 5
+        assert answer.accepted_ids == frozenset(gid for gid, _ in answer.ranking)
+        assert answer.scores == dict(answer.ranking)
+        scores = [score for _gid, score in answer.ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert answer.ranking == engine.query_topk(query, 5).ranking
+
+    def test_topk_k_exceeding_database_returns_everything(self, fitted, engine):
+        query = SimilarityQuery(_random_queries(1, seed=53)[0].query_graph, 2, 0.5)
+        answer = engine.query_topk(query, 10_000)
+        assert len(answer.ranking) == len(engine.database)
+
+    def test_topk_requires_k(self, engine):
+        query = SimilarityQuery(_random_queries(1, seed=55)[0].query_graph, 2, 0.5)
+        with pytest.raises(ServingError):
+            engine.query_topk(query)
+        with pytest.raises(ServingError):
+            engine.query_topk(query, 0)
+
+    def test_topk_answers_are_cached_separately(self, fitted):
+        engine = BatchQueryEngine.from_search(fitted)
+        query = SimilarityQuery(_random_queries(1, seed=57)[0].query_graph, 2, 0.5)
+        thresholded = engine.query(query)
+        topk = engine.query_topk(query, 3)
+        assert engine.cache.misses >= 2  # distinct entries, no cross-talk
+        again = engine.query_topk(query, 3)
+        assert again.ranking == topk.ranking
+        assert engine.cache.hits >= 1
+        assert thresholded.ranking is None

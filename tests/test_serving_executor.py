@@ -108,3 +108,45 @@ class TestStats:
         assert stats.mean_latency == 0.0
         assert stats.p95_latency == 0.0
         assert stats.cache_hit_rate == 0.0
+
+
+class TestFilterEffectivenessStats:
+    def test_prune_counters_flow_into_stats(self, queries):
+        # fresh cacheless engine so every query really scores the database
+        rng = random.Random(61)
+        graphs = [
+            random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+            for _ in range(30)
+        ]
+        search = GBDASearch(
+            GraphDatabase(graphs, name="executor-prune"), max_tau=4, num_prior_pairs=100, seed=2
+        ).fit()
+        pruned_engine = BatchQueryEngine.from_search(search, cache_size=None)
+        executor = ServingExecutor(pruned_engine, num_workers=2, mode="thread")
+        executor.map(queries)
+        stats = executor.last_stats
+        assert stats.candidates_generated == len(queries) * len(graphs)
+        assert stats.candidates_generated == (
+            stats.candidates_pruned + stats.candidates_verified
+        )
+        assert 0.0 <= stats.prune_rate <= 1.0
+        assert "prune_rate" in stats.as_dict()
+        assert stats.as_dict()["candidates_generated"] == stats.candidates_generated
+
+    def test_p99_latency_is_exposed(self):
+        stats = ServingStats(
+            num_queries=4, num_batches=1, elapsed_seconds=1.0, latencies=[0.1, 0.2, 0.3, 0.4]
+        )
+        assert stats.p99_latency == 0.4
+        assert stats.p99_latency >= stats.p95_latency
+        assert stats.as_dict()["p99_latency"] == stats.p99_latency
+        assert ServingStats().p99_latency == 0.0
+
+    def test_prune_counters_merge(self):
+        a = ServingStats(candidates_generated=10, candidates_pruned=6, candidates_verified=4)
+        b = ServingStats(candidates_generated=10, candidates_pruned=2, candidates_verified=8)
+        a.merge(b)
+        assert a.candidates_generated == 20
+        assert a.candidates_pruned == 8
+        assert a.candidates_verified == 12
+        assert a.prune_rate == 0.4
