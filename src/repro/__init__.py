@@ -13,7 +13,10 @@ Its three layers are exposed here for convenience:
   snapshot-backed query engine for production-style workloads,
 * the offline layer (:mod:`repro.offline`): vectorized EM, multiprocess
   pair sampling, and incremental prior refits via
-  :class:`~repro.offline.fitter.OfflineFitter`.
+  :class:`~repro.offline.fitter.OfflineFitter`,
+* the service layer (:mod:`repro.service`): an asyncio TCP server that
+  micro-batches concurrent remote clients into ``query_batch`` calls, with
+  admission control and zero-downtime snapshot hot swap.
 
 Quickstart
 ----------
@@ -64,6 +67,12 @@ from repro.serving import (
     load_engine,
     save_engine,
 )
+from repro.service import (
+    AsyncServiceClient,
+    ServiceClient,
+    SimilarityService,
+    start_service_thread,
+)
 from repro.baselines import (
     AStarGED,
     BranchFilterGED,
@@ -74,9 +83,17 @@ from repro.baselines import (
     exact_ged,
 )
 from repro.datasets.registry import Dataset, build_dataset
-from repro.exceptions import QueryError, ReproError, ServingError, SnapshotError
+from repro.exceptions import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServingError,
+    SnapshotError,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Graph",
@@ -107,6 +124,10 @@ __all__ = [
     "QueryResultCache",
     "save_engine",
     "load_engine",
+    "SimilarityService",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "start_service_thread",
     "AStarGED",
     "exact_ged",
     "LSAPGED",
@@ -120,5 +141,8 @@ __all__ = [
     "QueryError",
     "ServingError",
     "SnapshotError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ProtocolError",
     "__version__",
 ]

@@ -126,3 +126,46 @@ class QueryAnswer:
     def score_of(self, graph_id: int) -> Optional[float]:
         """Return the recorded score of a graph id, if any."""
         return self.scores.get(graph_id)
+
+    # ------------------------------------------------------------------ #
+    # wire serialization (used by the repro.service protocol)
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> Dict[str, object]:
+        """Return a JSON-safe dict that round-trips through :meth:`from_wire`.
+
+        Graph ids and scores are coerced to native ``int``/``float`` (numpy
+        scalars carry the same bits, so equality with in-process answers is
+        preserved), and score/ranking maps are carried as ``[id, score]``
+        pairs because JSON object keys would stringify the integer ids.
+        Floats survive JSON exactly — ``json`` emits ``repr`` which parses
+        back to the identical double — so a decoded answer compares equal,
+        bit for bit, to the answer the server computed.
+        """
+        return {
+            "method": self.method,
+            "accepted_ids": sorted(int(graph_id) for graph_id in self.accepted_ids),
+            "scores": [
+                [int(graph_id), float(score)]
+                for graph_id, score in sorted(self.scores.items())
+            ],
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "ranking": None
+            if self.ranking is None
+            else [[int(graph_id), float(score)] for graph_id, score in self.ranking],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "QueryAnswer":
+        """Rebuild an answer from :meth:`to_wire` output."""
+        ranking = payload.get("ranking")
+        return cls(
+            method=str(payload["method"]),
+            accepted_ids=frozenset(int(graph_id) for graph_id in payload["accepted_ids"]),
+            scores={
+                int(graph_id): float(score) for graph_id, score in payload.get("scores", [])
+            },
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            ranking=None
+            if ranking is None
+            else [(int(graph_id), float(score)) for graph_id, score in ranking],
+        )

@@ -81,6 +81,23 @@ class SnapshotError(ServingError):
     """Raised when a serving-engine snapshot cannot be written or read."""
 
 
+class ServiceError(ServingError):
+    """Base class for failures of the network service layer (:mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """Raised when a wire frame or message violates the service protocol."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised client-side when the server sheds a query with ``OVERLOADED``.
+
+    The request was never queued: the admission controller rejected it
+    because the server-wide pending budget (or the connection's in-flight
+    budget) was exhausted.  Safe to retry after backing off.
+    """
+
+
 class AssignmentError(ReproError):
     """Raised when an assignment-problem instance is malformed."""
 

@@ -1,0 +1,61 @@
+"""repro.service — the network serving layer of the reproduction.
+
+The fifth layer of the stack: an asyncio TCP server that exposes a
+:class:`~repro.serving.engine.BatchQueryEngine` to concurrent remote
+clients and converts the engine's batched-execution speedup into real
+concurrent throughput by *dynamic micro-batching* — independent in-flight
+requests are coalesced into single ``query_batch`` calls.
+
+* :mod:`~repro.service.protocol` — length-prefixed JSON wire protocol;
+  exact codecs for queries (including the graph) and answers (including
+  top-k rankings): answers received over the wire are bit-identical to
+  direct engine calls.
+* :class:`~repro.service.batcher.MicroBatcher` — flush-on-full /
+  bounded-delay coalescing of concurrently-arriving queries.
+* :class:`~repro.service.admission.AdmissionController` — bounded queue
+  depth + per-connection backpressure; sheds load with a typed
+  ``OVERLOADED`` response instead of stalling.
+* :class:`~repro.service.server.SimilarityService` — the server: pipelined
+  connections, thread-offloaded scoring, zero-downtime snapshot hot swap
+  (``SIGHUP`` / ``reload`` admin command), graceful drain on shutdown, and
+  a ``stats`` metrics endpoint.
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.AsyncServiceClient` — pipelined sync and
+  asyncio clients with typed error mapping.
+
+Quickstart
+----------
+>>> from repro.service import start_service_thread, ServiceClient
+>>> handle = start_service_thread(engine, max_batch=32)     # doctest: +SKIP
+>>> with ServiceClient(*handle.address) as client:          # doctest: +SKIP
+...     answer = client.query(SimilarityQuery(graph, 1, 0.9))
+...     metrics = client.stats()
+>>> handle.stop()                                           # doctest: +SKIP
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.batcher import MicroBatcher
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_answer,
+    decode_query,
+    encode_answer,
+    encode_query,
+)
+from repro.service.server import ServiceHandle, SimilarityService, start_service_thread
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServiceClient",
+    "MicroBatcher",
+    "MAX_FRAME_BYTES",
+    "ServiceClient",
+    "ServiceHandle",
+    "SimilarityService",
+    "start_service_thread",
+    "encode_query",
+    "decode_query",
+    "encode_answer",
+    "decode_answer",
+]

@@ -1,0 +1,114 @@
+"""Admission control: bounded queue depth + per-connection backpressure.
+
+A serving process protects itself from overload by *shedding* work it
+cannot finish in time instead of queueing it without bound: unbounded
+queues convert a transient burst into unbounded latency for every later
+query (the classic queueing collapse).  :class:`AdmissionController`
+enforces two budgets before a query may enter the micro-batcher:
+
+* ``max_pending`` — server-wide cap on admitted-but-unanswered queries
+  (micro-batcher queue plus the batch currently executing);
+* ``max_per_connection`` — cap on one connection's in-flight queries, so a
+  single pipelining client cannot monopolise the pending budget and starve
+  the others.
+
+A rejected query gets a typed ``OVERLOADED`` response immediately — the
+client learns within one round-trip that it must back off, rather than
+watching its socket stall.
+
+The controller is *event-loop confined*: the server calls it only from the
+asyncio loop thread, so plain integer arithmetic is already atomic and no
+lock is needed (the engine's thread-offloaded scoring never touches it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import ServiceError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Token-style admission over a shared pending budget.
+
+    Parameters
+    ----------
+    max_pending:
+        Server-wide bound on admitted, not-yet-answered queries (>= 1).
+    max_per_connection:
+        Per-connection bound on in-flight queries (>= 1).  Defaults to the
+        whole pending budget, i.e. no per-connection limit beyond the
+        global one.
+    """
+
+    def __init__(self, max_pending: int = 256, max_per_connection: int = 0) -> None:
+        if max_pending < 1:
+            raise ServiceError("max_pending must be a positive integer")
+        if max_per_connection < 0:
+            raise ServiceError("max_per_connection must be >= 0 (0 = no per-connection cap)")
+        self.max_pending = int(max_pending)
+        self.max_per_connection = int(max_per_connection) or self.max_pending
+        self._pending = 0
+        self._per_connection: Dict[int, int] = {}
+        #: Lifetime counters surfaced by the metrics endpoint.
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def try_admit(self, connection_id: int) -> bool:
+        """Admit one query from ``connection_id`` if both budgets allow it."""
+        if self._pending >= self.max_pending:
+            self.rejected += 1
+            return False
+        if self._per_connection.get(connection_id, 0) >= self.max_per_connection:
+            self.rejected += 1
+            return False
+        self._pending += 1
+        self._per_connection[connection_id] = self._per_connection.get(connection_id, 0) + 1
+        self.admitted += 1
+        return True
+
+    def release(self, connection_id: int) -> None:
+        """Return one admitted query's budget (response written or failed)."""
+        if self._pending <= 0:  # pragma: no cover - defensive
+            raise ServiceError("release() without a matching try_admit()")
+        self._pending -= 1
+        held = self._per_connection.get(connection_id, 0)
+        if held <= 1:
+            self._per_connection.pop(connection_id, None)
+        else:
+            self._per_connection[connection_id] = held - 1
+
+    def forget_connection(self, connection_id: int) -> None:
+        """Drop a closed connection's bookkeeping (its queries already released)."""
+        self._per_connection.pop(connection_id, None)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Currently admitted, not-yet-answered queries."""
+        return self._pending
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for the metrics endpoint."""
+        total = self.admitted + self.rejected
+        return {
+            "pending": self._pending,
+            "max_pending": self.max_pending,
+            "max_per_connection": self.max_per_connection,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rejection_rate": self.rejected / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController pending={self._pending}/{self.max_pending} "
+            f"admitted={self.admitted} rejected={self.rejected}>"
+        )

@@ -1,0 +1,202 @@
+"""Dynamic micro-batching: coalesce concurrent queries into one batch call.
+
+The serving engine's :meth:`~repro.serving.engine.BatchQueryEngine.query_batch`
+is several times faster per query than the per-query path — one ``(Q, D)``
+columnar intersection pass and shared posterior tables for the whole batch
+— but a network server naively answering each request as it arrives never
+hands the engine more than a batch of one.  :class:`MicroBatcher` closes
+that gap the way production model servers do: concurrently-arriving
+queries wait at most ``max_delay_ms`` for company, then the whole group is
+scored in a single batch call.
+
+Mechanics: a single worker task pops the first waiting query, then keeps
+collecting until the batch is full (``max_batch`` — *flush-on-full*, no
+added latency under heavy load) or the tick deadline expires
+(``max_delay_ms`` — bounded added latency under light load).  While a
+batch is executing, new arrivals simply accumulate in the queue and form
+the next batch, so batch size adapts to instantaneous load with no tuning.
+
+The batch runner is an ``async`` callable supplied by the server (which
+offloads the numpy scoring to a thread so the event loop keeps accepting
+traffic).  Because the runner resolves the engine *per flush*, an engine
+hot-swap between batches is atomic: every answer comes entirely from one
+engine, never from a torn mixture.
+
+Shutdown is graceful: :meth:`stop` refuses new submissions, then the
+worker drains every query already queued before exiting — in-flight
+queries are answered, not dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Sequence, Tuple
+
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import ServiceError
+
+__all__ = ["MicroBatcher"]
+
+#: Queue sentinel marking the end of the stream (posted once by stop()).
+_SHUTDOWN = object()
+
+BatchRunner = Callable[[Sequence[SimilarityQuery]], Awaitable[List[QueryAnswer]]]
+
+
+class MicroBatcher:
+    """Coalesce concurrently-submitted queries into batched engine calls.
+
+    Parameters
+    ----------
+    run_batch:
+        Async callable scoring one list of queries into the same-length,
+        same-order list of answers (typically an executor offload of
+        ``engine.query_batch``).
+    max_batch:
+        Flush as soon as this many queries are waiting (>= 1).
+    max_delay_ms:
+        Longest time the first query of a batch waits for company before
+        the batch is flushed anyway (>= 0; 0 batches only what is already
+        queued).
+    """
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        *,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError("max_batch must be a positive integer")
+        if max_delay_ms < 0:
+            raise ServiceError("max_delay_ms must be non-negative")
+        self._run_batch = run_batch
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay_ms) / 1000.0
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._worker: "asyncio.Task | None" = None
+        self._closed = False
+        # Occupancy / coalescing counters for the metrics endpoint.
+        self.batches_flushed = 0
+        self.queries_batched = 0
+        self.full_flushes = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the worker task (idempotent; requires a running loop)."""
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(self._work())
+
+    async def stop(self) -> None:
+        """Refuse new queries, drain everything queued, and stop the worker."""
+        if self._closed:
+            if self._worker is not None:
+                await self._worker
+            return
+        self._closed = True
+        self._queue.put_nowait(_SHUTDOWN)
+        if self._worker is not None:
+            await self._worker
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, query: SimilarityQuery) -> "asyncio.Future[QueryAnswer]":
+        """Enqueue one query; the returned future resolves to its answer.
+
+        Must be called from the event loop.  Raises
+        :class:`~repro.exceptions.ServiceError` once :meth:`stop` began —
+        the server maps that to a typed ``SHUTTING_DOWN`` response.
+        """
+        if self._closed:
+            raise ServiceError("micro-batcher is shutting down; query not accepted")
+        if self._worker is None:
+            raise ServiceError("micro-batcher is not started")
+        future: "asyncio.Future[QueryAnswer]" = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((query, future))
+        return future
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Queries waiting for the next flush (excludes the executing batch)."""
+        depth = self._queue.qsize()
+        return depth - 1 if self._closed and depth else depth
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size over the batcher's lifetime."""
+        if not self.batches_flushed:
+            return 0.0
+        return self.queries_batched / self.batches_flushed
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for the metrics endpoint."""
+        return {
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay * 1000.0,
+            "queue_depth": self.queue_depth,
+            "batches_flushed": self.batches_flushed,
+            "queries_batched": self.queries_batched,
+            "full_flushes": self.full_flushes,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+    # ------------------------------------------------------------------ #
+    # worker
+    # ------------------------------------------------------------------ #
+    async def _work(self) -> None:
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch: List[Tuple[SimilarityQuery, Any]] = [item]
+            deadline = loop.time() + self.max_delay
+            while len(batch) < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is _SHUTDOWN:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            await self._flush(batch)
+
+    async def _flush(self, batch: List[Tuple[SimilarityQuery, Any]]) -> None:
+        queries = [query for query, _future in batch]
+        try:
+            answers = await self._run_batch(queries)
+            if len(answers) != len(batch):
+                raise ServiceError(
+                    f"batch runner returned {len(answers)} answers for {len(batch)} queries"
+                )
+        except Exception as exc:
+            for _query, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        finally:
+            self.batches_flushed += 1
+            self.queries_batched += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+            if len(batch) >= self.max_batch:
+                self.full_flushes += 1
+        for (_query, future), answer in zip(batch, answers):
+            if not future.done():
+                future.set_result(answer)

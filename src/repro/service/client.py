@@ -1,0 +1,279 @@
+"""Clients of the similarity-search service (sync sockets and asyncio).
+
+Both clients speak the length-prefixed JSON protocol of
+:mod:`repro.service.protocol` and support *pipelining*: requests carry
+client-assigned ids, so many queries can be on the wire at once and the
+responses — which the server may complete out of order, batch by batch —
+are matched back by id.  Pipelined submission is what lets even a single
+connection feed the server's micro-batcher full batches.
+
+* :class:`ServiceClient` — blocking sockets, no extra threads; the right
+  tool for scripts, tests, and benchmark drivers.  ``query_many`` sends
+  the whole stream before reading the first response.
+* :class:`AsyncServiceClient` — an asyncio variant with a background
+  reader task dispatching responses to per-request futures; concurrent
+  ``await client.query(...)`` calls pipeline naturally.
+
+Typed errors: an ``OVERLOADED`` response raises
+:class:`~repro.exceptions.ServiceOverloadedError` (safe to retry after
+backoff), ``BAD_REQUEST`` raises :class:`~repro.exceptions.ProtocolError`,
+anything else :class:`~repro.exceptions.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service.protocol import (
+    decode_answer,
+    encode_frame,
+    encode_query,
+    exception_for_error,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["ServiceClient", "AsyncServiceClient"]
+
+
+def _response_payload(message: Dict[str, Any]) -> Union[QueryAnswer, Dict[str, Any], ServiceError]:
+    """Turn one response frame into an answer, an admin result, or an error."""
+    kind = message.get("kind")
+    if kind == "answer":
+        return decode_answer(message["answer"])
+    if kind == "admin":
+        return message.get("result", {})
+    if kind == "error":
+        return exception_for_error(message)
+    return ProtocolError(f"unexpected response kind {kind!r}")
+
+
+class ServiceClient:
+    """Blocking-socket client with pipelined requests.
+
+    Parameters
+    ----------
+    host, port:
+        The service address (``ServiceHandle.address`` unpacks into both).
+    timeout:
+        Socket timeout in seconds for connect and each frame read.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _read_response(self) -> Dict[str, Any]:
+        message = recv_frame(self._sock)
+        if message is None:
+            raise ServiceError("server closed the connection")
+        return message
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, query: SimilarityQuery) -> QueryAnswer:
+        """Answer one query (raises the typed error on rejection)."""
+        result = self.query_many([query], return_errors=True)[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def query_many(
+        self, queries: Iterable[SimilarityQuery], *, return_errors: bool = False
+    ) -> List[Union[QueryAnswer, ServiceError]]:
+        """Answer a stream of queries, pipelined, in input order.
+
+        All requests are written before the first response is read, so the
+        server sees them concurrently and can micro-batch them.  With
+        ``return_errors=True`` per-query failures (e.g. ``OVERLOADED``)
+        come back as exception objects in their slots; otherwise the first
+        failure is raised after every response has been drained (the
+        connection stays usable).
+        """
+        stream = list(queries)
+        if not stream:
+            return []
+        pending: Dict[int, int] = {}
+        for position, query in enumerate(stream):
+            message_id = self._new_id()
+            pending[message_id] = position
+            send_frame(
+                self._sock, {"id": message_id, "kind": "query", "query": encode_query(query)}
+            )
+        results: List = [None] * len(stream)
+        while pending:
+            message = self._read_response()
+            message_id = message.get("id")
+            if message_id not in pending:
+                raise ProtocolError(f"response for unknown request id {message_id!r}")
+            results[pending.pop(message_id)] = _response_payload(message)
+        if not return_errors:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results
+
+    # ------------------------------------------------------------------ #
+    # admin
+    # ------------------------------------------------------------------ #
+    def _admin(self, command: str, **extra) -> Dict[str, Any]:
+        message_id = self._new_id()
+        send_frame(self._sock, {"id": message_id, "kind": "admin", "command": command, **extra})
+        message = self._read_response()
+        if message.get("id") != message_id:
+            raise ProtocolError("admin response id mismatch (pipelined queries pending?)")
+        result = _response_payload(message)
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self._admin("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        """Scrape the metrics endpoint (serving/engine/batcher/admission)."""
+        return self._admin("stats")
+
+    def reload(self, path=None) -> Dict[str, Any]:
+        """Hot-swap the server's engine from a snapshot (its default path if None)."""
+        extra = {} if path is None else {"path": str(path)}
+        return self._admin("reload", **extra)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio client: concurrent ``query`` awaits pipeline on one connection.
+
+    Build with :meth:`connect`; a background reader task dispatches
+    responses to per-request futures, so any number of coroutines can have
+    queries in flight simultaneously — exactly the traffic shape the
+    server's micro-batcher coalesces.
+    """
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        error: Optional[Exception] = None
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if message is None:
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is None or future.done():
+                    continue
+                result = _response_payload(message)
+                if isinstance(result, Exception):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+        except Exception as exc:  # connection torn down mid-frame
+            error = exc
+        finally:
+            failure = error or ServiceError("server closed the connection")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(failure)
+            self._pending.clear()
+
+    async def _request(self, message: Dict[str, Any]):
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        message_id = self._next_id
+        message["id"] = message_id
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        self._pending[message_id] = future
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        return await future
+
+    async def query(self, query: SimilarityQuery) -> QueryAnswer:
+        """Answer one query (concurrent callers share the connection)."""
+        return await self._request({"kind": "query", "query": encode_query(query)})
+
+    async def query_many(
+        self, queries: Iterable[SimilarityQuery], *, return_errors: bool = False
+    ) -> List[Union[QueryAnswer, ServiceError]]:
+        """Pipeline a stream of queries; answers return in input order."""
+        results = await asyncio.gather(
+            *(self.query(query) for query in queries), return_exceptions=True
+        )
+        if not return_errors:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return list(results)
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self._request({"kind": "admin", "command": "ping"})
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._request({"kind": "admin", "command": "stats"})
+
+    async def reload(self, path=None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"kind": "admin", "command": "reload"}
+        if path is not None:
+            message["path"] = str(path)
+        return await self._request(message)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        await self._reader_task
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

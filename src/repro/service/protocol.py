@@ -1,0 +1,277 @@
+"""Wire protocol of the similarity-search service.
+
+Framing
+-------
+Every message is one *frame*: a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON.  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected with a
+:class:`~repro.exceptions.ProtocolError` on both ends — a malformed or
+hostile peer cannot make the server buffer unbounded input.
+
+Messages
+--------
+Requests and responses are JSON objects with an ``id`` (client-assigned
+integer, echoed verbatim so pipelined responses can be matched out of
+order) and a ``kind``:
+
+========  =========================================================
+request   ``{"id", "kind": "query",  "query": <encoded query>}``
+          ``{"id", "kind": "admin",  "command": ..., ...}``
+response  ``{"id", "kind": "answer", "answer": <encoded answer>}``
+          ``{"id", "kind": "admin",  "result": {...}}``
+          ``{"id", "kind": "error",  "error": {"code", "message"}}``
+========  =========================================================
+
+Error codes are the :data:`ERROR_*` constants below; ``OVERLOADED`` is the
+typed load-shedding response of the admission controller and maps to
+:class:`~repro.exceptions.ServiceOverloadedError` client-side.
+
+Codecs
+------
+:func:`encode_query`/:func:`decode_query` round-trip a
+:class:`~repro.db.query.SimilarityQuery` including its graph
+(vertices/edges with arbitrary hashable labels — tuples are carried through
+a tagged encoding since JSON has no tuple type).  Answers ride on
+:meth:`QueryAnswer.to_wire`/``from_wire``.  Both directions are exact:
+floats survive JSON via ``repr`` round-tripping, so answers received over
+the wire are bit-identical to the server's in-process answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import ProtocolError, ServiceError, ServiceOverloadedError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ERROR_OVERLOADED",
+    "ERROR_BAD_REQUEST",
+    "ERROR_SHUTTING_DOWN",
+    "ERROR_SERVER_ERROR",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "send_frame",
+    "recv_frame",
+    "encode_graph",
+    "decode_graph",
+    "encode_query",
+    "decode_query",
+    "encode_answer",
+    "decode_answer",
+    "error_response",
+    "exception_for_error",
+]
+
+#: Upper bound on one frame's JSON payload (32 MiB — a few hundred thousand
+#: scored answers; far beyond any sane single query or answer).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+# Typed error codes carried in ``error`` responses.
+ERROR_OVERLOADED = "OVERLOADED"
+ERROR_BAD_REQUEST = "BAD_REQUEST"
+ERROR_SHUTTING_DOWN = "SHUTTING_DOWN"
+ERROR_SERVER_ERROR = "SERVER_ERROR"
+
+
+# ---------------------------------------------------------------------- #
+# framing
+# ---------------------------------------------------------------------- #
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message into a length-prefixed JSON frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame body (without the length prefix) back into a message."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("frame payload is not valid UTF-8 JSON") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def _checked_length(prefix: bytes) -> int:
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+async def read_frame(reader) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    A connection dropped mid-frame raises :class:`ProtocolError` — the
+    caller cannot distinguish the truncated message from a complete one and
+    must close the connection.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame (truncated length prefix)") from exc
+    length = _checked_length(prefix)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame (truncated payload)") from exc
+    return decode_frame(payload)
+
+
+def _recv_exactly(sock, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock, message: Dict[str, Any]) -> None:
+    """Blocking-socket counterpart of :func:`read_frame`'s writer side."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock) -> Optional[Dict[str, Any]]:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    prefix = sock.recv(_LENGTH.size)
+    if not prefix:
+        return None
+    if len(prefix) < _LENGTH.size:
+        prefix += _recv_exactly(sock, _LENGTH.size - len(prefix))
+    return decode_frame(_recv_exactly(sock, _checked_length(prefix)))
+
+
+# ---------------------------------------------------------------------- #
+# value codec: labels / vertex ids with a tagged tuple encoding
+# ---------------------------------------------------------------------- #
+def _encode_value(value):
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(item) for item in value]}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise ProtocolError(
+        f"cannot encode value of type {type(value).__name__} on the wire "
+        "(supported: str, int, float, bool, None, and tuples thereof)"
+    )
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        items = value.get("__tuple__")
+        if not isinstance(items, list):
+            raise ProtocolError("malformed tagged value on the wire")
+        return tuple(_decode_value(item) for item in items)
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# graph / query / answer codecs
+# ---------------------------------------------------------------------- #
+def encode_graph(graph: Graph) -> Dict[str, Any]:
+    """Encode a graph as JSON-safe vertex/edge lists (labels may be tuples)."""
+    return {
+        "name": graph.name,
+        "vertices": [
+            [_encode_value(vertex), _encode_value(label)]
+            for vertex, label in graph.vertex_items()
+        ],
+        "edges": [
+            [_encode_value(u), _encode_value(v), _encode_value(label)]
+            for u, v, label in graph.edges()
+        ],
+    }
+
+
+def decode_graph(payload: Dict[str, Any]) -> Graph:
+    """Rebuild a graph encoded by :func:`encode_graph`."""
+    try:
+        vertices = {
+            _decode_value(vertex): _decode_value(label)
+            for vertex, label in payload["vertices"]
+        }
+        edges = {
+            (_decode_value(u), _decode_value(v)): _decode_value(label)
+            for u, v, label in payload["edges"]
+        }
+        return Graph.from_dicts(vertices, edges, name=payload.get("name"))
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("malformed graph payload on the wire") from exc
+
+
+def encode_query(query: SimilarityQuery) -> Dict[str, Any]:
+    """Encode one similarity query (graph + thresholds + optional top-k)."""
+    return {
+        "graph": encode_graph(query.query_graph),
+        "tau_hat": int(query.tau_hat),
+        "gamma": float(query.gamma),
+        "top_k": None if query.top_k is None else int(query.top_k),
+    }
+
+
+def decode_query(payload: Dict[str, Any]) -> SimilarityQuery:
+    """Rebuild a similarity query; invalid thresholds surface as QueryError."""
+    if not isinstance(payload, dict) or "graph" not in payload:
+        raise ProtocolError("malformed query payload on the wire")
+    return SimilarityQuery(
+        decode_graph(payload["graph"]),
+        payload.get("tau_hat", 0),
+        payload.get("gamma", 0.9),
+        top_k=payload.get("top_k"),
+    )
+
+
+def encode_answer(answer: QueryAnswer) -> Dict[str, Any]:
+    """Encode one answer (delegates to :meth:`QueryAnswer.to_wire`)."""
+    return answer.to_wire()
+
+
+def decode_answer(payload: Dict[str, Any]) -> QueryAnswer:
+    """Rebuild an answer (delegates to :meth:`QueryAnswer.from_wire`)."""
+    try:
+        return QueryAnswer.from_wire(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("malformed answer payload on the wire") from exc
+
+
+# ---------------------------------------------------------------------- #
+# error responses
+# ---------------------------------------------------------------------- #
+def error_response(message_id, code: str, message: str) -> Dict[str, Any]:
+    """Build a typed error response frame body."""
+    return {"id": message_id, "kind": "error", "error": {"code": code, "message": message}}
+
+
+def exception_for_error(payload: Dict[str, Any]) -> ServiceError:
+    """Map an ``error`` response to the client-side exception to raise."""
+    error = payload.get("error") or {}
+    code = error.get("code", ERROR_SERVER_ERROR)
+    message = error.get("message", "server reported an error")
+    if code == ERROR_OVERLOADED:
+        return ServiceOverloadedError(message)
+    if code == ERROR_BAD_REQUEST:
+        return ProtocolError(message)
+    return ServiceError(f"{code}: {message}")

@@ -1,0 +1,562 @@
+"""Asyncio similarity-search server: micro-batching, admission, hot swap.
+
+:class:`SimilarityService` exposes a :class:`~repro.serving.engine.BatchQueryEngine`
+to concurrent remote clients over the length-prefixed JSON protocol of
+:mod:`repro.service.protocol`:
+
+* every connection may *pipeline* requests — each message is handled in
+  its own task, so queries from many connections (and many in-flight
+  requests of one connection) coalesce in the :class:`~repro.service.batcher.MicroBatcher`
+  into single ``query_batch`` calls;
+* the :class:`~repro.service.admission.AdmissionController` sheds load
+  with a typed ``OVERLOADED`` response instead of queueing without bound;
+* the numpy scoring runs in a worker thread
+  (``loop.run_in_executor``), keeping the event loop free to accept and
+  frame traffic;
+* ``SIGHUP`` (or the ``reload`` admin command) *hot-swaps* the engine: a
+  fresh engine is loaded from the snapshot off-loop, then the serving
+  reference is swapped atomically between batches — in-flight queries
+  finish on the old engine, later ones score on the new one, and no
+  answer ever mixes the two;
+* the ``stats`` admin command is the metrics endpoint: serving stats
+  (bounded-window latency percentiles), engine prune counters, result
+  cache hit rate, batcher occupancy/coalescing, and admission counters as
+  one JSON document.
+
+Shutdown (:meth:`SimilarityService.stop`) is graceful by construction:
+new queries are refused with ``SHUTTING_DOWN``, the batcher drains every
+admitted query, all pending responses are written, and only then are the
+connections closed — zero in-flight queries are dropped.
+
+:func:`start_service_thread` runs a service on a dedicated thread with its
+own event loop — the one-call harness used by the tests, the benchmark,
+and the quickstart example (production deployments would run
+:meth:`serve_forever` in the process' main loop instead).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.db.query import SimilarityQuery
+from repro.exceptions import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    ServiceError,
+)
+from repro.serving.engine import BatchQueryEngine
+from repro.serving.snapshot import load_engine
+from repro.serving.stats import ServingStats
+from repro.service.admission import AdmissionController
+from repro.service.batcher import MicroBatcher
+from repro.service.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_OVERLOADED,
+    ERROR_SERVER_ERROR,
+    ERROR_SHUTTING_DOWN,
+    encode_answer,
+    encode_frame,
+    decode_query,
+    error_response,
+    read_frame,
+)
+
+__all__ = ["SimilarityService", "ServiceHandle", "start_service_thread"]
+
+
+class SimilarityService:
+    """Serve similarity queries over TCP with dynamic micro-batching.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine.  May be omitted when ``snapshot_path`` is
+        given — the engine is then loaded from the snapshot at
+        :meth:`start` (and re-loaded from the same path on ``SIGHUP`` /
+        a path-less ``reload`` admin command).
+    snapshot_path:
+        Default snapshot for engine (re)loads.
+    host, port:
+        Listen address; port 0 picks a free port (see :attr:`port`).
+    max_batch, max_delay_ms:
+        Micro-batcher knobs (see :class:`~repro.service.batcher.MicroBatcher`).
+    max_pending, max_per_connection:
+        Admission budgets (see :class:`~repro.service.admission.AdmissionController`).
+    latency_window:
+        Ring size of the serving stats' recent-latency window.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[BatchQueryEngine] = None,
+        *,
+        snapshot_path=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        max_pending: int = 1024,
+        max_per_connection: int = 0,
+        latency_window: int = ServingStats.DEFAULT_LATENCY_WINDOW,
+    ) -> None:
+        if engine is None and snapshot_path is None:
+            raise ServiceError("a SimilarityService needs an engine or a snapshot_path")
+        self._engine = engine
+        self.snapshot_path = snapshot_path
+        self.host = host
+        self._requested_port = int(port)
+        self.admission = AdmissionController(
+            max_pending=max_pending, max_per_connection=max_per_connection
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch, max_batch=max_batch, max_delay_ms=max_delay_ms
+        )
+        self.stats = ServingStats(latency_window=latency_window)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._reload_lock: Optional[asyncio.Lock] = None
+        self._closing = False
+        self._started_at = 0.0
+        self._next_connection_id = 0
+        self._connections = 0
+        self._reloads = 0
+        self._inflight: set = set()
+        self._writers: set = set()
+        #: Strong refs to fire-and-forget tasks (SIGHUP reloads): the event
+        #: loop only holds weak refs, so an unreferenced task can be
+        #: garbage-collected mid-execution.
+        self._background: set = set()
+        self._signal_registered = False
+
+    # ------------------------------------------------------------------ #
+    # engine access / hot swap
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> BatchQueryEngine:
+        """The engine currently serving (swapped atomically on reload)."""
+        if self._engine is None:
+            raise ServiceError("the service has no engine yet (not started?)")
+        return self._engine
+
+    async def reload_engine(self, snapshot_path=None) -> Dict[str, Any]:
+        """Hot-swap the serving engine from a snapshot; return a summary.
+
+        The snapshot is loaded off-loop (serving continues meanwhile), then
+        the engine reference is swapped in one assignment.  The micro-batcher
+        resolves the engine per flush, so the swap lands exactly on a batch
+        boundary: queries batched before it finish on the old engine,
+        queries batched after it score on the new one — zero downtime and
+        no torn answers.
+        """
+        path = snapshot_path or self.snapshot_path
+        if path is None:
+            raise ServiceError("no snapshot path configured for engine reload")
+        assert self._reload_lock is not None
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            engine = await loop.run_in_executor(None, load_engine, path)
+            previous = self._engine
+            self._engine = engine
+            self._reloads += 1
+        return {
+            "reloaded_from": str(path),
+            "model_version": engine.model_version,
+            "previous_model_version": None if previous is None else previous.model_version,
+            "database_size": len(engine.database),
+            "reload_count": self._reloads,
+        }
+
+    def _schedule_reload(self) -> None:
+        """SIGHUP entry point: run a reload in the background, log failures."""
+        assert self._loop is not None
+
+        async def _reload() -> None:
+            try:
+                await self.reload_engine()
+            except (ReproError, OSError, KeyError, TypeError, ValueError):
+                # A broken snapshot must never take down a serving process;
+                # the old engine simply keeps serving.
+                pass
+
+        task = self._loop.create_task(_reload())
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    async def _run_batch(self, queries):
+        """Batch runner handed to the micro-batcher (thread-offloaded numpy)."""
+        engine = self.engine  # resolved per flush: the hot-swap boundary
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, engine.query_batch, list(queries))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and start the batcher (idempotent)."""
+        if self._server is not None:
+            return
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stopped = asyncio.Event()
+        self._reload_lock = asyncio.Lock()
+        if self._engine is None:
+            self._engine = await loop.run_in_executor(None, load_engine, self.snapshot_path)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self._requested_port
+        )
+        self._started_at = time.time()
+        if self.snapshot_path is not None and not self._signal_registered:
+            try:
+                loop.add_signal_handler(signal.SIGHUP, self._schedule_reload)
+                self._signal_registered = True
+            except (NotImplementedError, RuntimeError, ValueError, AttributeError):
+                # Non-main thread, non-unix platform, or no SIGHUP: the
+                # admin "reload" command remains available.
+                pass
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("the service is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until :meth:`stop` is called."""
+        await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight queries, then close connections.
+
+        Order matters: (1) flip the closing flag so newly read requests are
+        refused with ``SHUTTING_DOWN``; (2) close the listening socket;
+        (3) drain the micro-batcher — every admitted query is scored;
+        (4) wait for every handler task to finish writing its response;
+        (5) only then tear down the connections.
+        """
+        if self._server is None or self._closing:
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        await self.batcher.stop()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        # Every admitted query has been answered and written; now it is safe
+        # to hang up on the (idle) connections so their read loops exit.
+        for writer in list(self._writers):
+            writer.close()
+        if self._signal_registered and self._loop is not None:
+            try:
+                self._loop.remove_signal_handler(signal.SIGHUP)
+            except (NotImplementedError, RuntimeError, ValueError, AttributeError):
+                pass
+            self._signal_registered = False
+        assert self._stopped is not None
+        self._stopped.set()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        self._next_connection_id += 1
+        connection_id = self._next_connection_id
+        self._connections += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except (ProtocolError, ConnectionError, OSError):
+                    # Unframeable input or an abrupt peer reset: nothing
+                    # sane can be replied to — drop the connection (pending
+                    # tasks still complete).
+                    break
+                if message is None:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_message(message, connection_id, writer, write_lock)
+                )
+                tasks.add(task)
+                self._inflight.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._inflight.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            self.admission.forget_connection(connection_id)
+            self._connections -= 1
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform noise
+                pass
+
+    async def _respond(self, writer, write_lock, message: Dict[str, Any]) -> None:
+        try:
+            frame = encode_frame(message)
+        except ProtocolError as exc:
+            # The response itself is unencodable (e.g. an answer larger than
+            # the frame cap).  The client still must hear back on this id —
+            # a silent drop would hang its pipelined read loop.
+            frame = encode_frame(
+                error_response(message.get("id"), ERROR_SERVER_ERROR, str(exc))
+            )
+        async with write_lock:
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Peer went away before reading its answer; the query was
+                # still served (and cached) — nothing else to unwind.
+                pass
+
+    async def _handle_message(self, message, connection_id, writer, write_lock) -> None:
+        message_id = message.get("id")
+        kind = message.get("kind")
+        if kind == "query":
+            await self._handle_query(message_id, message, connection_id, writer, write_lock)
+        elif kind == "admin":
+            await self._handle_admin(message_id, message, writer, write_lock)
+        else:
+            await self._respond(
+                writer,
+                write_lock,
+                error_response(
+                    message_id, ERROR_BAD_REQUEST, f"unknown message kind {kind!r}"
+                ),
+            )
+
+    async def _handle_query(
+        self, message_id, message, connection_id, writer, write_lock
+    ) -> None:
+        if self._closing:
+            await self._respond(
+                writer,
+                write_lock,
+                error_response(
+                    message_id, ERROR_SHUTTING_DOWN, "server is draining; retry elsewhere"
+                ),
+            )
+            return
+        if not self.admission.try_admit(connection_id):
+            await self._respond(
+                writer,
+                write_lock,
+                error_response(
+                    message_id,
+                    ERROR_OVERLOADED,
+                    f"admission rejected the query "
+                    f"(pending={self.admission.pending}/{self.admission.max_pending})",
+                ),
+            )
+            return
+        start = time.perf_counter()
+        try:
+            query: SimilarityQuery = decode_query(message.get("query"))
+            answer = await self.batcher.submit(query)
+        except (ProtocolError, QueryError, KeyError, TypeError) as exc:
+            await self._respond(
+                writer, write_lock, error_response(message_id, ERROR_BAD_REQUEST, str(exc))
+            )
+            return
+        except ServiceError as exc:
+            code = ERROR_SHUTTING_DOWN if self._closing else ERROR_SERVER_ERROR
+            await self._respond(
+                writer, write_lock, error_response(message_id, code, str(exc))
+            )
+            return
+        except Exception as exc:  # engine/scoring failure — keep serving
+            await self._respond(
+                writer, write_lock, error_response(message_id, ERROR_SERVER_ERROR, str(exc))
+            )
+            return
+        finally:
+            self.admission.release(connection_id)
+        self.stats.record_latency(time.perf_counter() - start)
+        await self._respond(
+            writer,
+            write_lock,
+            {"id": message_id, "kind": "answer", "answer": encode_answer(answer)},
+        )
+
+    async def _handle_admin(self, message_id, message, writer, write_lock) -> None:
+        command = message.get("command")
+        try:
+            if command == "ping":
+                result: Dict[str, Any] = {"pong": True, "closing": self._closing}
+            elif command in ("stats", "metrics"):
+                result = self.metrics()
+            elif command == "reload":
+                result = await self.reload_engine(message.get("path"))
+            else:
+                await self._respond(
+                    writer,
+                    write_lock,
+                    error_response(
+                        message_id, ERROR_BAD_REQUEST, f"unknown admin command {command!r}"
+                    ),
+                )
+                return
+        except (ReproError, OSError, KeyError, TypeError, ValueError) as exc:
+            # Same breadth as the SIGHUP path: a snapshot that passes the
+            # header checks can still blow up while its body is rebuilt
+            # (KeyError/ValueError from a malformed payload) — the admin
+            # client must get its SERVER_ERROR frame, never a hang.
+            await self._respond(
+                writer, write_lock, error_response(message_id, ERROR_SERVER_ERROR, str(exc))
+            )
+            return
+        await self._respond(
+            writer, write_lock, {"id": message_id, "kind": "admin", "result": result}
+        )
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> Dict[str, Any]:
+        """One JSON document of everything an operator scrapes.
+
+        ``serving`` carries the bounded-window latency percentiles and
+        query counts; ``engine`` the hot-swappable engine's identity, prune
+        counters, and result-cache hit rate; ``batcher`` the coalescing
+        occupancy; ``admission`` the load-shedding counters.
+        """
+        engine = self.engine
+        # Batch counters live in the micro-batcher; fold them into the
+        # serving stats view so one document tells the whole story.
+        self.stats.num_batches = self.batcher.batches_flushed
+        self.stats.elapsed_seconds = (
+            time.time() - self._started_at if self._started_at else 0.0
+        )
+        if engine.cache is not None:
+            cache_stats = engine.cache.stats()
+            self.stats.cache_hits = int(cache_stats["hits"])
+            self.stats.cache_misses = int(cache_stats["misses"])
+        else:
+            cache_stats = None
+        prune = engine.prune_counters
+        self.stats.candidates_generated = int(prune["candidates_generated"])
+        self.stats.candidates_pruned = int(prune["candidates_pruned"])
+        self.stats.candidates_verified = int(prune["candidates_verified"])
+        return {
+            "server": {
+                "uptime_seconds": self.stats.elapsed_seconds,
+                "connections": self._connections,
+                "inflight_requests": len(self._inflight),
+                "closing": self._closing,
+                "reload_count": self._reloads,
+            },
+            "serving": self.stats.as_dict(),
+            "engine": {
+                "model_version": engine.model_version,
+                "database_size": len(engine.database),
+                "database_revision": engine.database.revision,
+                "max_tau": engine.max_tau,
+                "pruned_execution": engine.pruned_execution,
+                "prune_counters": prune,
+                "cache": cache_stats,
+            },
+            "batcher": self.batcher.as_dict(),
+            "admission": self.admission.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        state = "closing" if self._closing else ("up" if self._server else "idle")
+        return (
+            f"<SimilarityService {state} served={self.stats.num_queries} "
+            f"batches={self.batcher.batches_flushed} reloads={self._reloads}>"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# threaded harness
+# ---------------------------------------------------------------------- #
+class ServiceHandle:
+    """Handle on a service running on its own thread (see :func:`start_service_thread`)."""
+
+    def __init__(self, service: SimilarityService, loop, thread: threading.Thread, port: int):
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        self.host = service.host
+        self.port = port
+
+    @property
+    def address(self):
+        """``(host, port)`` tuple for a :class:`~repro.service.client.ServiceClient`."""
+        return (self.host, self.port)
+
+    def call(self, coroutine, timeout: float = 30.0):
+        """Run a coroutine on the service loop and return its result."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the service and join its thread (idempotent)."""
+        if self._thread.is_alive():
+            try:
+                self.call(self.service.stop(), timeout)
+            except RuntimeError:  # loop already gone
+                pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_service_thread(
+    engine: Optional[BatchQueryEngine] = None, *, timeout: float = 30.0, **kwargs
+) -> ServiceHandle:
+    """Run a :class:`SimilarityService` on a dedicated daemon thread.
+
+    Builds the service with ``kwargs``, starts it inside a fresh event loop
+    on a new thread, and returns once the listening socket is bound.  The
+    returned :class:`ServiceHandle` is a context manager whose ``stop()``
+    performs the graceful drain.
+    """
+    service = SimilarityService(engine, **kwargs)
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    async def _main() -> None:
+        try:
+            await service.start()
+            holder["port"] = service.port
+            holder["loop"] = asyncio.get_running_loop()
+        except BaseException as exc:  # surface bind/load failures to the caller
+            holder["error"] = exc
+            started.set()
+            raise
+        started.set()
+        await service.serve_forever()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_main())
+        except Exception:
+            if not started.is_set():  # pragma: no cover - defensive
+                started.set()
+
+    thread = threading.Thread(target=_runner, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise ServiceError("service failed to start within the timeout")
+    if "error" in holder:
+        raise ServiceError(f"service failed to start: {holder['error']}") from holder["error"]
+    return ServiceHandle(service, holder["loop"], thread, holder["port"])

@@ -116,19 +116,31 @@ class QueryResultCache:
     # introspection
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> Dict[str, float]:
-        """Return hit/miss counters and the current occupancy."""
-        total = self.hits + self.misses
+        """Return a *consistent* snapshot of counters and occupancy.
+
+        Taken under the cache lock: the asyncio server scrapes this from
+        the event loop while the thread-offloaded scoring path is
+        hitting/evicting concurrently, so hits/misses/size must be read in
+        one critical section — unlocked reads could pair a pre-increment
+        ``hits`` with a post-increment ``misses`` and report an impossible
+        hit rate.
+        """
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._entries)
+        total = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
-            "size": len(self._entries),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "size": size,
             "capacity": self.capacity,
         }
 

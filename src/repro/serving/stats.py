@@ -9,8 +9,9 @@ derived QPS / percentile properties.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Deque, Dict
 
 __all__ = ["ServingStats"]
 
@@ -29,7 +30,16 @@ class ServingStats:
         Wall-clock time of the whole run (not the sum of per-query times —
         batches may run concurrently).
     latencies:
-        Per-query online latencies in seconds, in completion order.
+        Per-query online latencies in seconds, in completion order — a
+        *bounded* ring of the most recent ``latency_window`` samples.  A
+        long-running server records millions of queries; an unbounded list
+        would leak memory and make every percentile call slower forever,
+        so the ring keeps ``p50/p95/p99`` accurate on recent traffic at
+        fixed memory and fixed sort cost.  ``num_queries`` still counts
+        every query ever recorded.
+    latency_window:
+        Capacity of the latency ring (>= 1); defaults to
+        :data:`DEFAULT_LATENCY_WINDOW`.
     cache_hits, cache_misses:
         Result-cache counters accumulated during the run (0 when the engine
         runs without a cache).
@@ -42,15 +52,33 @@ class ServingStats:
         worker processes (process / data-parallel modes).
     """
 
+    #: Default capacity of the recent-latency ring: large enough that p99
+    #: over the window is statistically meaningful, small enough that a
+    #: server holding one of these per process stays O(100 KiB).
+    DEFAULT_LATENCY_WINDOW = 8192
+
     num_queries: int = 0
     num_batches: int = 0
     elapsed_seconds: float = 0.0
-    latencies: List[float] = field(default_factory=list)
+    latencies: Deque[float] = field(default_factory=deque)
     cache_hits: int = 0
     cache_misses: int = 0
     candidates_generated: int = 0
     candidates_pruned: int = 0
     candidates_verified: int = 0
+    latency_window: int = DEFAULT_LATENCY_WINDOW
+
+    def __post_init__(self) -> None:
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be a positive integer")
+        # Accept any iterable (tests/callers pass plain lists) and re-home
+        # it in a ring of the configured capacity.
+        self.latencies = deque(self.latencies, maxlen=int(self.latency_window))
+
+    def record_latency(self, latency: float) -> None:
+        """Record one served query (count + ring) in one call."""
+        self.num_queries += 1
+        self.latencies.append(float(latency))
 
     # ------------------------------------------------------------------ #
     # derived metrics
@@ -124,7 +152,7 @@ class ServingStats:
         self.num_queries += other.num_queries
         self.num_batches += other.num_batches
         self.elapsed_seconds += other.elapsed_seconds
-        self.latencies.extend(other.latencies)
+        self.latencies.extend(other.latencies)  # ring drops the oldest samples
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.candidates_generated += other.candidates_generated
@@ -150,6 +178,8 @@ class ServingStats:
             "candidates_pruned": self.candidates_pruned,
             "candidates_verified": self.candidates_verified,
             "prune_rate": self.prune_rate,
+            "latency_samples": len(self.latencies),
+            "latency_window": self.latency_window,
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,532 @@
+"""Concurrency suite for the network service layer (repro.service).
+
+Covers the acceptance criteria of the service subsystem:
+
+* N parallel clients receive answers bit-identical to direct
+  :class:`BatchQueryEngine` calls (thresholded and top-k, incl. rankings);
+* the overload path returns a typed ``OVERLOADED`` error instead of
+  hanging;
+* graceful shutdown drains every in-flight query (none dropped);
+* a snapshot hot-swap under load never serves a torn answer;
+* the micro-batcher really coalesces concurrent queries into batches;
+* the admission controller enforces both budgets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine, load_engine, save_engine
+from repro.service import (
+    AdmissionController,
+    AsyncServiceClient,
+    MicroBatcher,
+    ServiceClient,
+    start_service_thread,
+)
+
+
+# ---------------------------------------------------------------------- #
+# fixtures
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def random_database():
+    rng = random.Random(17)
+    graphs = [
+        random_labeled_graph(rng.randint(5, 9), rng.randint(5, 12), seed=rng)
+        for _ in range(50)
+    ]
+    return GraphDatabase(graphs, name="service-random")
+
+
+@pytest.fixture(scope="module")
+def fitted(random_database):
+    return GBDASearch(random_database, max_tau=4, num_prior_pairs=150, seed=5).fit()
+
+
+@pytest.fixture(scope="module")
+def engine(fitted):
+    return BatchQueryEngine.from_search(fitted)
+
+
+def _random_queries(num, seed, max_tau=4, with_topk=True):
+    rng = random.Random(seed)
+    queries = [
+        SimilarityQuery(
+            random_labeled_graph(rng.randint(4, 10), rng.randint(4, 14), seed=rng),
+            rng.randint(0, max_tau),
+            rng.choice([0.25, 0.5, 0.75, 0.9]),
+        )
+        for _ in range(num)
+    ]
+    if with_topk:
+        # Mix thresholded and top-k modes in one stream: rankings must
+        # survive the wire too.
+        for position in range(0, num, 4):
+            base = queries[position]
+            queries[position] = SimilarityQuery(
+                base.query_graph, base.tau_hat, base.gamma, top_k=5
+            )
+    return queries
+
+
+def _assert_identical(received: QueryAnswer, direct: QueryAnswer) -> None:
+    assert received.accepted_ids == direct.accepted_ids
+    assert received.scores == direct.scores
+    assert received.ranking == direct.ranking
+    assert received.method == direct.method
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end parity under concurrency
+# ---------------------------------------------------------------------- #
+class TestConcurrentParity:
+    NUM_CLIENTS = 8
+
+    def test_parallel_clients_get_bit_identical_answers(self, engine):
+        queries = _random_queries(16, seed=23)
+        direct = [engine.query(query) for query in queries]
+
+        handle = start_service_thread(engine, max_batch=16, max_delay_ms=3.0)
+        failures = []
+
+        def run_client(worker: int) -> None:
+            try:
+                with ServiceClient(*handle.address) as client:
+                    answers = client.query_many(queries)
+                    for received, expected in zip(answers, direct):
+                        _assert_identical(received, expected)
+            except Exception as exc:  # surfaced on the main thread below
+                failures.append((worker, exc))
+
+        try:
+            threads = [
+                threading.Thread(target=run_client, args=(worker,))
+                for worker in range(self.NUM_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not failures, failures
+            metrics = handle.service.metrics()
+            served = metrics["serving"]["num_queries"]
+            assert served == self.NUM_CLIENTS * len(queries)
+            # The whole point: concurrent requests coalesced into batches.
+            assert metrics["batcher"]["mean_batch_size"] > 1.0
+        finally:
+            handle.stop()
+
+    def test_async_client_pipelines_one_connection(self, engine):
+        queries = _random_queries(12, seed=29)
+        direct = [engine.query(query) for query in queries]
+        handle = start_service_thread(engine, max_batch=12, max_delay_ms=3.0)
+
+        async def run() -> None:
+            client = await AsyncServiceClient.connect(*handle.address)
+            try:
+                answers = await client.query_many(queries)
+                for received, expected in zip(answers, direct):
+                    _assert_identical(received, expected)
+                pong = await client.ping()
+                assert pong["pong"] is True
+            finally:
+                await client.close()
+
+        try:
+            asyncio.run(run())
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------- #
+# admission / overload
+# ---------------------------------------------------------------------- #
+class TestOverload:
+    def test_overload_returns_typed_error_instead_of_hanging(self, engine):
+        # One in-flight query per connection; a long batching tick keeps the
+        # first query in flight while the rest of the pipelined burst
+        # arrives — they must be shed immediately, not queued.
+        handle = start_service_thread(
+            engine, max_batch=64, max_delay_ms=250.0, max_per_connection=1
+        )
+        queries = _random_queries(10, seed=31, with_topk=False)
+        direct = [engine.query(query) for query in queries]
+        try:
+            with ServiceClient(*handle.address) as client:
+                results = client.query_many(queries, return_errors=True)
+            answers = [r for r in results if isinstance(r, QueryAnswer)]
+            rejected = [r for r in results if isinstance(r, ServiceOverloadedError)]
+            assert len(answers) + len(rejected) == len(queries)
+            assert rejected, "the burst should have tripped the per-connection cap"
+            assert answers, "the admitted query must still be answered"
+            for position, result in enumerate(results):
+                if isinstance(result, QueryAnswer):
+                    _assert_identical(result, direct[position])
+            assert handle.service.admission.as_dict()["rejected"] >= len(rejected)
+        finally:
+            handle.stop()
+
+    def test_query_raises_typed_exception_without_return_errors(self, engine):
+        handle = start_service_thread(
+            engine, max_batch=64, max_delay_ms=250.0, max_per_connection=1
+        )
+        queries = _random_queries(6, seed=37, with_topk=False)
+        try:
+            with ServiceClient(*handle.address) as client:
+                with pytest.raises(ServiceOverloadedError):
+                    client.query_many(queries)
+                # The connection survives the rejection: later traffic works.
+                answer = client.query(queries[0])
+                assert answer.accepted_ids == engine.query(queries[0]).accepted_ids
+        finally:
+            handle.stop()
+
+
+class TestAdmissionController:
+    def test_global_budget(self):
+        admission = AdmissionController(max_pending=2)
+        assert admission.try_admit(1)
+        assert admission.try_admit(2)
+        assert not admission.try_admit(3)
+        admission.release(1)
+        assert admission.try_admit(3)
+        stats = admission.as_dict()
+        assert stats["admitted"] == 3 and stats["rejected"] == 1
+        assert stats["rejection_rate"] == 0.25
+
+    def test_per_connection_budget(self):
+        admission = AdmissionController(max_pending=10, max_per_connection=2)
+        assert admission.try_admit(1)
+        assert admission.try_admit(1)
+        assert not admission.try_admit(1)  # connection 1 is at its cap
+        assert admission.try_admit(2)  # other connections unaffected
+        admission.release(1)
+        assert admission.try_admit(1)
+        admission.forget_connection(1)
+        assert admission.pending == 3
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(max_pending=0)
+        with pytest.raises(ServiceError):
+            AdmissionController(max_pending=1, max_per_connection=-1)
+
+
+# ---------------------------------------------------------------------- #
+# micro-batcher
+# ---------------------------------------------------------------------- #
+class TestMicroBatcher:
+    def test_concurrent_submissions_coalesce_into_one_batch(self):
+        seen_batches = []
+
+        async def runner(queries):
+            seen_batches.append(len(queries))
+            return [f"answer-{id(query)}" for query in queries]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=16, max_delay_ms=20.0)
+            batcher.start()
+            futures = [batcher.submit(object()) for _ in range(5)]
+            results = await asyncio.gather(*futures)
+            await batcher.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 5
+        assert seen_batches == [5]
+
+    def test_flush_on_full_does_not_wait_for_the_timer(self):
+        seen_batches = []
+
+        async def runner(queries):
+            seen_batches.append(len(queries))
+            return list(queries)
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher(runner, max_batch=3, max_delay_ms=10_000.0)
+            batcher.start()
+            start = loop.time()
+            await asyncio.gather(*[batcher.submit(i) for i in range(3)])
+            elapsed = loop.time() - start
+            await batcher.stop()
+            return elapsed
+
+        elapsed = asyncio.run(scenario())
+        assert seen_batches == [3]
+        assert elapsed < 5.0, "a full batch must flush immediately"
+
+    def test_stop_drains_queued_queries(self):
+        served = []
+
+        async def runner(queries):
+            served.extend(queries)
+            return list(queries)
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_delay_ms=10_000.0)
+            batcher.start()
+            futures = [batcher.submit(i) for i in range(7)]
+            await batcher.stop()  # must not wait 10 s, must answer all 7
+            return await asyncio.gather(*futures)
+
+        results = asyncio.run(scenario())
+        assert results == list(range(7))
+        assert served == list(range(7))
+
+    def test_submit_after_stop_is_refused(self):
+        async def runner(queries):
+            return list(queries)
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=4, max_delay_ms=1.0)
+            batcher.start()
+            await batcher.stop()
+            with pytest.raises(ServiceError):
+                batcher.submit(object())
+
+        asyncio.run(scenario())
+
+    def test_runner_failure_propagates_to_every_future(self):
+        async def runner(queries):
+            raise RuntimeError("engine exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=8, max_delay_ms=5.0)
+            batcher.start()
+            futures = [batcher.submit(i) for i in range(3)]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            await batcher.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_invalid_knobs(self):
+        async def runner(queries):
+            return list(queries)
+
+        with pytest.raises(ServiceError):
+            MicroBatcher(runner, max_batch=0)
+        with pytest.raises(ServiceError):
+            MicroBatcher(runner, max_delay_ms=-1.0)
+
+
+# ---------------------------------------------------------------------- #
+# graceful shutdown
+# ---------------------------------------------------------------------- #
+class TestGracefulDrain:
+    def test_stop_answers_every_inflight_query(self, engine):
+        # A huge tick: the pipelined burst is admitted and then *waits* in
+        # the batcher.  stop() must drain it promptly (not after 30 s) and
+        # every query must be answered before the connection closes.
+        import time
+
+        handle = start_service_thread(engine, max_batch=64, max_delay_ms=30_000.0)
+        queries = _random_queries(10, seed=41)
+        direct = [engine.query(query) for query in queries]
+        outcome: dict = {}
+
+        def run_client() -> None:
+            try:
+                with ServiceClient(*handle.address, timeout=60.0) as client:
+                    outcome["answers"] = client.query_many(queries)  # blocks until drained
+            except Exception as exc:
+                outcome["error"] = exc
+
+        client_thread = threading.Thread(target=run_client)
+        try:
+            client_thread.start()
+            # Deterministic hand-off: stop only once every query has been
+            # admitted and is waiting in the batcher — the drain guarantee
+            # is about *admitted* queries, and this removes scheduler races.
+            deadline = time.time() + 30.0
+            while (
+                handle.service.admission.pending < len(queries)
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            assert handle.service.admission.pending == len(queries)
+            handle.stop()
+            client_thread.join(timeout=60)
+            assert not client_thread.is_alive()
+            assert "error" not in outcome, outcome.get("error")
+            answers = outcome["answers"]
+            assert len(answers) == len(queries)
+            for received, expected in zip(answers, direct):
+                _assert_identical(received, expected)
+        finally:
+            handle.stop()
+            client_thread.join(timeout=10)
+
+    def test_queries_after_drain_get_typed_shutdown_error(self, engine):
+        handle = start_service_thread(engine, max_batch=4, max_delay_ms=1.0)
+        query = _random_queries(1, seed=43, with_topk=False)[0]
+        try:
+            client = ServiceClient(*handle.address)
+            assert client.query(query).method == "GBDA"
+            handle.stop()
+            # The drained server hung up: the next request fails fast with a
+            # typed error (or the OS-level connection error), never a hang.
+            with pytest.raises((ServiceError, OSError)):
+                client.query(query)
+            client.close()
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------- #
+# zero-downtime snapshot hot swap
+# ---------------------------------------------------------------------- #
+class TestHotSwap:
+    @pytest.fixture()
+    def snapshots(self, fitted, tmp_path):
+        """Two snapshots whose answers verifiably differ on the query stream."""
+        rng = random.Random(47)
+        # Loose thresholds (τ̂=2, γ=0.2) so an *exact copy* of the query
+        # graph (GBD 0 → maximal posterior) is certainly accepted — engine
+        # B's answers then provably differ from engine A's.
+        queries = [
+            SimilarityQuery(
+                random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng),
+                2,
+                0.2,
+            )
+            for _ in range(6)
+        ]
+        engine_a = BatchQueryEngine.from_search(fitted)
+        path_a = tmp_path / "engine_a.snapshot"
+        save_engine(engine_a, path_a)
+
+        # Engine B serves a database grown by exact copies of the query
+        # graphs: at τ̂ >= 0 those duplicates are accepted (GBD 0), so A and
+        # B answers differ for every query — a torn mixture is detectable.
+        engine_b = load_engine(path_a)
+        engine_b.database.add_many([query.query_graph for query in queries])
+        engine_b.model_version = engine_a.model_version + 1
+        path_b = tmp_path / "engine_b.snapshot"
+        save_engine(engine_b, path_b)
+        return queries, path_a, path_b
+
+    def test_hot_swap_under_load_never_serves_torn_answers(self, snapshots):
+        queries, path_a, path_b = snapshots
+        reference_a = load_engine(path_a)
+        reference_b = load_engine(path_b)
+        expected_a = [reference_a.query(query) for query in queries]
+        expected_b = [reference_b.query(query) for query in queries]
+        for a, b in zip(expected_a, expected_b):
+            assert a.accepted_ids != b.accepted_ids, "fixtures must be distinguishable"
+
+        handle = start_service_thread(
+            None, snapshot_path=path_a, max_batch=8, max_delay_ms=1.0
+        )
+        stop_traffic = threading.Event()
+        failures = []
+
+        def traffic(worker: int) -> None:
+            try:
+                with ServiceClient(*handle.address) as client:
+                    while not stop_traffic.is_set():
+                        for position, answer in enumerate(client.query_many(queries)):
+                            matches_a = (
+                                answer.accepted_ids == expected_a[position].accepted_ids
+                                and answer.scores == expected_a[position].scores
+                            )
+                            matches_b = (
+                                answer.accepted_ids == expected_b[position].accepted_ids
+                                and answer.scores == expected_b[position].scores
+                            )
+                            if not (matches_a or matches_b):
+                                raise AssertionError(
+                                    f"torn answer for query {position}: "
+                                    f"{sorted(answer.accepted_ids)}"
+                                )
+            except Exception as exc:
+                failures.append((worker, exc))
+
+        threads = [threading.Thread(target=traffic, args=(worker,)) for worker in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            with ServiceClient(*handle.address) as admin:
+                before = admin.stats()
+                assert before["engine"]["model_version"] == 0
+                result = admin.reload(path_b)
+                assert result["model_version"] == 1
+                # After the reload returns, the swap has happened: every new
+                # batch scores on engine B.
+                for position, answer in enumerate(admin.query_many(queries)):
+                    assert answer.accepted_ids == expected_b[position].accepted_ids
+                    assert answer.scores == expected_b[position].scores
+                after = admin.stats()
+                assert after["engine"]["model_version"] == 1
+                assert after["engine"]["database_size"] > before["engine"]["database_size"]
+                assert after["server"]["reload_count"] == 1
+        finally:
+            stop_traffic.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            handle.stop()
+        assert not failures, failures
+
+
+# ---------------------------------------------------------------------- #
+# metrics endpoint
+# ---------------------------------------------------------------------- #
+class TestMetricsEndpoint:
+    def test_metrics_document_shape(self, fitted):
+        # A dedicated engine so cache counters start from zero.
+        engine = BatchQueryEngine.from_search(fitted)
+        handle = start_service_thread(engine, max_batch=8, max_delay_ms=1.0)
+        queries = _random_queries(6, seed=53, with_topk=False)
+        try:
+            with ServiceClient(*handle.address) as client:
+                client.query_many(queries)
+                client.query_many(queries)  # repeats → cache hits
+                metrics = client.stats()
+            assert metrics["serving"]["num_queries"] == 2 * len(queries)
+            assert metrics["serving"]["latency_samples"] == 2 * len(queries)
+            assert 0.0 < metrics["serving"]["p99_latency"]
+            # Satellite: the result-cache hit rate is surfaced here.
+            assert metrics["engine"]["cache"]["hits"] >= len(queries)
+            assert 0.0 < metrics["engine"]["cache"]["hit_rate"] <= 1.0
+            assert metrics["engine"]["prune_counters"]["candidates_generated"] > 0
+            assert metrics["batcher"]["batches_flushed"] >= 1
+            assert metrics["batcher"]["queries_batched"] == 2 * len(queries)
+            assert metrics["admission"]["admitted"] == 2 * len(queries)
+            assert metrics["server"]["uptime_seconds"] > 0.0
+        finally:
+            handle.stop()
+
+    def test_service_requires_engine_or_snapshot(self):
+        from repro.service import SimilarityService
+
+        with pytest.raises(ServiceError):
+            SimilarityService()
+
+    def test_corrupt_reload_answers_with_error_and_keeps_serving(self, engine, tmp_path):
+        """A reload pointed at garbage must fail *loudly* (typed error frame,
+        no hang) and leave the old engine serving."""
+        bad = tmp_path / "corrupt.snapshot"
+        bad.write_bytes(b"this is not a snapshot")
+        handle = start_service_thread(engine, max_batch=4, max_delay_ms=1.0)
+        query = _random_queries(1, seed=59, with_topk=False)[0]
+        try:
+            with ServiceClient(*handle.address, timeout=10.0) as client:
+                with pytest.raises(ServiceError):
+                    client.reload(bad)
+                # Old engine still up and serving identical answers.
+                assert client.stats()["server"]["reload_count"] == 0
+                _assert_identical(client.query(query), engine.query(query))
+        finally:
+            handle.stop()

@@ -1,0 +1,201 @@
+"""Tests for the service wire protocol (repro.service.protocol)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.db.query import QueryAnswer, SimilarityQuery
+from repro.exceptions import (
+    ProtocolError,
+    QueryError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.graphs.graph import Graph
+from repro.service import protocol
+
+
+def _graph(name="wire-graph"):
+    return Graph.from_dicts(
+        {0: "A", 1: "B", 2: "C"},
+        {(0, 1): "x", (1, 2): "y"},
+        name=name,
+    )
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"id": 7, "kind": "query", "payload": [1, 2.5, "x", None, True]}
+        frame = protocol.encode_frame(message)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_frame(frame[4:]) == message
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"[1, 2, 3]")
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"{not json")
+
+    def test_rejects_oversized_announced_frame(self):
+        prefix = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+
+        class FakeSocket:
+            def __init__(self, data):
+                self.data = data
+
+            def recv(self, n):
+                chunk, self.data = self.data[:n], self.data[n:]
+                return chunk
+
+        with pytest.raises(ProtocolError):
+            protocol.recv_frame(FakeSocket(prefix + b"x"))
+
+    def test_sync_recv_reports_clean_eof(self):
+        class ClosedSocket:
+            def recv(self, n):
+                return b""
+
+        assert protocol.recv_frame(ClosedSocket()) is None
+
+    def test_sync_recv_reports_truncated_frame(self):
+        frame = protocol.encode_frame({"id": 1})
+
+        class TruncatedSocket:
+            def __init__(self, data):
+                self.data = data
+
+            def recv(self, n):
+                chunk, self.data = self.data[:n], self.data[n:]
+                return chunk
+
+        with pytest.raises(ProtocolError):
+            protocol.recv_frame(TruncatedSocket(frame[:-2]))
+
+
+class TestGraphCodec:
+    def test_round_trip_preserves_structure_and_labels(self):
+        graph = _graph()
+        decoded = protocol.decode_graph(protocol.encode_graph(graph))
+        assert decoded.name == graph.name
+        assert dict(decoded.vertex_items()) == dict(graph.vertex_items())
+        assert {frozenset((u, v)): label for u, v, label in decoded.edges()} == {
+            frozenset((u, v)): label for u, v, label in graph.edges()
+        }
+
+    def test_tuple_labels_survive(self):
+        graph = Graph.from_dicts(
+            {0: ("A", 1), 1: ("B", 2)}, {(0, 1): ("x", "y")}, name="tuple-labels"
+        )
+        decoded = protocol.decode_graph(protocol.encode_graph(graph))
+        assert dict(decoded.vertex_items()) == {0: ("A", 1), 1: ("B", 2)}
+        assert next(iter(decoded.edges()))[2] == ("x", "y")
+
+    def test_json_round_trip_is_exact(self):
+        """The full frame pipeline (JSON included) must be lossless."""
+        graph = _graph()
+        frame = protocol.encode_frame({"graph": protocol.encode_graph(graph)})
+        decoded = protocol.decode_graph(protocol.decode_frame(frame[4:])["graph"])
+        assert dict(decoded.vertex_items()) == dict(graph.vertex_items())
+
+    def test_unencodable_label_is_rejected(self):
+        graph = Graph.from_dicts({0: object()}, {}, name="bad")
+        with pytest.raises(ProtocolError):
+            protocol.encode_graph(graph)
+
+    def test_malformed_graph_payload(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_graph({"vertices": "nope"})
+
+
+class TestQueryCodec:
+    def test_round_trip(self):
+        query = SimilarityQuery(_graph(), 2, 0.75)
+        decoded = protocol.decode_query(protocol.encode_query(query))
+        assert decoded.tau_hat == 2
+        assert decoded.gamma == 0.75
+        assert decoded.top_k is None
+        assert decoded.branches() == query.branches()
+
+    def test_top_k_round_trip(self):
+        query = SimilarityQuery(_graph(), 1, 0.9, top_k=5)
+        decoded = protocol.decode_query(protocol.encode_query(query))
+        assert decoded.top_k == 5
+
+    def test_invalid_thresholds_surface_as_query_error(self):
+        payload = protocol.encode_query(SimilarityQuery(_graph(), 1, 0.5))
+        payload["gamma"] = 2.0
+        with pytest.raises(QueryError):
+            protocol.decode_query(payload)
+
+    def test_malformed_payload(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_query({"tau_hat": 1})
+
+
+class TestAnswerCodec:
+    def test_round_trip_bit_identical(self):
+        answer = QueryAnswer(
+            method="GBDA",
+            accepted_ids=frozenset({3, 1, 41}),
+            scores={1: 0.1234567890123456789, 3: 1.0 / 3.0, 41: 0.9999999999999999},
+            elapsed_seconds=0.00123,
+            ranking=[(41, 0.9999999999999999), (3, 1.0 / 3.0), (1, 0.1234567890123456789)],
+        )
+        decoded = QueryAnswer.from_wire(answer.to_wire())
+        assert decoded.accepted_ids == answer.accepted_ids
+        assert decoded.scores == answer.scores  # float bits preserved
+        assert decoded.ranking == answer.ranking
+        assert decoded.method == answer.method
+
+    def test_numpy_scalars_are_coerced(self):
+        np = pytest.importorskip("numpy")
+        answer = QueryAnswer(
+            method="GBDA",
+            accepted_ids=frozenset({np.int64(5)}),
+            scores={np.int64(5): np.float64(0.3333333333333333)},
+        )
+        wire = answer.to_wire()
+        assert type(wire["accepted_ids"][0]) is int
+        assert type(wire["scores"][0][1]) is float
+        decoded = QueryAnswer.from_wire(wire)
+        assert decoded.scores == {5: 0.3333333333333333}
+
+    def test_thresholded_answer_has_no_ranking(self):
+        answer = QueryAnswer(method="GBDA", accepted_ids=frozenset({1}), scores={1: 0.5})
+        decoded = QueryAnswer.from_wire(answer.to_wire())
+        assert decoded.ranking is None
+
+    def test_full_json_frame_round_trip_is_exact(self):
+        answer = QueryAnswer(
+            method="GBDA",
+            accepted_ids=frozenset({0, 2}),
+            scores={0: 0.1 + 0.2, 2: 7.0 / 11.0},  # non-representable doubles
+        )
+        frame = protocol.encode_frame({"answer": protocol.encode_answer(answer)})
+        decoded = protocol.decode_answer(protocol.decode_frame(frame[4:])["answer"])
+        assert decoded.scores == answer.scores
+
+    def test_malformed_answer_payload(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_answer({"method": "GBDA"})
+
+
+class TestErrorMapping:
+    def test_overloaded_maps_to_typed_exception(self):
+        response = protocol.error_response(4, protocol.ERROR_OVERLOADED, "shed")
+        exc = protocol.exception_for_error(response)
+        assert isinstance(exc, ServiceOverloadedError)
+
+    def test_bad_request_maps_to_protocol_error(self):
+        response = protocol.error_response(4, protocol.ERROR_BAD_REQUEST, "nope")
+        assert isinstance(protocol.exception_for_error(response), ProtocolError)
+
+    def test_unknown_code_maps_to_service_error(self):
+        exc = protocol.exception_for_error({"error": {"code": "???", "message": "m"}})
+        assert isinstance(exc, ServiceError)
+        assert not isinstance(exc, ServiceOverloadedError)

@@ -54,6 +54,56 @@ class TestLRUSemantics:
             QueryResultCache(capacity=0)
 
 
+class TestConcurrentConsistency:
+    """The asyncio server scrapes stats() from the event loop while the
+    thread-offloaded scoring path hits/evicts concurrently — counters and
+    occupancy must stay mutually consistent (satellite bugfix)."""
+
+    def test_counters_are_exact_under_concurrent_access(self):
+        import threading
+
+        cache = QueryResultCache(capacity=8)
+        num_threads, ops_per_thread = 8, 2000
+        barrier = threading.Barrier(num_threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for index in range(ops_per_thread):
+                key = (worker + index) % 16  # half the keyspace fits → evictions
+                if cache.get(key) is None:
+                    cache.put(key, key)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        readers_saw_consistent = []
+        for _ in range(50):
+            stats = cache.stats()  # concurrent scrapes must never be torn
+            readers_saw_consistent.append(
+                stats["hits"] >= 0
+                and stats["misses"] >= 0
+                and 0.0 <= stats["hit_rate"] <= 1.0
+                and stats["size"] <= stats["capacity"]
+            )
+        for thread in threads:
+            thread.join()
+        assert all(readers_saw_consistent)
+        stats = cache.stats()
+        # Every get() incremented exactly one counter: the totals must add
+        # up exactly — a lost update would break this equality.
+        assert stats["hits"] + stats["misses"] == num_threads * ops_per_thread
+        assert len(cache) <= cache.capacity
+
+    def test_stats_snapshot_is_internally_consistent(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        total = stats["hits"] + stats["misses"]
+        assert stats["hit_rate"] == stats["hits"] / total
+
+
 class TestCacheKey:
     def test_key_is_order_free_over_branches(self):
         branches_a = Counter({("A", ("x",)): 2, ("B", ("y",)): 1})

@@ -1,0 +1,72 @@
+"""Regression tests for the bounded latency ring in ServingStats.
+
+A long-running server records millions of query latencies; before the ring
+the per-query list grew without bound — a slow memory leak whose percentile
+calls also got slower forever.  These tests pin the fix: memory stays fixed
+after 100k records, percentiles track *recent* traffic, and the executor
+and merge paths keep working on the ring.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.serving import ServingStats
+
+
+class TestBoundedLatencyRing:
+    def test_memory_stays_bounded_after_100k_records(self):
+        stats = ServingStats(latency_window=1024)
+        for index in range(100_000):
+            stats.record_latency(index * 1e-6)
+        assert stats.num_queries == 100_000
+        assert len(stats.latencies) == 1024
+        # The ring itself is the only latency storage: its footprint is the
+        # window, not the traffic volume.
+        assert sys.getsizeof(stats.latencies) < 1024 * 64
+
+    def test_percentiles_reflect_recent_traffic(self):
+        stats = ServingStats(latency_window=1000)
+        # An old regime of 1-second latencies...
+        for _ in range(50_000):
+            stats.record_latency(1.0)
+        # ...followed by a full window of 1 ms traffic: every old sample has
+        # been evicted, so the percentiles must describe the new regime.
+        for _ in range(1000):
+            stats.record_latency(0.001)
+        assert stats.p50_latency == 0.001
+        assert stats.p99_latency == 0.001
+        assert stats.mean_latency == pytest.approx(0.001)
+
+    def test_default_window_applies(self):
+        stats = ServingStats()
+        for _ in range(ServingStats.DEFAULT_LATENCY_WINDOW + 500):
+            stats.record_latency(0.01)
+        assert len(stats.latencies) == ServingStats.DEFAULT_LATENCY_WINDOW
+
+    def test_list_input_still_accepted(self):
+        stats = ServingStats(num_queries=2, latencies=[0.1, 0.2])
+        assert stats.p50_latency == 0.1
+        assert list(stats.latencies) == [0.1, 0.2]
+
+    def test_merge_respects_the_ring(self):
+        a = ServingStats(latency_window=4, latencies=[0.1, 0.2, 0.3, 0.4])
+        b = ServingStats(latencies=[0.5, 0.6])
+        a.merge(b)
+        assert list(a.latencies) == [0.3, 0.4, 0.5, 0.6]
+        assert a.percentile(100) == 0.6
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ServingStats(latency_window=0)
+
+    def test_as_dict_reports_window_and_samples(self):
+        stats = ServingStats(latency_window=8)
+        for _ in range(20):
+            stats.record_latency(0.002)
+        summary = stats.as_dict()
+        assert summary["latency_window"] == 8
+        assert summary["latency_samples"] == 8
+        assert summary["num_queries"] == 20
