@@ -1,0 +1,147 @@
+"""Observability overhead: the instrumented stack vs itself with recording off.
+
+The acceptance bar for the observability subsystem is that its default
+configuration — metrics recording on, 1% trace sampling — costs at most 5%
+of batch-scoring throughput.  This benchmark prices exactly that: the same
+engine scores the same query stream twice,
+
+* **instrumented** — ``set_enabled(True)`` plus a ``Tracer(0.01)`` whose
+  sampled batches carry a live :class:`~repro.obs.trace.QueryTrace`
+  (the service's default posture);
+* **baseline** — ``set_enabled(False)`` and no tracing: every counter
+  increment compiles down to one boolean check.
+
+Passes are interleaved A/B/A/B… and the best pass per side is kept, so
+machine drift (thermal, noisy CI neighbours) cancels instead of landing on
+whichever side ran last.  Asserts instrumented QPS >= 0.95x baseline and
+emits ``results/BENCH_obs.json``; ``REPRO_SMOKE=1`` shrinks the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.graphs.generators import random_labeled_graph
+from repro.obs.metrics import set_enabled
+from repro.obs.trace import Tracer
+from repro.serving import BatchQueryEngine
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+DATABASE_SIZE = 300 if SMOKE else 1000
+NUM_QUERIES = 96 if SMOKE else 128           # queries per scoring pass
+BATCH_SIZE = 16
+NUM_ROUNDS = 9                               # interleaved A/B repetitions
+TRACE_SAMPLE_RATE = 0.01                     # the service default
+MIN_QPS_RATIO = 0.95                         # instrumented vs baseline
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(19)
+    graphs = [
+        random_labeled_graph(rng.randint(8, 12), rng.randint(9, 18), seed=rng)
+        for _ in range(DATABASE_SIZE)
+    ]
+    database = GraphDatabase(graphs, name=f"Obs-{DATABASE_SIZE}")
+    search = GBDASearch(database, max_tau=3, num_prior_pairs=300, seed=3).fit()
+    qrng = random.Random(23)
+    queries = [
+        SimilarityQuery(
+            random_labeled_graph(qrng.randint(8, 12), qrng.randint(9, 18), seed=qrng),
+            qrng.randint(1, 3),
+            0.5,
+        )
+        for _ in range(NUM_QUERIES)
+    ]
+    # No result cache: every pass must really score the database.
+    engine = BatchQueryEngine.from_search(search, cache_size=None)
+    batches = [queries[i:i + BATCH_SIZE] for i in range(0, len(queries), BATCH_SIZE)]
+    return engine, batches
+
+
+def _score_pass(engine, batches, tracer) -> float:
+    """One full scoring pass; returns its wall-clock seconds."""
+    start = time.perf_counter()
+    for batch in batches:
+        trace = None if tracer is None else tracer.sample({"bench": True})
+        answers = engine.query_batch(batch, trace=trace)
+        assert len(answers) == len(batch)
+        if trace is not None:
+            trace.finish()
+    return time.perf_counter() - start
+
+
+def test_default_instrumentation_overhead_is_within_budget(workload, results_dir):
+    engine, batches = workload
+    num_queries = sum(len(batch) for batch in batches)
+    _score_pass(engine, batches, None)  # warm posterior tables / allocator
+
+    tracer = Tracer(sample_rate=TRACE_SAMPLE_RATE, seed=7)
+    instrumented_times = []
+    baseline_times = []
+
+    def instrumented_pass() -> None:
+        set_enabled(True)
+        try:
+            instrumented_times.append(_score_pass(engine, batches, tracer))
+        finally:
+            set_enabled(True)
+
+    def baseline_pass() -> None:
+        set_enabled(False)
+        try:
+            baseline_times.append(_score_pass(engine, batches, None))
+        finally:
+            set_enabled(True)
+
+    for round_index in range(NUM_ROUNDS):
+        # Alternate which side runs first so linear machine drift within a
+        # round penalises both sides equally across the run.
+        first, second = (
+            (instrumented_pass, baseline_pass)
+            if round_index % 2 == 0
+            else (baseline_pass, instrumented_pass)
+        )
+        first()
+        second()
+
+    instrumented_qps = num_queries / min(instrumented_times)
+    baseline_qps = num_queries / min(baseline_times)
+    ratio = instrumented_qps / baseline_qps
+
+    record = {
+        "benchmark": "observability_overhead",
+        "smoke": SMOKE,
+        "database_size": DATABASE_SIZE,
+        "num_queries": num_queries,
+        "batch_size": BATCH_SIZE,
+        "rounds": NUM_ROUNDS,
+        "trace_sample_rate": TRACE_SAMPLE_RATE,
+        "instrumented_qps": instrumented_qps,
+        "baseline_qps": baseline_qps,
+        "qps_ratio": ratio,
+        "min_qps_ratio": MIN_QPS_RATIO,
+        "traces_sampled": tracer.sampled,
+    }
+    path = results_dir / "BENCH_obs.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(
+        f"observability overhead: instrumented {instrumented_qps:.1f} qps vs "
+        f"baseline {baseline_qps:.1f} qps (ratio {ratio:.3f}, "
+        f"{tracer.sampled} traces sampled)"
+    )
+
+    assert ratio >= MIN_QPS_RATIO, (
+        f"instrumentation costs more than {(1 - MIN_QPS_RATIO):.0%}: "
+        f"ratio {ratio:.3f} ({json.dumps(record)})"
+    )

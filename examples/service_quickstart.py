@@ -10,7 +10,9 @@ Walks the full operational loop of :mod:`repro.service`:
    requests coalesce in the server's micro-batcher;
 4. scrape the metrics endpoint (QPS, latency percentiles, batch
    occupancy, cache hit rate, admission counters);
-5. hot-swap the engine from a new snapshot with zero downtime.
+5. inspect observability: print a sampled query trace's stage waterfall,
+   the slow-query log, and the first lines of the Prometheus exposition;
+6. hot-swap the engine from a new snapshot with zero downtime.
 
 Run with:  PYTHONPATH=src python examples/service_quickstart.py
 """
@@ -53,9 +55,11 @@ def main() -> None:
     # -- start the server (loads the engine from the snapshot) ----------- #
     handle = start_service_thread(
         snapshot_path=snapshot_v0,
-        max_batch=32,        # flush as soon as 32 queries are waiting ...
-        max_delay_ms=2.0,    # ... or 2 ms after the first one arrived
-        max_pending=256,     # shed load beyond 256 in-flight queries
+        max_batch=32,          # flush as soon as 32 queries are waiting ...
+        max_delay_ms=2.0,      # ... or 2 ms after the first one arrived
+        max_pending=256,       # shed load beyond 256 in-flight queries
+        trace_sample_rate=1.0,  # demo: trace everything (production: ~0.01)
+        slow_query_ms=0.0,      # demo: every query lands in the slow log
     )
     print(f"serving on {handle.host}:{handle.port}")
 
@@ -99,6 +103,21 @@ def main() -> None:
                 },
                 indent=2,
             ))
+
+            # -- observability: trace waterfall, slow log, Prometheus ---- #
+            trace = handle.service.tracer.recent[-1]
+            print("sampled query trace (stage waterfall):")
+            print("  " + trace.render().replace("\n", "\n  "))
+            slow = client.slow()
+            print(
+                f"slow-query log: {slow['total_slow']} above "
+                f"{slow['threshold_ms']}ms, worst recent "
+                f"{max(e['latency_ms'] for e in slow['entries']):.3f}ms"
+            )
+            exposition = client.prometheus()
+            print("prometheus exposition (first lines):")
+            for line in exposition.splitlines()[:6]:
+                print("  " + line)
 
             # -- zero-downtime hot swap ---------------------------------- #
             # (On unix, `kill -HUP <pid>` re-loads the configured snapshot

@@ -16,7 +16,10 @@ Its three layers are exposed here for convenience:
   :class:`~repro.offline.fitter.OfflineFitter`,
 * the service layer (:mod:`repro.service`): an asyncio TCP server that
   micro-batches concurrent remote clients into ``query_batch`` calls, with
-  admission control and zero-downtime snapshot hot swap.
+  admission control and zero-downtime snapshot hot swap,
+* the observability layer (:mod:`repro.obs`): a low-overhead metrics
+  registry instrumenting all of the above, sampled per-query stage
+  waterfalls, a slow-query log, and Prometheus text exposition.
 
 Quickstart
 ----------
@@ -73,6 +76,14 @@ from repro.service import (
     SimilarityService,
     start_service_thread,
 )
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    get_registry,
+    prometheus_text,
+    set_enabled,
+)
 from repro.baselines import (
     AStarGED,
     BranchFilterGED,
@@ -93,7 +104,7 @@ from repro.exceptions import (
     SnapshotError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Graph",
@@ -128,6 +139,12 @@ __all__ = [
     "ServiceClient",
     "AsyncServiceClient",
     "start_service_thread",
+    "MetricsRegistry",
+    "Tracer",
+    "SlowQueryLog",
+    "get_registry",
+    "prometheus_text",
+    "set_enabled",
     "AStarGED",
     "exact_ged",
     "LSAPGED",

@@ -58,6 +58,7 @@ works unchanged over id-preserving shard views
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
@@ -70,8 +71,50 @@ from repro.db.database import GraphDatabase
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import SimilarityQuery
 from repro.exceptions import SearchError
+from repro.obs.metrics import DEFAULT_RATIO_BUCKETS, get_registry
+from repro.obs.trace import active_trace
 
 __all__ = ["CandidateScores", "ExecutionCore", "FilterCounters"]
+
+# Metric children are bound once at import time (see repro.obs.metrics) and
+# deliberately *not* stored on core instances — cores are pickled into pool
+# workers, whose own import of this module rebinds against the worker-local
+# registry; the executor folds worker deltas back via MetricsRegistry.merge.
+_STAGE_SECONDS = get_registry().histogram(
+    "repro_stage_seconds", "Execution-core stage durations in seconds", ("stage",)
+)
+_PLAN_CHOICES = get_registry().counter(
+    "repro_plan_choices_total", "Verification plans picked by the selectivity cost model", ("plan",)
+)
+_PLAN_SELECTIVITY = get_registry().histogram(
+    "repro_plan_selectivity",
+    "Fraction of generated candidates actually verified, per scoring pass",
+    ("plan",),
+    buckets=DEFAULT_RATIO_BUCKETS,
+)
+_STAGE_SCORE_DENSE = _STAGE_SECONDS.labels(stage="score_dense")
+_STAGE_BOUND_FILTER = _STAGE_SECONDS.labels(stage="bound_filter")
+_STAGE_VERIFY = _STAGE_SECONDS.labels(stage="verify")
+_STAGE_BATCH_SCORE = _STAGE_SECONDS.labels(stage="batch_score")
+_STAGE_TOPK = _STAGE_SECONDS.labels(stage="topk")
+_PLAN_DENSE = _PLAN_CHOICES.labels(plan="dense")
+_PLAN_SPARSE = _PLAN_CHOICES.labels(plan="sparse")
+_SELECTIVITY_DENSE = _PLAN_SELECTIVITY.labels(plan="dense")
+_SELECTIVITY_SPARSE = _PLAN_SELECTIVITY.labels(plan="sparse")
+
+
+def _record_stage(stage_child, name: str, started: float) -> None:
+    """Observe one stage's duration and mirror it into the active trace.
+
+    Core stages land at depth 1 of the batch-level trace the engine
+    activates (see :mod:`repro.obs.trace`), nesting under the engine's own
+    depth-0 spans when grafted into a sampled query's waterfall.
+    """
+    seconds = time.perf_counter() - started
+    stage_child.observe(seconds)
+    trace = active_trace()
+    if trace is not None:
+        trace.add(name, seconds, depth=1)
 
 #: A published lookup table: the dense matrix plus the orders whose rows
 #: are guaranteed filled *in that matrix* (immutable, swapped atomically).
@@ -271,6 +314,11 @@ class ExecutionCore:
         #: core answered (updated under a dedicated lock; see FilterCounters).
         self.filter_counters = FilterCounters()
         self._counter_lock = threading.Lock()
+        # Bounded per-(τ̂, γ) selectivity observations: running totals of
+        # generated/bound-surviving cells and plan choices per parameter
+        # shape — the feed a learned self-tuning execution layer will train
+        # on (see selectivity_report).  Plain picklable data.
+        self._selectivity_obs: Dict[Tuple[int, float], Dict[str, float]] = {}
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -415,6 +463,59 @@ class ExecutionCore:
                 counters.sparse_passes += 1
             elif sparse is False:
                 counters.dense_passes += 1
+        if sparse is True:
+            _PLAN_SPARSE.inc()
+            if generated:
+                _SELECTIVITY_SPARSE.observe(verified / generated)
+        elif sparse is False:
+            _PLAN_DENSE.inc()
+            if generated:
+                _SELECTIVITY_DENSE.observe(verified / generated)
+
+    def _observe_selectivity(
+        self, tau_hat: int, gamma: float, generated: int, survived: int, plan: str
+    ) -> None:
+        """Fold one pruned pass's bound-filter outcome into the (τ̂, γ) store."""
+        with self._counter_lock:
+            if len(self._selectivity_obs) > 256:
+                self._selectivity_obs = {}
+            key = (int(tau_hat), float(gamma))
+            entry = self._selectivity_obs.get(key)
+            if entry is None:
+                entry = {"passes": 0, "generated": 0, "survived": 0, "dense": 0, "sparse": 0}
+                self._selectivity_obs[key] = entry
+            entry["passes"] += 1
+            entry["generated"] += int(generated)
+            entry["survived"] += int(survived)
+            if plan in ("dense", "sparse"):
+                entry[plan] += 1
+
+    def selectivity_report(self) -> List[Dict[str, float]]:
+        """Observed per-(τ̂, γ) bound-filter selectivity, one row per shape.
+
+        Each row aggregates every pruned pass this core ran at one
+        parameter shape: how many (query, graph) cells the bound filter
+        saw, how many survived it, and which verification plan the cost
+        model picked — exactly the signal a learned plan chooser needs.
+        """
+        with self._counter_lock:
+            items = [(key, dict(entry)) for key, entry in self._selectivity_obs.items()]
+        rows = []
+        for (tau_hat, gamma), entry in sorted(items):
+            generated = entry["generated"]
+            rows.append(
+                {
+                    "tau_hat": tau_hat,
+                    "gamma": gamma,
+                    "passes": entry["passes"],
+                    "generated": generated,
+                    "survived": entry["survived"],
+                    "selectivity": entry["survived"] / generated if generated else 0.0,
+                    "dense_passes": entry["dense"],
+                    "sparse_passes": entry["sparse"],
+                }
+            )
+        return rows
 
     # ------------------------------------------------------------------ #
     # γ-threshold inversion: (τ̂, γ) acceptance as a max-acceptable GBD
@@ -632,6 +733,7 @@ class ExecutionCore:
     ) -> CandidateScores:
         """Score one query against every database graph; return dense results."""
         self.validate_tau(query.tau_hat)
+        started = time.perf_counter()
         graph = query.query_graph
         branches = query.branches() if query_branches is None else query_branches
         store = self.ensure_index().store
@@ -654,6 +756,7 @@ class ExecutionCore:
         if eligible is not None:
             accepted &= eligible
         self._count(len(gbds), 0, len(gbds), sparse=False)
+        _record_stage(_STAGE_SCORE_DENSE, "score_dense", started)
         return CandidateScores(global_ids, gbds, posteriors, accepted, eligible)
 
     def execute_pruned(
@@ -710,6 +813,7 @@ class ExecutionCore:
 
         # Step 4 inverted: per distinct extended order, the largest GBD an
         # accepted graph may have (and, with pruning, may survive at all).
+        filter_started = time.perf_counter()
         thresholds = self._thresholds_for(tau_hat, gamma, extended)
         if use_pruning:
             thresholds = np.minimum(thresholds, max_gbd_for_ged(tau_hat))
@@ -721,6 +825,8 @@ class ExecutionCore:
         eligible_orders = lower_bounds <= thresholds
         if not eligible_orders.any():
             self._count(num_rows, num_rows, 0)
+            self._observe_selectivity(tau_hat, gamma, num_rows, 0, "sparse")
+            _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
             empty = np.empty(0, dtype=np.int64)
             return CandidateScores(
                 empty,
@@ -743,9 +849,14 @@ class ExecutionCore:
             if len(self._dense_signatures) > 4096:
                 self._dense_signatures = {}
             self._dense_signatures[signature] = _DENSE_SIGNATURE_TTL
+            self._observe_selectivity(tau_hat, gamma, num_rows, num_eligible, "dense")
+            _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
             return self.execute(query, query_branches=branches, use_pruning=use_pruning)
         positions = self._eligible_positions(db_orders, distinct, eligible_orders)
         self._count(num_rows, num_rows - num_eligible, num_eligible, sparse=True)
+        self._observe_selectivity(tau_hat, gamma, num_rows, num_eligible, "sparse")
+        _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
+        verify_started = time.perf_counter()
 
         # Verification: exact GBDs for the survivors only, through the
         # (key, order)-block index — pruned rows' postings are never read.
@@ -769,6 +880,7 @@ class ExecutionCore:
             hit_posteriors = lut[sub_orders[hits], sub_gbds[hits]].tolist()
         else:
             hit_posteriors = []
+        _record_stage(_STAGE_VERIFY, "verify", verify_started)
         return CandidateScores(
             sub_ids,
             sub_gbds,
@@ -811,6 +923,7 @@ class ExecutionCore:
             query_branches = [query.branches() for query in queries]
         if pruned and need == "accepted" and queries:
             return self._execute_batch_pruned(queries, query_branches, use_pruning)
+        started = time.perf_counter()
         store = self.ensure_index().store
         # One coherent snapshot for the whole batch (see execute()).
         csr, db_orders, global_ids = store.view()
@@ -900,6 +1013,7 @@ class ExecutionCore:
                     accepted_items=(hit_ids[lo:hi], hit_posteriors[lo:hi]),
                 )
             start = end
+        _record_stage(_STAGE_BATCH_SCORE, "batch_score", started)
         return results  # type: ignore[return-value]
 
     def _execute_batch_pruned(
@@ -950,6 +1064,7 @@ class ExecutionCore:
             )
             group_branches = [query_branches[i] for i in group]
             # (group, distinct-order) extended orders and bound elimination.
+            filter_started = time.perf_counter()
             extended = np.maximum(vertices[:, None], distinct[None, :])
             unique_orders = np.unique(extended)
             if not self._use_tables(
@@ -973,6 +1088,8 @@ class ExecutionCore:
             generated = group_size * num_rows
             if not union_orders.any():
                 self._count(generated, generated, 0)
+                self._observe_selectivity(tau_hat, gamma, generated, 0, "sparse")
+                _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
                 for i in group:
                     results[i] = CandidateScores(
                         empty,
@@ -985,7 +1102,12 @@ class ExecutionCore:
                     )
                 continue
             _row_order, starts, ends = self._order_partition(db_orders, distinct)
-            if int((ends - starts)[union_orders].sum()) * _SPARSE_COST_FACTOR > num_rows:
+            union_rows = int((ends - starts)[union_orders].sum())
+            if union_rows * _SPARSE_COST_FACTOR > num_rows:
+                self._observe_selectivity(
+                    tau_hat, gamma, generated, group_size * union_rows, "dense"
+                )
+                _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
                 # Low selectivity: re-run this group through the plain dense
                 # batch machinery (cached order rows, whole-matrix LUT
                 # classification) — answers are identical either way.
@@ -1009,6 +1131,9 @@ class ExecutionCore:
             # work truly skipped, not per-query eligibility.
             verified = group_size * len(positions)
             self._count(generated, generated - verified, verified, sparse=True)
+            self._observe_selectivity(tau_hat, gamma, generated, verified, "sparse")
+            _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
+            verify_started = time.perf_counter()
             intersections = np.vstack(
                 [
                     store.intersection_for_orders(
@@ -1060,6 +1185,7 @@ class ExecutionCore:
                     accepted_items=(hit_ids[lo:hi], hit_posteriors[lo:hi]),
                     positions=positions,
                 )
+            _record_stage(_STAGE_VERIFY, "verify", verify_started)
         return results  # type: ignore[return-value]
 
     def execute_topk(
@@ -1083,6 +1209,7 @@ class ExecutionCore:
         candidate set (``GBD <= 2 τ̂``), mirroring the pruning search.
         """
         self.validate_tau(query.tau_hat)
+        started = time.perf_counter()
         k = int(k)
         if k < 1:
             raise self.error_class("top_k must be a positive integer")
@@ -1110,6 +1237,7 @@ class ExecutionCore:
             ranked = candidates[
                 np.lexsort((global_ids[candidates], -posteriors[candidates]))
             ][:k]
+            _record_stage(_STAGE_TOPK, "topk", started)
             return [
                 (int(global_ids[row]), float(posteriors[row])) for row in ranked
             ]
@@ -1189,6 +1317,7 @@ class ExecutionCore:
             scored_ids.append(global_ids[zero_rows])
             scored_posteriors.append(np.zeros(len(zero_rows), dtype=np.float64))
         self._count(num_rows, num_rows - verified, verified, sparse=None)
+        _record_stage(_STAGE_TOPK, "topk", started)
         if not scored_ids:
             return []
         ids = np.concatenate(scored_ids)

@@ -44,7 +44,35 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 __all__ = ["ColumnarBranchStore"]
+
+# Kernel call/row counters (repro.obs): children are bound once at import so
+# the per-call cost is one attribute add — the kernels below are the hot path
+# of every online query.  Rows count the cells each call produced (D for a
+# dense row, Q·D for a matrix, E for compacted kernels), making
+# ``rows / calls`` an instant read on how selective the pruned layer is.
+_KERNEL_CALLS = get_registry().counter(
+    "repro_kernel_calls_total", "Columnar CSR kernel invocations", ("kernel",)
+)
+_KERNEL_ROWS = get_registry().counter(
+    "repro_kernel_rows_total", "Result cells produced by columnar CSR kernels", ("kernel",)
+)
+_CALLS_ROW = _KERNEL_CALLS.labels(kernel="intersection_row")
+_ROWS_ROW = _KERNEL_ROWS.labels(kernel="intersection_row")
+_CALLS_MATRIX = _KERNEL_CALLS.labels(kernel="intersection_matrix")
+_ROWS_MATRIX = _KERNEL_ROWS.labels(kernel="intersection_matrix")
+_CALLS_SUBROW = _KERNEL_CALLS.labels(kernel="intersection_subrow")
+_ROWS_SUBROW = _KERNEL_ROWS.labels(kernel="intersection_subrow")
+_CALLS_FOR_ORDERS = _KERNEL_CALLS.labels(kernel="intersection_for_orders")
+_ROWS_FOR_ORDERS = _KERNEL_ROWS.labels(kernel="intersection_for_orders")
+_CALLS_SUBMATRIX = _KERNEL_CALLS.labels(kernel="intersection_submatrix")
+_ROWS_SUBMATRIX = _KERNEL_ROWS.labels(kernel="intersection_submatrix")
+_CALLS_BOUND_ROW = _KERNEL_CALLS.labels(kernel="gbd_lower_bound_row")
+_ROWS_BOUND_ROW = _KERNEL_ROWS.labels(kernel="gbd_lower_bound_row")
+_CALLS_BOUND_MATRIX = _KERNEL_CALLS.labels(kernel="gbd_lower_bound_matrix")
+_ROWS_BOUND_MATRIX = _KERNEL_ROWS.labels(kernel="gbd_lower_bound_matrix")
 
 #: The compacted arrays travel together with the number of rows they
 #: cover: (offsets, positions, counts, rows_covered).
@@ -361,6 +389,8 @@ class ColumnarBranchStore:
         computing against (see :meth:`view`).
         """
         csr, num_graphs = view if view is not None else (None, self.num_graphs)
+        _CALLS_ROW.inc()
+        _ROWS_ROW.inc(num_graphs)
         gathered = self._gather((query_branches,), csr)
         if gathered is None:
             return np.zeros(num_graphs, dtype=np.int64)
@@ -384,6 +414,8 @@ class ColumnarBranchStore:
         """
         num_queries = len(query_branch_sets)
         csr, num_graphs = view if view is not None else (None, self.num_graphs)
+        _CALLS_MATRIX.inc()
+        _ROWS_MATRIX.inc(num_queries * num_graphs)
         gathered = self._gather(query_branch_sets, csr)
         if gathered is None:
             return np.zeros((num_queries, num_graphs), dtype=np.int64)
@@ -444,6 +476,8 @@ class ColumnarBranchStore:
         the per-row order vector of the caller's snapshot.
         """
         orders = self.orders() if db_orders is None else db_orders
+        _CALLS_BOUND_ROW.inc()
+        _ROWS_BOUND_ROW.inc(len(orders))
         total = self.matched_query_total(query_branches)
         return np.maximum(int(num_query_vertices), orders) - np.minimum(total, orders)
 
@@ -457,6 +491,8 @@ class ColumnarBranchStore:
         """Batched form of :meth:`gbd_lower_bound_row`: the ``(Q, D)`` bound matrix."""
         orders = self.orders() if db_orders is None else db_orders
         vertices = np.asarray(list(num_query_vertices), dtype=np.int64)
+        _CALLS_BOUND_MATRIX.inc()
+        _ROWS_BOUND_MATRIX.inc(len(vertices) * len(orders))
         totals = np.asarray(
             [self.matched_query_total(branches) for branches in query_branch_sets],
             dtype=np.int64,
@@ -506,6 +542,8 @@ class ColumnarBranchStore:
         offsets, _all_positions, all_counts, _rows = csr
         positions = np.asarray(positions, dtype=np.int64)
         num_positions = len(positions)
+        _CALLS_SUBROW.inc()
+        _ROWS_SUBROW.inc(num_positions)
         out = np.zeros(num_positions, dtype=np.int64)
         if num_positions == 0 or len(all_counts) == 0:
             return out
@@ -580,6 +618,8 @@ class ColumnarBranchStore:
         offsets, all_positions, all_counts, _rows = csr
         positions = np.asarray(positions, dtype=np.int64)
         num_positions = len(positions)
+        _CALLS_FOR_ORDERS.inc()
+        _ROWS_FOR_ORDERS.inc(num_positions)
         out = np.zeros(num_positions, dtype=np.int64)
         if num_positions == 0 or len(all_positions) == 0:
             return out
@@ -634,6 +674,8 @@ class ColumnarBranchStore:
         num_queries = len(query_branch_sets)
         csr = view[0] if view is not None else None
         positions = np.asarray(positions, dtype=np.int64)
+        _CALLS_SUBMATRIX.inc()
+        _ROWS_SUBMATRIX.inc(num_queries * len(positions))
         out = np.zeros((num_queries, len(positions)), dtype=np.int64)
         if positions.size == 0:
             return out

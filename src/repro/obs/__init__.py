@@ -1,0 +1,81 @@
+"""repro.obs — unified observability: metrics, tracing, exposition.
+
+The telemetry substrate threaded through every layer of the stack
+(columnar kernels → execution core → serving engine/executor → service):
+
+* :mod:`~repro.obs.metrics` — a low-overhead registry of named counters,
+  gauges, and fixed-bucket histograms with label support, a global enable
+  switch, and ``dump()``/``merge()``/``diff()`` for folding pool-worker
+  deltas back into the parent process;
+* :mod:`~repro.obs.trace` — sampled per-query stage waterfalls
+  (:class:`Tracer` / :class:`QueryTrace`), the thread-active-trace hook
+  deep layers record into, and the bounded :class:`SlowQueryLog`;
+* :mod:`~repro.obs.export` — Prometheus text exposition (v0.0.4) and the
+  :func:`dump` snapshot API for offline/benchmark use.
+
+Quickstart
+----------
+>>> from repro import obs
+>>> qps = obs.get_registry().counter("my_queries_total", "Queries served")
+>>> qps.inc()
+>>> obs.dump()["my_queries_total"]["samples"][0]["value"]
+1.0
+>>> print(obs.prometheus_text().splitlines()[0])  # doctest: +SKIP
+# HELP my_queries_total Queries served
+"""
+
+from repro.obs.export import prometheus_text, snapshot
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_enabled,
+)
+from repro.obs.trace import (
+    QueryTrace,
+    SlowQueryLog,
+    Span,
+    Tracer,
+    activate,
+    activated,
+    active_trace,
+    deactivate,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "get_registry",
+    "metrics_enabled",
+    "set_enabled",
+    "QueryTrace",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "activate",
+    "activated",
+    "active_trace",
+    "deactivate",
+    "prometheus_text",
+    "snapshot",
+    "dump",
+]
+
+
+def dump(registry=None):
+    """Snapshot the (default) registry as a plain JSON-able dict.
+
+    The offline/benchmark API: one call returns every counter, gauge, and
+    histogram the instrumented layers recorded so far — no server, no
+    scraper.  See :func:`repro.obs.export.snapshot` for the shape.
+    """
+    return snapshot(registry)

@@ -1,0 +1,113 @@
+"""Metric exposition: Prometheus text format v0.0.4 and snapshot dicts.
+
+Two consumers, two renderings of one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`prometheus_text` — the machine-scrapeable form served by the
+  service's plain-HTTP ``/metrics`` listener and the ``prometheus`` admin
+  command.  Follows the text exposition format v0.0.4: one ``# HELP`` /
+  ``# TYPE`` header per family, escaped label values, histograms as
+  cumulative ``_bucket{le=…}`` series plus ``_sum`` / ``_count``.
+* :func:`snapshot` — a plain JSON-able dict (``repro.obs.dump()``) for
+  offline runs and benchmarks that want the same numbers without a
+  scraper: label tuples become nested ``{"labels": {...}, "value": ...}``
+  sample records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["prometheus_text", "snapshot"]
+
+#: Content type a /metrics HTTP response must declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labelnames, label_values, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, label_values)
+    ]
+    if extra:
+        pairs.extend(f'{name}="{_escape_label_value(str(value))}"' for name, value in extra.items())
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry in the Prometheus text exposition format v0.0.4."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help or family.name)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, child in family.series():
+            labels = _render_labels(family.labelnames, label_values)
+            if family.kind == "histogram":
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(child.bounds, cumulative):
+                    bucket_labels = _render_labels(
+                        family.labelnames, label_values, {"le": _format_value(bound)}
+                    )
+                    lines.append(f"{family.name}_bucket{bucket_labels} {count}")
+                inf_labels = _render_labels(family.labelnames, label_values, {"le": "+Inf"})
+                lines.append(f"{family.name}_bucket{inf_labels} {cumulative[-1]}")
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """JSON-able snapshot of every metric (the ``repro.obs.dump()`` API).
+
+    Shape: ``{name: {"kind", "help", "samples": [{"labels": {...},
+    ...value fields...}]}}`` — counters/gauges carry ``"value"``,
+    histograms carry ``"count"`` / ``"sum"`` / ``"buckets"`` (upper bound →
+    cumulative count, with ``"+Inf"`` last).
+    """
+    registry = registry if registry is not None else get_registry()
+    out: Dict[str, Any] = {}
+    for family in registry.families():
+        samples = []
+        for label_values, child in family.series():
+            labels = dict(zip(family.labelnames, label_values))
+            if family.kind == "histogram":
+                cumulative = child.cumulative_counts()
+                buckets = {
+                    _format_value(bound): count
+                    for bound, count in zip(child.bounds, cumulative)
+                }
+                buckets["+Inf"] = cumulative[-1]
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": buckets,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        out[family.name] = {"kind": family.kind, "help": family.help, "samples": samples}
+    return out

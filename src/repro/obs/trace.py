@@ -1,0 +1,337 @@
+"""Per-query structured tracing: sampled stage waterfalls + slow-query log.
+
+A :class:`QueryTrace` records the *stage waterfall* of one query's trip
+through the stack — admission → decode → batcher (queue wait → score,
+with the engine's cache-probe / bound-filter / verify sub-stages nested
+below) → serialize — with monotonic-clock timings.  Traces are **sampled**
+(:class:`Tracer`): the unsampled hot path costs one random draw and one
+branch, so the default 1% rate is essentially free while still yielding a
+steady stream of fully-timed exemplar queries.
+
+Stage conventions:
+
+* depth 0 — the handler-level stages whose durations partition the
+  end-to-end latency (the acceptance criterion: depth-0 durations sum to
+  within 10% of the recorded total);
+* depth 1 — sub-stages nested inside a depth-0 stage (queue wait and
+  scoring inside ``batcher``);
+* depth 2+ — engine/core internals (bound filter, verification, LUT
+  classification) copied in from the batch-level trace.
+
+Deep layers (:mod:`repro.core.plan`, :class:`~repro.serving.engine.BatchQueryEngine`)
+never receive a trace argument; they record into the **thread-active**
+trace (:func:`activate` / :func:`active_trace`, one ``threading.local``
+read when unsampled) installed by whoever owns the query — the engine's
+batch path activates the batch trace inside the scoring thread, so core
+instrumentation works unchanged for direct engine calls, the executor,
+and the service.
+
+:class:`SlowQueryLog` is the tail-latency companion: queries whose
+end-to-end latency exceeds a configurable threshold are appended to a
+bounded ring together with their waterfall (when sampled), exposed by the
+service's ``slow`` admin command.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "QueryTrace",
+    "Tracer",
+    "SlowQueryLog",
+    "activate",
+    "deactivate",
+    "active_trace",
+    "activated",
+]
+
+
+class Span:
+    """One timed stage of a trace: name, offset from trace start, duration."""
+
+    __slots__ = ("name", "offset", "seconds", "depth")
+
+    def __init__(self, name: str, offset: float, seconds: float, depth: int = 0) -> None:
+        self.name = name
+        self.offset = offset
+        self.seconds = seconds
+        self.depth = depth
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "offset_ms": self.offset * 1e3,
+            "duration_ms": self.seconds * 1e3,
+            "depth": self.depth,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} +{self.offset * 1e3:.2f}ms {self.seconds * 1e3:.3f}ms d{self.depth}>"
+
+
+class QueryTrace:
+    """The recorded stage waterfall of one query.
+
+    Spans are appended in completion order; :attr:`total_seconds` is
+    stamped by :meth:`finish`.  ``detail`` carries query identity (τ̂, γ,
+    top-k, connection) for the slow log and the admin ``traces`` command.
+    """
+
+    __slots__ = ("spans", "detail", "started_at", "total_seconds", "_owner")
+
+    def __init__(self, detail: Optional[Dict[str, Any]] = None, owner: Optional["Tracer"] = None):
+        self.spans: List[Span] = []
+        self.detail: Dict[str, Any] = detail or {}
+        self.started_at = time.perf_counter()
+        self.total_seconds: Optional[float] = None
+        self._owner = owner
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def add(
+        self, name: str, seconds: float, *, depth: int = 0, offset: Optional[float] = None
+    ) -> Span:
+        """Record an externally-timed stage; offset defaults to 'now - duration'."""
+        if offset is None:
+            offset = max(time.perf_counter() - self.started_at - seconds, 0.0)
+        span = Span(name, offset, seconds, depth)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, depth: int = 0):
+        """Context manager timing one stage with the monotonic clock."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            end = time.perf_counter()
+            self.spans.append(Span(name, start - self.started_at, end - start, depth))
+
+    def graft(self, other: "QueryTrace", *, depth_shift: int = 1) -> None:
+        """Copy another trace's spans in, shifted one nesting level down.
+
+        Used to embed the batch-level engine waterfall into each sampled
+        query's trace: the batch stages become depth ``original + shift``
+        children of the query's ``batcher`` stage.
+        """
+        base = max(time.perf_counter() - self.started_at - (other.elapsed_seconds()), 0.0)
+        for span in other.spans:
+            self.spans.append(
+                Span(span.name, base + span.offset, span.seconds, span.depth + depth_shift)
+            )
+
+    def finish(self, total_seconds: Optional[float] = None) -> "QueryTrace":
+        """Stamp the end-to-end duration and publish to the owning tracer."""
+        self.total_seconds = (
+            total_seconds
+            if total_seconds is not None
+            else time.perf_counter() - self.started_at
+        )
+        if self._owner is not None:
+            self._owner._record(self)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def elapsed_seconds(self) -> float:
+        """Total if finished, else the live monotonic elapsed time."""
+        if self.total_seconds is not None:
+            return self.total_seconds
+        return time.perf_counter() - self.started_at
+
+    def stage_seconds(self, depth: Optional[int] = 0) -> Dict[str, float]:
+        """Per-stage summed durations, optionally restricted to one depth."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            if depth is None or span.depth == depth:
+                out[span.name] = out.get(span.name, 0.0) + span.seconds
+        return out
+
+    def waterfall_coverage(self) -> float:
+        """Fraction of the end-to-end latency covered by depth-0 stages."""
+        total = self.total_seconds
+        if not total:
+            return 0.0
+        return sum(span.seconds for span in self.spans if span.depth == 0) / total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (admin ``traces`` command / slow log entries)."""
+        return {
+            "total_ms": None if self.total_seconds is None else self.total_seconds * 1e3,
+            "detail": dict(self.detail),
+            "spans": [span.to_dict() for span in sorted(self.spans, key=lambda s: s.offset)],
+        }
+
+    def render(self) -> str:
+        """Human-readable waterfall (quickstart example / debugging)."""
+        lines = []
+        total = self.elapsed_seconds()
+        lines.append(f"trace {self.detail or ''} total={total * 1e3:.3f}ms")
+        for span in sorted(self.spans, key=lambda s: (s.offset, s.depth)):
+            lines.append(
+                f"  {'  ' * span.depth}{span.name:<24}"
+                f" +{span.offset * 1e3:8.3f}ms  {span.seconds * 1e3:8.3f}ms"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<QueryTrace spans={len(self.spans)} total={self.total_seconds}>"
+
+
+class Tracer:
+    """Samples queries for tracing and keeps a bounded ring of finished traces.
+
+    ``sample_rate`` ∈ [0, 1]; :meth:`sample` returns a live
+    :class:`QueryTrace` for roughly that fraction of calls and ``None``
+    for the rest — the caller's unsampled path is one branch.
+    """
+
+    def __init__(self, sample_rate: float = 0.01, *, keep: int = 64, seed: Optional[int] = None):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must lie in [0, 1]")
+        self.sample_rate = float(sample_rate)
+        self.seen = 0
+        self.sampled = 0
+        self.recent: Deque[QueryTrace] = deque(maxlen=int(keep))
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def sample(self, detail: Optional[Dict[str, Any]] = None) -> Optional[QueryTrace]:
+        """Return a new trace for ~``sample_rate`` of calls, else ``None``."""
+        self.seen += 1
+        if self.sample_rate <= 0.0 or self._random.random() >= self.sample_rate:
+            return None
+        self.sampled += 1
+        return QueryTrace(detail, owner=self)
+
+    def _record(self, trace: QueryTrace) -> None:
+        with self._lock:
+            self.recent.append(trace)
+
+    def recent_traces(self, limit: int = 16) -> List[Dict[str, Any]]:
+        """The most recent finished traces, newest first, as dicts."""
+        with self._lock:
+            newest = list(self.recent)[-int(limit):]
+        return [trace.to_dict() for trace in reversed(newest)]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sample_rate": self.sample_rate,
+            "seen": self.seen,
+            "sampled": self.sampled,
+            "retained": len(self.recent),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Tracer rate={self.sample_rate} sampled={self.sampled}/{self.seen}>"
+
+
+# ---------------------------------------------------------------------- #
+# thread-active trace: how deep layers find the current query's trace
+# ---------------------------------------------------------------------- #
+_ACTIVE = threading.local()
+
+
+def activate(trace: Optional[QueryTrace]) -> None:
+    """Install ``trace`` as the calling thread's active trace (None clears)."""
+    _ACTIVE.trace = trace
+
+
+def deactivate() -> None:
+    """Clear the calling thread's active trace."""
+    _ACTIVE.trace = None
+
+
+def active_trace() -> Optional[QueryTrace]:
+    """The calling thread's active trace, or ``None`` (the hot-path check)."""
+    return getattr(_ACTIVE, "trace", None)
+
+
+@contextmanager
+def activated(trace: Optional[QueryTrace]):
+    """Scope ``trace`` as the thread-active trace, restoring the previous one."""
+    previous = active_trace()
+    _ACTIVE.trace = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE.trace = previous
+
+
+# ---------------------------------------------------------------------- #
+# slow-query log
+# ---------------------------------------------------------------------- #
+class SlowQueryLog:
+    """Bounded ring of queries slower than a configurable threshold.
+
+    Entries carry the end-to-end latency, the query's identity detail, and
+    — when the query happened to be trace-sampled — its full stage
+    waterfall.  Appends are O(1) (``deque(maxlen=…)``), reads snapshot
+    under a lock, so a scrape racing live traffic sees a consistent list.
+    """
+
+    def __init__(self, threshold_ms: float = 250.0, capacity: int = 128) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be non-negative")
+        if capacity < 1:
+            raise ValueError("capacity must be a positive integer")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = int(capacity)
+        self.total_slow = 0
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        latency_seconds: float,
+        detail: Optional[Dict[str, Any]] = None,
+        trace: Optional[QueryTrace] = None,
+    ) -> bool:
+        """Append one query if it crossed the threshold; return whether it did."""
+        if latency_seconds * 1e3 < self.threshold_ms:
+            return False
+        entry = {
+            "latency_ms": latency_seconds * 1e3,
+            "recorded_at": time.time(),
+            "detail": dict(detail or {}),
+            "trace": None if trace is None else trace.to_dict(),
+        }
+        with self._lock:
+            self.total_slow += 1
+            self._entries.append(entry)
+        return True
+
+    def entries(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Slowest-recent entries, newest first."""
+        with self._lock:
+            newest = list(self._entries)
+        newest.reverse()
+        return newest if limit is None else newest[: int(limit)]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Summary + entries document for the ``slow`` admin command."""
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "total_slow": self.total_slow,
+            "entries": self.entries(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlowQueryLog >={self.threshold_ms}ms "
+            f"kept={len(self._entries)}/{self.capacity} total={self.total_slow}>"
+        )

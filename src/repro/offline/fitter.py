@@ -39,7 +39,20 @@ from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
 from repro.db.database import GraphDatabase, StoredGraph
 from repro.exceptions import SearchError
+from repro.obs.metrics import get_registry
 from repro.offline.parallel import compute_pair_gbds
+
+_FITS = get_registry().counter(
+    "repro_offline_fits_total", "Offline (re)fits completed", ("kind",)
+)
+_FITS_FULL = _FITS.labels(kind="full")
+_FITS_INCREMENTAL = _FITS.labels(kind="incremental")
+_FIT_SECONDS = get_registry().gauge(
+    "repro_offline_fit_seconds", "Duration of the most recent offline (re)fit"
+)
+_MODEL_VERSION = get_registry().gauge(
+    "repro_offline_model_version", "Version of the most recently fitted model"
+)
 
 __all__ = ["OfflineFitter", "OfflineFitReport"]
 
@@ -176,6 +189,9 @@ class OfflineFitter:
             new_orders=orders,
             seconds=time.perf_counter() - start,
         )
+        _FITS_FULL.inc()
+        _FIT_SECONDS.set(self.last_report.seconds)
+        _MODEL_VERSION.set(self.version)
         return self
 
     # ------------------------------------------------------------------ #
@@ -251,6 +267,9 @@ class OfflineFitter:
             new_orders=new_orders,
             seconds=time.perf_counter() - start,
         )
+        _FITS_INCREMENTAL.inc()
+        _FIT_SECONDS.set(self.last_report.seconds)
+        _MODEL_VERSION.set(self.version)
         return True
 
     # ------------------------------------------------------------------ #

@@ -26,8 +26,21 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.exceptions import ServiceError
+from repro.obs.metrics import get_registry
 
 __all__ = ["AdmissionController"]
+
+_ADMITTED = get_registry().counter(
+    "repro_admission_admitted_total", "Queries admitted into the micro-batcher"
+)
+_REJECTED = get_registry().counter(
+    "repro_admission_rejected_total", "Queries shed by admission control", ("reason",)
+)
+_REJECTED_PENDING = _REJECTED.labels(reason="max_pending")
+_REJECTED_CONNECTION = _REJECTED.labels(reason="per_connection")
+_PENDING_GAUGE = get_registry().gauge(
+    "repro_admission_pending", "Admitted, not-yet-answered queries"
+)
 
 
 class AdmissionController:
@@ -63,13 +76,17 @@ class AdmissionController:
         """Admit one query from ``connection_id`` if both budgets allow it."""
         if self._pending >= self.max_pending:
             self.rejected += 1
+            _REJECTED_PENDING.inc()
             return False
         if self._per_connection.get(connection_id, 0) >= self.max_per_connection:
             self.rejected += 1
+            _REJECTED_CONNECTION.inc()
             return False
         self._pending += 1
         self._per_connection[connection_id] = self._per_connection.get(connection_id, 0) + 1
         self.admitted += 1
+        _ADMITTED.inc()
+        _PENDING_GAUGE.set(self._pending)
         return True
 
     def release(self, connection_id: int) -> None:
@@ -77,6 +94,7 @@ class AdmissionController:
         if self._pending <= 0:  # pragma: no cover - defensive
             raise ServiceError("release() without a matching try_admit()")
         self._pending -= 1
+        _PENDING_GAUGE.set(self._pending)
         held = self._per_connection.get(connection_id, 0)
         if held <= 1:
             self._per_connection.pop(connection_id, None)

@@ -30,10 +30,14 @@ queries are answered, not dropped.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, List, Sequence, Tuple
+import inspect
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.db.query import QueryAnswer, SimilarityQuery
 from repro.exceptions import ServiceError
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.obs.trace import QueryTrace
 
 __all__ = ["MicroBatcher"]
 
@@ -41,6 +45,20 @@ __all__ = ["MicroBatcher"]
 _SHUTDOWN = object()
 
 BatchRunner = Callable[[Sequence[SimilarityQuery]], Awaitable[List[QueryAnswer]]]
+
+_BATCH_SIZE = get_registry().histogram(
+    "repro_batcher_batch_size",
+    "Coalesced queries per micro-batch flush",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_QUEUE_DEPTH = get_registry().gauge(
+    "repro_batcher_queue_depth", "Queries waiting for the next micro-batch flush"
+)
+_FLUSHES = get_registry().counter(
+    "repro_batcher_flushes_total", "Micro-batch flushes by trigger", ("kind",)
+)
+_FLUSHES_FULL = _FLUSHES.labels(kind="full")
+_FLUSHES_TIMER = _FLUSHES.labels(kind="timer")
 
 
 class MicroBatcher:
@@ -72,6 +90,13 @@ class MicroBatcher:
         if max_delay_ms < 0:
             raise ServiceError("max_delay_ms must be non-negative")
         self._run_batch = run_batch
+        # Trace plumbing is opt-in per runner: a runner declaring a ``trace``
+        # parameter receives the batch-level QueryTrace; plain
+        # ``(queries) -> answers`` runners keep working unchanged.
+        try:
+            self._runner_takes_trace = "trace" in inspect.signature(run_batch).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._runner_takes_trace = False
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay_ms) / 1000.0
         self._queue: "asyncio.Queue" = asyncio.Queue()
@@ -105,19 +130,26 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
-    def submit(self, query: SimilarityQuery) -> "asyncio.Future[QueryAnswer]":
+    def submit(
+        self, query: SimilarityQuery, trace: Optional[QueryTrace] = None
+    ) -> "asyncio.Future[QueryAnswer]":
         """Enqueue one query; the returned future resolves to its answer.
 
         Must be called from the event loop.  Raises
         :class:`~repro.exceptions.ServiceError` once :meth:`stop` began —
         the server maps that to a typed ``SHUTTING_DOWN`` response.
+
+        ``trace`` optionally attaches a sampled :class:`QueryTrace`: the
+        flush records the query's queue wait and scoring time into it and
+        grafts the batch-level engine waterfall below them.
         """
         if self._closed:
             raise ServiceError("micro-batcher is shutting down; query not accepted")
         if self._worker is None:
             raise ServiceError("micro-batcher is not started")
         future: "asyncio.Future[QueryAnswer]" = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((query, future))
+        self._queue.put_nowait((query, future, trace, time.perf_counter()))
+        _QUEUE_DEPTH.set(self._queue.qsize())
         return future
 
     # ------------------------------------------------------------------ #
@@ -178,25 +210,53 @@ class MicroBatcher:
                 batch.append(nxt)
             await self._flush(batch)
 
-    async def _flush(self, batch: List[Tuple[SimilarityQuery, Any]]) -> None:
-        queries = [query for query, _future in batch]
+    async def _flush(self, batch: List[Tuple[SimilarityQuery, Any, Any, float]]) -> None:
+        queries = [item[0] for item in batch]
+        # One batch-level trace serves every sampled query of the flush: the
+        # engine activates it in the scoring thread (cache probe + core
+        # stages land in it), and each sampled query grafts a copy below its
+        # own queue_wait/score spans.
+        sampled = any(item[2] is not None for item in batch)
+        batch_trace = (
+            QueryTrace(detail={"batch_size": len(batch)})
+            if sampled and self._runner_takes_trace
+            else None
+        )
+        flush_started = time.perf_counter()
         try:
-            answers = await self._run_batch(queries)
+            if self._runner_takes_trace:
+                answers = await self._run_batch(queries, trace=batch_trace)
+            else:
+                answers = await self._run_batch(queries)
             if len(answers) != len(batch):
                 raise ServiceError(
                     f"batch runner returned {len(answers)} answers for {len(batch)} queries"
                 )
         except Exception as exc:
-            for _query, future in batch:
+            for item in batch:
+                future = item[1]
                 if not future.done():
                     future.set_exception(exc)
             return
         finally:
+            score_seconds = time.perf_counter() - flush_started
             self.batches_flushed += 1
             self.queries_batched += len(batch)
             self.largest_batch = max(self.largest_batch, len(batch))
             if len(batch) >= self.max_batch:
                 self.full_flushes += 1
-        for (_query, future), answer in zip(batch, answers):
+                _FLUSHES_FULL.inc()
+            else:
+                _FLUSHES_TIMER.inc()
+            _BATCH_SIZE.observe(len(batch))
+            _QUEUE_DEPTH.set(self._queue.qsize())
+        if batch_trace is not None:
+            batch_trace.total_seconds = score_seconds
+        for (_query, future, trace, enqueued_at), answer in zip(batch, answers):
+            if trace is not None:
+                trace.add("queue_wait", max(flush_started - enqueued_at, 0.0), depth=1)
+                trace.add("score", score_seconds, depth=1)
+                if batch_trace is not None:
+                    trace.graft(batch_trace, depth_shift=2)
             if not future.done():
                 future.set_result(answer)

@@ -150,6 +150,18 @@ class ServiceClient:
         """Scrape the metrics endpoint (serving/engine/batcher/admission)."""
         return self._admin("stats")
 
+    def slow(self) -> Dict[str, Any]:
+        """Fetch the slow-query log (threshold, totals, entries + waterfalls)."""
+        return self._admin("slow")
+
+    def traces(self, limit: int = 16) -> Dict[str, Any]:
+        """Fetch the tracer summary and the most recent sampled waterfalls."""
+        return self._admin("traces", limit=int(limit))
+
+    def prometheus(self) -> str:
+        """Fetch the Prometheus text exposition of the server's metrics registry."""
+        return self._admin("prometheus")["text"]
+
     def reload(self, path=None) -> Dict[str, Any]:
         """Hot-swap the server's engine from a snapshot (its default path if None)."""
         extra = {} if path is None else {"path": str(path)}
@@ -254,6 +266,16 @@ class AsyncServiceClient:
 
     async def stats(self) -> Dict[str, Any]:
         return await self._request({"kind": "admin", "command": "stats"})
+
+    async def slow(self) -> Dict[str, Any]:
+        return await self._request({"kind": "admin", "command": "slow"})
+
+    async def traces(self, limit: int = 16) -> Dict[str, Any]:
+        return await self._request({"kind": "admin", "command": "traces", "limit": int(limit)})
+
+    async def prometheus(self) -> str:
+        result = await self._request({"kind": "admin", "command": "prometheus"})
+        return result["text"]
 
     async def reload(self, path=None) -> Dict[str, Any]:
         message: Dict[str, Any] = {"kind": "admin", "command": "reload"}

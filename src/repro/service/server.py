@@ -21,7 +21,16 @@ to concurrent remote clients over the length-prefixed JSON protocol of
 * the ``stats`` admin command is the metrics endpoint: serving stats
   (bounded-window latency percentiles), engine prune counters, result
   cache hit rate, batcher occupancy/coalescing, and admission counters as
-  one JSON document.
+  one JSON document — a *pure read* that can be scraped at any frequency
+  without perturbing the numbers it reports;
+* observability is built in: a :class:`~repro.obs.trace.Tracer` samples a
+  configurable fraction of queries into stage waterfalls (decode →
+  batcher queue wait → engine scoring → core stages → serialize), a
+  :class:`~repro.obs.trace.SlowQueryLog` keeps the worst offenders with
+  their waterfalls (``slow`` admin command), and the process-wide metrics
+  registry is exported as Prometheus text — over the ``prometheus`` admin
+  command, or scraped by real Prometheus from the optional plain-HTTP
+  ``/metrics`` listener (``metrics_port=``).
 
 Shutdown (:meth:`SimilarityService.stop`) is graceful by construction:
 new queries are refused with ``SHUTTING_DOWN``, the batcher drains every
@@ -49,6 +58,9 @@ from repro.exceptions import (
     ReproError,
     ServiceError,
 )
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, prometheus_text
+from repro.obs.metrics import get_registry
+from repro.obs.trace import SlowQueryLog, Tracer
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.snapshot import load_engine
 from repro.serving.stats import ServingStats
@@ -67,6 +79,25 @@ from repro.service.protocol import (
 )
 
 __all__ = ["SimilarityService", "ServiceHandle", "start_service_thread"]
+
+_REQUESTS = get_registry().counter(
+    "repro_service_requests_total", "Query requests by outcome", ("outcome",)
+)
+_REQ_ANSWERED = _REQUESTS.labels(outcome="answered")
+_REQ_REJECTED = _REQUESTS.labels(outcome="rejected")
+_REQ_SHUTTING_DOWN = _REQUESTS.labels(outcome="shutting_down")
+_REQ_BAD_REQUEST = _REQUESTS.labels(outcome="bad_request")
+_REQ_ERROR = _REQUESTS.labels(outcome="error")
+_REQUEST_SECONDS = get_registry().histogram(
+    "repro_service_request_seconds",
+    "End-to-end request latency from admission to serialized response",
+)
+_RELOADS = get_registry().counter(
+    "repro_service_reloads_total", "Engine hot-swaps completed"
+)
+_CONNECTIONS = get_registry().gauge(
+    "repro_service_connections", "Open client connections"
+)
 
 
 class SimilarityService:
@@ -89,6 +120,16 @@ class SimilarityService:
         Admission budgets (see :class:`~repro.service.admission.AdmissionController`).
     latency_window:
         Ring size of the serving stats' recent-latency window.
+    trace_sample_rate:
+        Fraction of queries traced into stage waterfalls (default 1%;
+        0 disables tracing entirely).
+    slow_query_ms, slow_log_size:
+        Latency threshold and ring capacity of the slow-query log.
+    metrics_port:
+        When given, a plain-HTTP listener on this port (same host) serves
+        Prometheus text exposition at ``/metrics`` — port 0 picks a free
+        port (see :attr:`metrics_http_port`).  ``None`` (default) starts
+        no listener; the ``prometheus`` admin command always works.
     """
 
     def __init__(
@@ -103,6 +144,10 @@ class SimilarityService:
         max_pending: int = 1024,
         max_per_connection: int = 0,
         latency_window: int = ServingStats.DEFAULT_LATENCY_WINDOW,
+        trace_sample_rate: float = 0.01,
+        slow_query_ms: float = 250.0,
+        slow_log_size: int = 128,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if engine is None and snapshot_path is None:
             raise ServiceError("a SimilarityService needs an engine or a snapshot_path")
@@ -117,6 +162,10 @@ class SimilarityService:
             self._run_batch, max_batch=max_batch, max_delay_ms=max_delay_ms
         )
         self.stats = ServingStats(latency_window=latency_window)
+        self.tracer = Tracer(sample_rate=trace_sample_rate)
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms, capacity=slow_log_size)
+        self.metrics_port = None if metrics_port is None else int(metrics_port)
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopped: Optional[asyncio.Event] = None
@@ -164,6 +213,7 @@ class SimilarityService:
             previous = self._engine
             self._engine = engine
             self._reloads += 1
+            _RELOADS.inc()
         return {
             "reloaded_from": str(path),
             "model_version": engine.model_version,
@@ -188,11 +238,20 @@ class SimilarityService:
         self._background.add(task)
         task.add_done_callback(self._background.discard)
 
-    async def _run_batch(self, queries):
-        """Batch runner handed to the micro-batcher (thread-offloaded numpy)."""
+    async def _run_batch(self, queries, trace=None):
+        """Batch runner handed to the micro-batcher (thread-offloaded numpy).
+
+        ``trace`` is the batch-level :class:`~repro.obs.trace.QueryTrace`
+        the batcher creates when a sampled query rides in the flush; the
+        engine activates it in the scoring thread so the cache-probe /
+        score / core-stage spans land in it.
+        """
         engine = self.engine  # resolved per flush: the hot-swap boundary
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, engine.query_batch, list(queries))
+        queries = list(queries)
+        return await loop.run_in_executor(
+            None, lambda: engine.query_batch(queries, trace=trace)
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -211,6 +270,10 @@ class SimilarityService:
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self._requested_port
         )
+        if self.metrics_port is not None and self._metrics_server is None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, host=self.host, port=self.metrics_port
+            )
         self._started_at = time.time()
         if self.snapshot_path is not None and not self._signal_registered:
             try:
@@ -227,6 +290,13 @@ class SimilarityService:
         if self._server is None or not self._server.sockets:
             raise ServiceError("the service is not listening")
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_http_port(self) -> int:
+        """The bound ``/metrics`` HTTP port (resolves port 0 after :meth:`start`)."""
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            raise ServiceError("the service has no /metrics listener")
+        return self._metrics_server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until :meth:`stop` is called."""
@@ -248,6 +318,10 @@ class SimilarityService:
         self._closing = True
         self._server.close()
         await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         await self.batcher.stop()
         while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
@@ -271,6 +345,7 @@ class SimilarityService:
         self._next_connection_id += 1
         connection_id = self._next_connection_id
         self._connections += 1
+        _CONNECTIONS.set(self._connections)
         self._writers.add(writer)
         write_lock = asyncio.Lock()
         tasks: set = set()
@@ -297,6 +372,7 @@ class SimilarityService:
                 await asyncio.gather(*list(tasks), return_exceptions=True)
             self.admission.forget_connection(connection_id)
             self._connections -= 1
+            _CONNECTIONS.set(self._connections)
             self._writers.discard(writer)
             writer.close()
             try:
@@ -343,6 +419,7 @@ class SimilarityService:
         self, message_id, message, connection_id, writer, write_lock
     ) -> None:
         if self._closing:
+            _REQ_SHUTTING_DOWN.inc()
             await self._respond(
                 writer,
                 write_lock,
@@ -352,6 +429,7 @@ class SimilarityService:
             )
             return
         if not self.admission.try_admit(connection_id):
+            _REQ_REJECTED.inc()
             await self._respond(
                 writer,
                 write_lock,
@@ -364,33 +442,61 @@ class SimilarityService:
             )
             return
         start = time.perf_counter()
+        # Sampled stage waterfall: the depth-0 spans recorded here (decode,
+        # batcher, serialize) partition the end-to-end latency; everything
+        # below them is grafted in by the micro-batcher.
+        trace = self.tracer.sample({"connection": connection_id})
         try:
             query: SimilarityQuery = decode_query(message.get("query"))
-            answer = await self.batcher.submit(query)
+            if trace is not None:
+                trace.add("decode", time.perf_counter() - start, depth=0)
+            batcher_started = time.perf_counter()
+            answer = await self.batcher.submit(query, trace)
+            if trace is not None:
+                trace.add("batcher", time.perf_counter() - batcher_started, depth=0)
         except (ProtocolError, QueryError, KeyError, TypeError) as exc:
+            _REQ_BAD_REQUEST.inc()
             await self._respond(
                 writer, write_lock, error_response(message_id, ERROR_BAD_REQUEST, str(exc))
             )
             return
         except ServiceError as exc:
-            code = ERROR_SHUTTING_DOWN if self._closing else ERROR_SERVER_ERROR
+            if self._closing:
+                code = ERROR_SHUTTING_DOWN
+                _REQ_SHUTTING_DOWN.inc()
+            else:
+                code = ERROR_SERVER_ERROR
+                _REQ_ERROR.inc()
             await self._respond(
                 writer, write_lock, error_response(message_id, code, str(exc))
             )
             return
         except Exception as exc:  # engine/scoring failure — keep serving
+            _REQ_ERROR.inc()
             await self._respond(
                 writer, write_lock, error_response(message_id, ERROR_SERVER_ERROR, str(exc))
             )
             return
         finally:
             self.admission.release(connection_id)
-        self.stats.record_latency(time.perf_counter() - start)
-        await self._respond(
-            writer,
-            write_lock,
-            {"id": message_id, "kind": "answer", "answer": encode_answer(answer)},
-        )
+        serialize_started = time.perf_counter()
+        payload = {"id": message_id, "kind": "answer", "answer": encode_answer(answer)}
+        latency = time.perf_counter() - start
+        self.stats.record_latency(latency)
+        _REQ_ANSWERED.inc()
+        _REQUEST_SECONDS.observe(latency)
+        detail = {
+            "connection": connection_id,
+            "tau_hat": query.tau_hat,
+            "gamma": query.gamma,
+            "top_k": query.top_k,
+        }
+        if trace is not None:
+            trace.add("serialize", latency - (serialize_started - start), depth=0)
+            trace.detail.update(detail)
+            trace.finish(latency)
+        self.slow_log.record(latency, detail, trace)
+        await self._respond(writer, write_lock, payload)
 
     async def _handle_admin(self, message_id, message, writer, write_lock) -> None:
         command = message.get("command")
@@ -399,6 +505,18 @@ class SimilarityService:
                 result: Dict[str, Any] = {"pong": True, "closing": self._closing}
             elif command in ("stats", "metrics"):
                 result = self.metrics()
+            elif command == "slow":
+                result = self.slow_log.as_dict()
+            elif command == "traces":
+                result = {
+                    "tracer": self.tracer.as_dict(),
+                    "recent": self.tracer.recent_traces(int(message.get("limit", 16))),
+                }
+            elif command == "prometheus":
+                result = {
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "text": prometheus_text(),
+                }
             elif command == "reload":
                 result = await self.reload_engine(message.get("path"))
             else:
@@ -432,34 +550,51 @@ class SimilarityService:
         ``serving`` carries the bounded-window latency percentiles and
         query counts; ``engine`` the hot-swappable engine's identity, prune
         counters, and result-cache hit rate; ``batcher`` the coalescing
-        occupancy; ``admission`` the load-shedding counters.
+        occupancy; ``admission`` the load-shedding counters;
+        ``observability`` the tracer/slow-log summaries.
+
+        This is a **pure read**: the live counters (batcher flushes,
+        engine cache and prune counters, uptime) are overlaid on a *copy*
+        of the serving stats, so scraping at any frequency never perturbs
+        the numbers being reported.
         """
         engine = self.engine
-        # Batch counters live in the micro-batcher; fold them into the
-        # serving stats view so one document tells the whole story.
-        self.stats.num_batches = self.batcher.batches_flushed
-        self.stats.elapsed_seconds = (
-            time.time() - self._started_at if self._started_at else 0.0
+        uptime = time.time() - self._started_at if self._started_at else 0.0
+        # Batch counters live in the micro-batcher, cache/prune counters in
+        # the engine; overlay them on a snapshot of the serving stats so one
+        # document tells the whole story without mutating any of them.
+        serving = self.stats.as_dict()
+        serving["num_batches"] = self.batcher.batches_flushed
+        serving["elapsed_seconds"] = uptime
+        serving["queries_per_second"] = (
+            serving["num_queries"] / uptime if uptime > 0 else 0.0
         )
         if engine.cache is not None:
             cache_stats = engine.cache.stats()
-            self.stats.cache_hits = int(cache_stats["hits"])
-            self.stats.cache_misses = int(cache_stats["misses"])
+            hits = int(cache_stats["hits"])
+            misses = int(cache_stats["misses"])
+            serving["cache_hits"] = hits
+            serving["cache_misses"] = misses
+            serving["cache_hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
         else:
             cache_stats = None
         prune = engine.prune_counters
-        self.stats.candidates_generated = int(prune["candidates_generated"])
-        self.stats.candidates_pruned = int(prune["candidates_pruned"])
-        self.stats.candidates_verified = int(prune["candidates_verified"])
+        generated = int(prune["candidates_generated"])
+        serving["candidates_generated"] = generated
+        serving["candidates_pruned"] = int(prune["candidates_pruned"])
+        serving["candidates_verified"] = int(prune["candidates_verified"])
+        serving["prune_rate"] = (
+            serving["candidates_pruned"] / generated if generated > 0 else 0.0
+        )
         return {
             "server": {
-                "uptime_seconds": self.stats.elapsed_seconds,
+                "uptime_seconds": uptime,
                 "connections": self._connections,
                 "inflight_requests": len(self._inflight),
                 "closing": self._closing,
                 "reload_count": self._reloads,
             },
-            "serving": self.stats.as_dict(),
+            "serving": serving,
             "engine": {
                 "model_version": engine.model_version,
                 "database_size": len(engine.database),
@@ -471,7 +606,51 @@ class SimilarityService:
             },
             "batcher": self.batcher.as_dict(),
             "admission": self.admission.as_dict(),
+            "observability": {
+                "tracer": self.tracer.as_dict(),
+                "slow_queries": {
+                    "threshold_ms": self.slow_log.threshold_ms,
+                    "total_slow": self.slow_log.total_slow,
+                },
+            },
         }
+
+    async def _handle_metrics_http(self, reader, writer) -> None:
+        """Minimal plain-HTTP ``/metrics`` endpoint (Prometheus text).
+
+        One request per connection, ``Connection: close`` — exactly what a
+        scraper needs, with no HTTP framework dependency.  Anything other
+        than ``GET /metrics`` (or ``/``) gets a 404.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain the request headers up to the blank line
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1].split("?")[0] if len(parts) >= 2 else ""
+            if path in ("/metrics", "/"):
+                body = prometheus_text().encode("utf-8")
+                status, content_type = "200 OK", PROMETHEUS_CONTENT_TYPE
+            else:
+                body = b"not found\n"
+                status, content_type = "404 Not Found", "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer reset
+            pass
+        finally:
+            writer.close()
 
     def __repr__(self) -> str:
         state = "closing" if self._closing else ("up" if self._server else "idle")

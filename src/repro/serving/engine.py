@@ -53,12 +53,35 @@ from repro.db.database import GraphDatabase
 from repro.db.index import BranchInvertedIndex
 from repro.db.query import QueryAnswer, SimilarityQuery
 from repro.exceptions import ServingError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import activated
 from repro.serving.cache import QueryResultCache, query_cache_key
 
 __all__ = ["BatchQueryEngine"]
 
 #: Allowed values of the ``keep_scores`` engine option.
 _KEEP_SCORES_MODES = ("accepted", "all", "none")
+
+# Children bound once at import time; never stored on engine instances —
+# engines are pickled into pool workers (see repro.core.plan for the
+# worker-delta protocol).
+_ENGINE_QUERIES = get_registry().counter(
+    "repro_engine_queries_total", "Queries answered by the serving engine", ("path",)
+)
+_ENGINE_SECONDS = get_registry().histogram(
+    "repro_engine_query_seconds", "Engine-side serve time in seconds", ("path",)
+)
+_CACHE_EVENTS = get_registry().counter(
+    "repro_engine_cache_events_total", "Result-cache probe outcomes", ("outcome",)
+)
+_QUERIES_SINGLE = _ENGINE_QUERIES.labels(path="single")
+_QUERIES_TOPK = _ENGINE_QUERIES.labels(path="topk")
+_QUERIES_BATCH = _ENGINE_QUERIES.labels(path="batch")
+_SECONDS_SINGLE = _ENGINE_SECONDS.labels(path="single")
+_SECONDS_TOPK = _ENGINE_SECONDS.labels(path="topk")
+_SECONDS_BATCH = _ENGINE_SECONDS.labels(path="batch")
+_CACHE_HITS = _CACHE_EVENTS.labels(outcome="hit")
+_CACHE_MISSES = _CACHE_EVENTS.labels(outcome="miss")
 
 
 class BatchQueryEngine:
@@ -258,6 +281,7 @@ class BatchQueryEngine:
         if query.top_k is not None:
             return self.query_topk(query)
         self._validate_tau(query.tau_hat)
+        _QUERIES_SINGLE.inc()
         start = time.perf_counter()
         query_branches = query.branches()
         cache_key = None
@@ -268,7 +292,9 @@ class BatchQueryEngine:
                 # Hand out a copy: the serve time of *this* lookup replaces
                 # the cold-path latency, and the containers are duplicated so
                 # a caller mutating its answer cannot corrupt the cache.
+                _CACHE_HITS.inc()
                 return self._copy_answer(cached, time.perf_counter() - start)
+            _CACHE_MISSES.inc()
         if self._pruned_path:
             scored = self._core.execute_pruned(
                 query, query_branches=query_branches, use_pruning=self.use_index_pruning
@@ -278,6 +304,7 @@ class BatchQueryEngine:
                 query, query_branches=query_branches, use_pruning=self.use_index_pruning
             )
         answer = self._answer_from_scores(scored, time.perf_counter() - start)
+        _SECONDS_SINGLE.observe(answer.elapsed_seconds)
         if self.cache is not None:
             # Cache a private copy for the same reason.
             self.cache.put(cache_key, self._copy_answer(answer, answer.elapsed_seconds))
@@ -304,6 +331,7 @@ class BatchQueryEngine:
         if k < 1:
             raise ServingError("top_k must be a positive integer")
         self._validate_tau(query.tau_hat)
+        _QUERIES_TOPK.inc()
         start = time.perf_counter()
         query_branches = query.branches()
         cache_key = None
@@ -320,7 +348,9 @@ class BatchQueryEngine:
             )
             cached = self.cache.get(cache_key)
             if cached is not None:
+                _CACHE_HITS.inc()
                 return self._copy_answer(cached, time.perf_counter() - start)
+            _CACHE_MISSES.inc()
         ranking = self._core.execute_topk(
             query, k, query_branches=query_branches, use_pruning=self.use_index_pruning
         )
@@ -331,11 +361,14 @@ class BatchQueryEngine:
             elapsed_seconds=time.perf_counter() - start,
             ranking=ranking,
         )
+        _SECONDS_TOPK.observe(answer.elapsed_seconds)
         if self.cache is not None:
             self.cache.put(cache_key, self._copy_answer(answer, answer.elapsed_seconds))
         return answer
 
-    def query_batch(self, queries: Iterable[SimilarityQuery]) -> List[QueryAnswer]:
+    def query_batch(
+        self, queries: Iterable[SimilarityQuery], *, trace=None
+    ) -> List[QueryAnswer]:
         """Answer a batch of queries with true batched scoring, in input order.
 
         Cached queries are served from the LRU; the remainder go through the
@@ -345,56 +378,78 @@ class BatchQueryEngine:
         batches.  Answers are identical to calling :meth:`query` per query;
         each scored answer's latency is the batch scoring time amortised
         over the queries it was scored with.
+
+        ``trace`` optionally carries a batch-level
+        :class:`~repro.obs.trace.QueryTrace`: it is activated thread-locally
+        for the duration of the call, so the engine's cache probe and the
+        execution core's stage spans record into it — the micro-batcher
+        grafts the result into each sampled query's waterfall.
         """
         queries = list(queries)
         if not queries:
             return []
         for query in queries:
             self._validate_tau(query.tau_hat)
-        answers: List[Optional[QueryAnswer]] = [None] * len(queries)
-        pending = []
-        pending_branches = []
-        pending_keys: List = []
-        for position, query in enumerate(queries):
-            if query.top_k is not None:
-                # Top-k queries rank instead of thresholding; answer them
-                # through the dedicated (cache-aware) path.
-                answers[position] = self.query_topk(query)
-                continue
-            if self.cache is None:
+        _QUERIES_BATCH.inc(len(queries))
+        batch_started = time.perf_counter()
+        with activated(trace):
+            answers: List[Optional[QueryAnswer]] = [None] * len(queries)
+            pending = []
+            pending_branches = []
+            pending_keys: List = []
+            probe_started = time.perf_counter()
+            for position, query in enumerate(queries):
+                if query.top_k is not None:
+                    # Top-k queries rank instead of thresholding; answer them
+                    # through the dedicated (cache-aware) path.
+                    answers[position] = self.query_topk(query)
+                    continue
+                if self.cache is None:
+                    pending.append(position)
+                    pending_branches.append(query.branches())
+                    pending_keys.append(None)
+                    continue
+                start = time.perf_counter()
+                query_branches = query.branches()
+                cache_key = self._cache_key(query_branches, query)
+                cached = self.cache.get(cache_key)
+                if cached is not None:
+                    _CACHE_HITS.inc()
+                    answers[position] = self._copy_answer(
+                        cached, time.perf_counter() - start
+                    )
+                    continue
+                _CACHE_MISSES.inc()
                 pending.append(position)
-                pending_branches.append(query.branches())
-                pending_keys.append(None)
-                continue
-            start = time.perf_counter()
-            query_branches = query.branches()
-            cache_key = self._cache_key(query_branches, query)
-            cached = self.cache.get(cache_key)
-            if cached is not None:
-                answers[position] = self._copy_answer(cached, time.perf_counter() - start)
-                continue
-            pending.append(position)
-            pending_branches.append(query_branches)
-            pending_keys.append(cache_key)
+                pending_branches.append(query_branches)
+                pending_keys.append(cache_key)
+            if trace is not None:
+                trace.add("cache_probe", time.perf_counter() - probe_started, depth=0)
 
-        if pending:
-            start = time.perf_counter()
-            scored_list = self._core.execute_batch(
-                [queries[position] for position in pending],
-                query_branches=pending_branches,
-                use_pruning=self.use_index_pruning,
-                # keep_scores="all" needs every candidate's posterior; the
-                # other modes let the core classify through the boolean
-                # acceptance tables and materialise only accepted scores.
-                need="full" if self.keep_scores == "all" else "accepted",
-                pruned=self._pruned_path,
-            )
-            per_query_elapsed = (time.perf_counter() - start) / len(pending)
-            for position, scored, cache_key in zip(pending, scored_list, pending_keys):
-                answer = self._answer_from_scores(scored, per_query_elapsed)
-                answers[position] = answer
-                if self.cache is not None:
-                    self.cache.put(cache_key, self._copy_answer(answer, per_query_elapsed))
+            if pending:
+                start = time.perf_counter()
+                scored_list = self._core.execute_batch(
+                    [queries[position] for position in pending],
+                    query_branches=pending_branches,
+                    use_pruning=self.use_index_pruning,
+                    # keep_scores="all" needs every candidate's posterior; the
+                    # other modes let the core classify through the boolean
+                    # acceptance tables and materialise only accepted scores.
+                    need="full" if self.keep_scores == "all" else "accepted",
+                    pruned=self._pruned_path,
+                )
+                elapsed = time.perf_counter() - start
+                if trace is not None:
+                    trace.add("score", elapsed, depth=0)
+                per_query_elapsed = elapsed / len(pending)
+                for position, scored, cache_key in zip(pending, scored_list, pending_keys):
+                    answer = self._answer_from_scores(scored, per_query_elapsed)
+                    answers[position] = answer
+                    if self.cache is not None:
+                        self.cache.put(
+                            cache_key, self._copy_answer(answer, per_query_elapsed)
+                        )
+        _SECONDS_BATCH.observe(time.perf_counter() - batch_started)
         return answers  # type: ignore[return-value]
 
     def _answer_from_scores(self, scored: CandidateScores, elapsed: float) -> QueryAnswer:

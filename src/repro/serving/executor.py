@@ -15,8 +15,9 @@ Four execution modes are supported:
 * ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` that
   ships a pickled copy of the engine to every worker once (pool
   initializer) and partitions the *query stream*.  True parallelism at the
-  cost of start-up and of per-worker caches (hit/miss counters stay in the
-  workers);
+  cost of start-up and per-worker caches; each worker returns its cache /
+  filter-counter deltas (and its metric-registry delta) alongside the
+  answers, and the parent folds them into the merged stats;
 * ``"data-parallel"`` — partitions the *database* instead: the engine is
   split into id-preserving shard engines
   (:meth:`~repro.serving.engine.BatchQueryEngine.shard_engines`), each
@@ -35,10 +36,11 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.db.query import QueryAnswer, SimilarityQuery
 from repro.exceptions import ServingError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.stats import ServingStats
 
@@ -55,19 +57,82 @@ def _init_process_worker(engine: BatchQueryEngine) -> None:
     _WORKER_ENGINE = engine
 
 
+def _worker_stats_begin(engine: BatchQueryEngine) -> Tuple:
+    """Snapshot a worker's cache / filter / metric state before its task."""
+    cache = engine.cache
+    return (
+        cache.hits if cache is not None else 0,
+        cache.misses if cache is not None else 0,
+        engine.prune_counters,
+        get_registry().dump(),
+    )
+
+
+def _worker_stats_end(engine: BatchQueryEngine, before: Tuple, *, include_metrics: bool) -> Dict:
+    """The worker's per-task observability delta, as plain picklable data.
+
+    ``include_metrics`` controls whether the worker-registry delta rides
+    along: true for pool workers (the parent merges it into its own
+    registry), false when the task ran in the parent's process — its
+    increments already landed in the parent registry and merging the delta
+    would double-count them.
+    """
+    hits_before, misses_before, prune_before, dump_before = before
+    cache = engine.cache
+    prune_after = engine.prune_counters
+    return {
+        "cache_hits": (cache.hits - hits_before) if cache is not None else 0,
+        "cache_misses": (cache.misses - misses_before) if cache is not None else 0,
+        "candidates_generated": int(
+            prune_after["candidates_generated"] - prune_before["candidates_generated"]
+        ),
+        "candidates_pruned": int(
+            prune_after["candidates_pruned"] - prune_before["candidates_pruned"]
+        ),
+        "candidates_verified": int(
+            prune_after["candidates_verified"] - prune_before["candidates_verified"]
+        ),
+        "metrics": (
+            MetricsRegistry.diff(dump_before, get_registry().dump())
+            if include_metrics
+            else None
+        ),
+    }
+
+
 def _serve_shard_in_process(
     shard: Sequence[Tuple[int, SimilarityQuery]]
-) -> List[Tuple[int, QueryAnswer]]:
+) -> Tuple[List[Tuple[int, QueryAnswer]], Dict]:
+    """Process-pool worker body: answer one stream shard on the worker engine.
+
+    Returns the answers plus the worker's observability delta (cache
+    hits/misses, filter counters, metric-registry diff) so the parent can
+    fold them into the merged :class:`ServingStats` instead of dropping
+    them with the worker process.
+    """
     if _WORKER_ENGINE is None:  # pragma: no cover - defensive
         raise ServingError("process worker was not initialised with an engine")
-    return [(position, _WORKER_ENGINE.query(query)) for position, query in shard]
+    before = _worker_stats_begin(_WORKER_ENGINE)
+    answers = [(position, _WORKER_ENGINE.query(query)) for position, query in shard]
+    return answers, _worker_stats_end(_WORKER_ENGINE, before, include_metrics=True)
 
 
 def _serve_stream_on_shard(
-    engine: BatchQueryEngine, queries: Sequence[SimilarityQuery]
-) -> List[QueryAnswer]:
-    """Data-parallel worker body: batch-score the whole stream on one shard."""
-    return engine.query_batch(queries)
+    engine: BatchQueryEngine,
+    queries: Sequence[SimilarityQuery],
+    include_metrics: bool = True,
+) -> Tuple[List[QueryAnswer], Dict]:
+    """Data-parallel worker body: batch-score the whole stream on one shard.
+
+    Shard engines are separate objects from the executor's engine, so their
+    counters are invisible to the parent unless returned — the worker-stats
+    delta travels back with the answers (``include_metrics=False`` for the
+    single-shard in-process fast path, whose metric increments already
+    landed in the parent registry).
+    """
+    before = _worker_stats_begin(engine)
+    answers = engine.query_batch(queries)
+    return answers, _worker_stats_end(engine, before, include_metrics=include_metrics)
 
 
 class ServingExecutor:
@@ -125,14 +190,15 @@ class ServingExecutor:
         cache = self.engine.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
-        # Filter-effectiveness counters live in the shared execution core,
-        # so deltas are observable for in-process modes only (process /
-        # data-parallel workers keep theirs, exactly like the cache stats).
+        # Filter-effectiveness counters live in the shared execution core;
+        # in-process modes read their deltas directly, pool modes receive
+        # them back from the workers (see _worker_stats_end).
         prune_before = self.engine.prune_counters
 
+        worker_stats: List[Dict] = []
         start = time.perf_counter()
         if self.mode == "data-parallel":
-            indexed = self._run_data_parallel(stream)
+            indexed, worker_stats = self._run_data_parallel(stream)
         elif self.mode == "serial" or len(shards) <= 1:
             indexed = [
                 (position, self.engine.query(query))
@@ -142,7 +208,7 @@ class ServingExecutor:
         elif self.mode == "thread":
             indexed = self._run_threads(shards)
         else:
-            indexed = self._run_processes(shards)
+            indexed, worker_stats = self._run_processes(shards)
         elapsed = time.perf_counter() - start
 
         answers: List[Optional[QueryAnswer]] = [None] * len(stream)
@@ -155,10 +221,24 @@ class ServingExecutor:
             elapsed_seconds=elapsed,
             latencies=[answer.elapsed_seconds for answer in answers if answer is not None],
         )
-        if cache is not None and self.mode not in ("process", "data-parallel"):
-            stats.cache_hits = cache.hits - hits_before
-            stats.cache_misses = cache.misses - misses_before
-        if self.mode not in ("process", "data-parallel"):
+        if self.mode in ("process", "data-parallel"):
+            # Fold the per-worker deltas back in: counters add into the
+            # merged stats, and each pool worker's metric-registry diff
+            # merges into the parent registry (in-process fast paths return
+            # metrics=None — their increments already landed here).
+            registry = get_registry()
+            for delta in worker_stats:
+                stats.cache_hits += delta["cache_hits"]
+                stats.cache_misses += delta["cache_misses"]
+                stats.candidates_generated += delta["candidates_generated"]
+                stats.candidates_pruned += delta["candidates_pruned"]
+                stats.candidates_verified += delta["candidates_verified"]
+                if delta["metrics"] is not None:
+                    registry.merge(delta["metrics"])
+        else:
+            if cache is not None:
+                stats.cache_hits = cache.hits - hits_before
+                stats.cache_misses = cache.misses - misses_before
             prune_after = self.engine.prune_counters
             stats.candidates_generated = int(
                 prune_after["candidates_generated"] - prune_before["candidates_generated"]
@@ -193,16 +273,18 @@ class ServingExecutor:
                 merged.extend(result)
         return merged
 
-    def _run_processes(self, shards) -> List[Tuple[int, QueryAnswer]]:
+    def _run_processes(self, shards) -> Tuple[List[Tuple[int, QueryAnswer]], List[Dict]]:
         merged: List[Tuple[int, QueryAnswer]] = []
+        worker_stats: List[Dict] = []
         with ProcessPoolExecutor(
             max_workers=len(shards),
             initializer=_init_process_worker,
             initargs=(self.engine,),
         ) as pool:
-            for result in pool.map(_serve_shard_in_process, shards):
+            for result, delta in pool.map(_serve_shard_in_process, shards):
                 merged.extend(result)
-        return merged
+                worker_stats.append(delta)
+        return merged, worker_stats
 
     # ------------------------------------------------------------------ #
     # data-parallel mode: partition the database, not the stream
@@ -216,20 +298,24 @@ class ServingExecutor:
             self._shard_revision = revision
         return self._shard_engines
 
-    def _run_data_parallel(self, stream) -> List[Tuple[int, QueryAnswer]]:
+    def _run_data_parallel(
+        self, stream
+    ) -> Tuple[List[Tuple[int, QueryAnswer]], List[Dict]]:
         if not stream:
-            return []
+            return [], []
         shard_engines = self._shards_for_run()
         if len(shard_engines) == 1:
-            partial_lists = [_serve_stream_on_shard(shard_engines[0], stream)]
+            results = [_serve_stream_on_shard(shard_engines[0], stream, False)]
         else:
             with ProcessPoolExecutor(max_workers=len(shard_engines)) as pool:
                 futures = [
                     pool.submit(_serve_stream_on_shard, engine, stream)
                     for engine in shard_engines
                 ]
-                partial_lists = [future.result() for future in futures]
-        return [
+                results = [future.result() for future in futures]
+        partial_lists = [answers for answers, _delta in results]
+        worker_stats = [delta for _answers, delta in results]
+        indexed = [
             (
                 position,
                 # merge_for honours per-query top-k mode: thresholded answers
@@ -240,6 +326,7 @@ class ServingExecutor:
             )
             for position in range(len(stream))
         ]
+        return indexed, worker_stats
 
     def __repr__(self) -> str:
         return (

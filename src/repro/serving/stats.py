@@ -48,8 +48,8 @@ class ServingStats:
         accumulated over the run's queries: (query, graph) pairs considered,
         eliminated by bound arithmetic before scoring, and actually scored.
         An unpruned engine reports every pair as generated *and* verified
-        (prune_rate 0); all three stay zero only when the counters live in
-        worker processes (process / data-parallel modes).
+        (prune_rate 0).  Pool modes (process / data-parallel) fold the
+        workers' counter deltas back in, so the merged stats cover them too.
     """
 
     #: Default capacity of the recent-latency ring: large enough that p99

@@ -1,0 +1,207 @@
+"""Service-level observability tests: /metrics scrape, traces, slow log.
+
+Covers the acceptance criteria of the observability subsystem:
+
+* the plain-HTTP ``/metrics`` listener serves valid Prometheus text whose
+  families span all five layers (kernels, core, engine, service, offline);
+* scraped counters are monotonic while concurrent query load is running;
+* a sampled query trace's depth-0 stage durations sum to within 10% of
+  its recorded end-to-end latency;
+* the ``stats``/``metrics`` admin command is a pure read — scraping twice
+  reports identical counters and never mutates the server's ServingStats;
+* the ``slow``, ``traces``, and ``prometheus`` admin commands round-trip.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.database import GraphDatabase
+from repro.db.query import SimilarityQuery
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine
+from repro.service import ServiceClient, start_service_thread
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = random.Random(29)
+    graphs = [
+        random_labeled_graph(rng.randint(5, 9), rng.randint(5, 12), seed=rng)
+        for _ in range(40)
+    ]
+    database = GraphDatabase(graphs, name="obs-service")
+    search = GBDASearch(database, max_tau=4, num_prior_pairs=120, seed=7).fit()
+    return BatchQueryEngine.from_search(search)
+
+
+def _random_queries(num, seed):
+    rng = random.Random(seed)
+    return [
+        SimilarityQuery(
+            random_labeled_graph(rng.randint(4, 9), rng.randint(4, 12), seed=rng),
+            rng.randint(1, 4),
+            rng.choice([0.5, 0.75, 0.9]),
+        )
+        for _ in range(num)
+    ]
+
+
+@pytest.fixture(scope="module")
+def handle(engine):
+    with start_service_thread(
+        engine,
+        max_batch=8,
+        max_delay_ms=1.0,
+        trace_sample_rate=1.0,  # every query traced: deterministic assertions
+        slow_query_ms=0.0,  # every query is "slow": the log always fills
+        metrics_port=0,
+    ) as running:
+        yield running
+
+
+def _scrape(handle) -> str:
+    port = handle.service.metrics_http_port
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in response.headers["Content-Type"]
+        return response.read().decode("utf-8")
+
+
+def _sample_value(text: str, prefix: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(prefix):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"no sample starting with {prefix!r} in scrape")
+
+
+class TestMetricsScrape:
+    def test_scrape_covers_all_five_layers(self, handle):
+        with ServiceClient(*handle.address) as client:
+            client.query_many(_random_queries(16, seed=1))
+        text = _scrape(handle)
+        for family in (
+            "repro_kernel_calls_total",  # db columnar kernels
+            "repro_stage_seconds",  # execution core
+            "repro_plan_choices_total",
+            "repro_engine_queries_total",  # serving engine
+            "repro_batcher_batch_size",  # service: batcher
+            "repro_admission_admitted_total",  # service: admission
+            "repro_service_requests_total",  # service: request handler
+            "repro_offline_fits_total",  # offline (registered at import)
+        ):
+            assert f"# TYPE {family}" in text, f"{family} missing from scrape"
+        assert _sample_value(text, 'repro_service_requests_total{outcome="answered"}') >= 16
+
+    def test_http_404_for_unknown_path(self, handle):
+        port = handle.service.metrics_http_port
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_counters_are_monotonic_under_concurrent_load(self, handle):
+        stop = threading.Event()
+
+        def drive(seed):
+            queries = _random_queries(6, seed)
+            with ServiceClient(*handle.address) as client:
+                while not stop.is_set():
+                    client.query_many(queries, return_errors=True)
+
+        drivers = [threading.Thread(target=drive, args=(seed,)) for seed in (11, 12)]
+        for thread in drivers:
+            thread.start()
+        try:
+            prefix = 'repro_service_requests_total{outcome="answered"}'
+            previous = _sample_value(_scrape(handle), prefix)
+            for _ in range(8):
+                current = _sample_value(_scrape(handle), prefix)
+                assert current >= previous
+                previous = current
+        finally:
+            stop.set()
+            for thread in drivers:
+                thread.join()
+
+    def test_prometheus_admin_command_matches_http(self, handle):
+        with ServiceClient(*handle.address) as client:
+            text = client.prometheus()
+        assert "# TYPE repro_service_requests_total counter" in text
+
+
+class TestTraces:
+    def test_depth0_stages_sum_to_the_recorded_latency(self, handle):
+        with ServiceClient(*handle.address) as client:
+            client.query_many(_random_queries(8, seed=21))
+            recent = client.traces(limit=8)["recent"]
+        assert recent, "sample_rate=1.0 must retain traces"
+        for doc in recent:
+            total_ms = doc["total_ms"]
+            depth0_ms = sum(
+                span["duration_ms"] for span in doc["spans"] if span["depth"] == 0
+            )
+            assert total_ms > 0
+            # Acceptance criterion: the handler-level stages partition the
+            # end-to-end latency to within 10%.
+            assert depth0_ms == pytest.approx(total_ms, rel=0.10)
+
+    def test_traces_include_engine_substages(self, handle):
+        with ServiceClient(*handle.address) as client:
+            client.query_many(_random_queries(8, seed=22))
+            recent = client.traces(limit=4)["recent"]
+        names = {span["name"] for doc in recent for span in doc["spans"]}
+        assert {"decode", "batcher", "serialize", "queue_wait", "score"} <= names
+
+    def test_tracer_summary_counts(self, handle):
+        with ServiceClient(*handle.address) as client:
+            client.query_many(_random_queries(4, seed=23))
+            summary = client.traces()["tracer"]
+        assert summary["sample_rate"] == 1.0
+        assert summary["sampled"] >= 4
+        assert summary["seen"] >= summary["sampled"]
+
+
+class TestSlowLogAndPurity:
+    def test_slow_admin_command_returns_waterfalls(self, handle):
+        with ServiceClient(*handle.address) as client:
+            client.query_many(_random_queries(4, seed=31))
+            slow = client.slow()
+        assert slow["threshold_ms"] == 0.0
+        assert slow["total_slow"] >= 4
+        entry = slow["entries"][0]
+        assert entry["latency_ms"] > 0
+        assert "tau_hat" in entry["detail"]
+        assert entry["trace"] is not None  # sample_rate=1.0: waterfall attached
+
+    def test_metrics_is_a_pure_read(self, handle):
+        with ServiceClient(*handle.address) as client:
+            client.query_many(_random_queries(6, seed=41))
+            first = client.stats()
+            second = client.stats()
+        for key in (
+            "num_queries",
+            "num_batches",
+            "cache_hits",
+            "cache_misses",
+            "candidates_generated",
+            "candidates_pruned",
+            "candidates_verified",
+        ):
+            assert first["serving"][key] == second["serving"][key], key
+        # The overlay never writes back: the server's own ServingStats only
+        # ever holds what record_latency put there.
+        stats = handle.service.stats
+        assert stats.candidates_generated == 0
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+        assert stats.num_batches == 0
+        # ... while the scrape reports the real engine-side counters.
+        assert first["serving"]["candidates_generated"] > 0
+        assert first["serving"]["num_batches"] > 0
+        assert first["observability"]["tracer"]["sampled"] > 0

@@ -1,0 +1,185 @@
+"""Unit tests for tracing and the slow-query log (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    QueryTrace,
+    SlowQueryLog,
+    Span,
+    Tracer,
+    activate,
+    activated,
+    active_trace,
+    deactivate,
+)
+
+
+class TestQueryTrace:
+    def test_add_records_spans(self):
+        trace = QueryTrace({"tau_hat": 2})
+        trace.add("decode", 0.001, depth=0, offset=0.0)
+        trace.add("score", 0.004, depth=0, offset=0.001)
+        trace.finish(0.005)
+        assert [span.name for span in trace.spans] == ["decode", "score"]
+        assert trace.total_seconds == pytest.approx(0.005)
+        assert trace.stage_seconds() == {
+            "decode": pytest.approx(0.001),
+            "score": pytest.approx(0.004),
+        }
+
+    def test_span_context_manager_times_the_block(self):
+        trace = QueryTrace()
+        with trace.span("work"):
+            time.sleep(0.01)
+        trace.finish()
+        assert trace.spans[0].seconds >= 0.008
+        assert trace.spans[0].offset >= 0.0
+
+    def test_stage_seconds_filters_by_depth(self):
+        trace = QueryTrace()
+        trace.add("outer", 0.01, depth=0, offset=0.0)
+        trace.add("inner", 0.004, depth=1, offset=0.0)
+        assert set(trace.stage_seconds(0)) == {"outer"}
+        assert set(trace.stage_seconds(None)) == {"outer", "inner"}
+
+    def test_waterfall_coverage(self):
+        trace = QueryTrace()
+        trace.add("a", 0.006, depth=0, offset=0.0)
+        trace.add("b", 0.003, depth=0, offset=0.006)
+        trace.add("nested", 0.002, depth=1, offset=0.0)  # must not count
+        trace.finish(0.01)
+        assert trace.waterfall_coverage() == pytest.approx(0.9)
+
+    def test_graft_shifts_depth(self):
+        batch = QueryTrace()
+        batch.add("bound_filter", 0.002, depth=0, offset=0.0)
+        batch.add("verify", 0.003, depth=1, offset=0.002)
+        batch.total_seconds = 0.005
+        query = QueryTrace()
+        query.graft(batch, depth_shift=2)
+        assert [(span.name, span.depth) for span in query.spans] == [
+            ("bound_filter", 2),
+            ("verify", 3),
+        ]
+
+    def test_to_dict_and_render(self):
+        trace = QueryTrace({"top_k": 5})
+        trace.add("score", 0.002, depth=0, offset=0.0)
+        trace.finish(0.002)
+        doc = trace.to_dict()
+        assert doc["total_ms"] == pytest.approx(2.0)
+        assert doc["detail"] == {"top_k": 5}
+        assert doc["spans"][0]["name"] == "score"
+        rendered = trace.render()
+        assert "score" in rendered and "ms" in rendered
+
+    def test_span_repr_and_dict(self):
+        span = Span("verify", 0.001, 0.002, depth=2)
+        assert span.to_dict()["depth"] == 2
+        assert "verify" in repr(span)
+
+
+class TestTracer:
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(sample_rate=1.0, seed=0)
+        assert all(tracer.sample() is not None for _ in range(50))
+        assert tracer.seen == 50 and tracer.sampled == 50
+
+    def test_rate_zero_samples_nothing(self):
+        tracer = Tracer(sample_rate=0.0, seed=0)
+        assert all(tracer.sample() is None for _ in range(50))
+        assert tracer.sampled == 0
+
+    def test_sampling_fraction_is_near_the_rate(self):
+        tracer = Tracer(sample_rate=0.1, seed=123)
+        for _ in range(5000):
+            tracer.sample()
+        # Binomial(5000, 0.1): mean 500, sd ~21 — 6 sigma bounds.
+        assert 370 <= tracer.sampled <= 630
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+    def test_finished_traces_land_in_the_bounded_ring(self):
+        tracer = Tracer(sample_rate=1.0, keep=4, seed=0)
+        for index in range(10):
+            tracer.sample({"index": index}).finish(0.001)
+        assert len(tracer.recent) == 4
+        newest = tracer.recent_traces(limit=2)
+        assert [doc["detail"]["index"] for doc in newest] == [9, 8]
+        assert tracer.as_dict()["retained"] == 4
+
+
+class TestThreadActiveTrace:
+    def test_activate_and_deactivate(self):
+        trace = QueryTrace()
+        activate(trace)
+        try:
+            assert active_trace() is trace
+        finally:
+            deactivate()
+        assert active_trace() is None
+
+    def test_activated_restores_previous(self):
+        outer, inner = QueryTrace(), QueryTrace()
+        activate(outer)
+        try:
+            with activated(inner):
+                assert active_trace() is inner
+            assert active_trace() is outer
+        finally:
+            deactivate()
+
+    def test_active_trace_is_thread_local(self):
+        trace = QueryTrace()
+        seen_in_thread = []
+
+        def worker():
+            seen_in_thread.append(active_trace())
+
+        with activated(trace):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen_in_thread == [None]
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_ms=10.0, capacity=8)
+        assert not log.record(0.005)
+        assert log.record(0.02, {"tau_hat": 1})
+        assert log.total_slow == 1
+        assert len(log) == 1
+
+    def test_ring_is_bounded_but_total_keeps_counting(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for index in range(7):
+            log.record(0.001 * (index + 1), {"index": index})
+        assert len(log) == 3
+        assert log.total_slow == 7
+        entries = log.entries()
+        assert [entry["detail"]["index"] for entry in entries] == [6, 5, 4]
+
+    def test_entry_carries_the_trace_waterfall(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        trace = QueryTrace()
+        trace.add("score", 0.5, depth=0, offset=0.0)
+        trace.finish(0.5)
+        log.record(0.5, {"gamma": 0.9}, trace)
+        entry = log.entries(limit=1)[0]
+        assert entry["trace"]["spans"][0]["name"] == "score"
+        assert entry["latency_ms"] == pytest.approx(500.0)
+        assert log.as_dict()["total_slow"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)

@@ -150,3 +150,65 @@ class TestFilterEffectivenessStats:
         assert a.candidates_pruned == 8
         assert a.candidates_verified == 12
         assert a.prune_rate == 0.4
+
+
+class TestPoolWorkerCounters:
+    """Regression: pool modes must fold per-worker counters into the merged stats.
+
+    Process and data-parallel workers run in child processes, so their
+    cache hit/miss and FilterCounters increments land on pickled engine
+    copies; the executor must carry them back with the answers instead of
+    silently dropping them (which left the merged stats reading zero).
+    """
+
+    def _fresh_engine(self, cache_size=None):
+        rng = random.Random(71)
+        graphs = [
+            random_labeled_graph(rng.randint(5, 8), rng.randint(5, 10), seed=rng)
+            for _ in range(30)
+        ]
+        search = GBDASearch(
+            GraphDatabase(graphs, name="executor-pool"), max_tau=4, num_prior_pairs=100, seed=3
+        ).fit()
+        return BatchQueryEngine.from_search(search, cache_size=cache_size), len(graphs)
+
+    def test_process_mode_reports_prune_counters(self, queries):
+        engine, num_graphs = self._fresh_engine()
+        executor = ServingExecutor(engine, num_workers=2, mode="process")
+        executor.map(queries[:6])
+        stats = executor.last_stats
+        assert stats.candidates_generated == 6 * num_graphs
+        assert stats.candidates_generated == (
+            stats.candidates_pruned + stats.candidates_verified
+        )
+
+    def test_process_mode_reports_cache_hits(self, queries):
+        engine, _ = self._fresh_engine(cache_size=64)
+        executor = ServingExecutor(engine, num_workers=2, mode="process")
+        executor.map([queries[0]] * 6)  # every worker shard repeats the query
+        stats = executor.last_stats
+        assert stats.cache_hits + stats.cache_misses == 6
+        assert stats.cache_hits >= 4
+
+    def test_data_parallel_mode_reports_prune_counters(self, queries):
+        engine, num_graphs = self._fresh_engine()
+        executor = ServingExecutor(engine, num_workers=2, mode="data-parallel")
+        executor.map(queries[:6])
+        stats = executor.last_stats
+        assert stats.candidates_generated == 6 * num_graphs
+        assert stats.candidates_generated == (
+            stats.candidates_pruned + stats.candidates_verified
+        )
+
+    def test_process_mode_folds_worker_metrics_into_registry(self, queries):
+        from repro.obs.metrics import get_registry
+
+        engine, _ = self._fresh_engine()
+        family = get_registry().get("repro_kernel_calls_total")
+        before = (
+            sum(child.value for _lv, child in family.series()) if family is not None else 0.0
+        )
+        ServingExecutor(engine, num_workers=2, mode="process").map(queries[:6])
+        family = get_registry().get("repro_kernel_calls_total")
+        after = sum(child.value for _lv, child in family.series())
+        assert after > before
