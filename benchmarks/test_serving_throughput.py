@@ -29,10 +29,14 @@ guard.)
 
 A third benchmark exercises the pruned filter-and-verify execution layer
 on a selective workload (size-diverse database, small queries, small τ̂,
-high γ): the γ-threshold inversion plus the GBD lower bound must clear
-≥3x the unpruned engine's QPS with bit-identical answers, and the run
-emits the machine-readable ``results/BENCH_serving.json`` (QPS, prune
-rate, latency percentiles) that CI uploads as an artifact.
+high γ) under **every available kernel backend**: the γ-threshold
+inversion plus the GBD lower bound must clear a per-backend QPS multiple
+of the unpruned engine (3x for numpy; 1.3x for native, whose compiled
+kernels speed the unpruned dense scan up several-fold too, shrinking the
+*relative* win while raising absolute QPS) with bit-identical answers.
+The run emits the machine-readable ``results/BENCH_serving.json`` (QPS
+per backend, prune rate, latency percentiles) that CI uploads as an
+artifact.
 
 Setting ``REPRO_SMOKE=1`` (the CI smoke job) shrinks the workload and
 keeps only the parity assertions; rendered tables land in
@@ -50,6 +54,7 @@ import pytest
 
 from repro.core.search import GBDASearch
 from repro.db.database import GraphDatabase
+from repro.db.kernels import available_backends
 from repro.db.query import SimilarityQuery
 from repro.graphs.generators import random_labeled_graph
 from repro.serving import BatchQueryEngine, ServingExecutor
@@ -70,7 +75,13 @@ MIN_BATCH_VS_SINGLE = 0.8  # batched must never regress vs per-query engine
 SELECTIVE_DB_SIZE = 400 if SMOKE else 16_000
 SELECTIVE_MAX_ORDER = 40 if SMOKE else 120
 SELECTIVE_QUERIES = 8 if SMOKE else 24
-MIN_PRUNED_SPEEDUP = 3.0   # pruned engine vs unpruned engine on that workload
+# Pruned-vs-unpruned QPS bar per kernel backend.  The 3x numpy bar is the
+# original memory-bandwidth argument (the dense scan reads every posting, the
+# filter reads almost none).  The native C kernels make the *dense* scan
+# itself several-fold faster, so the relative pruning win shrinks there even
+# though absolute pruned QPS rises — the bar prices that honestly instead of
+# demanding a ratio the compiled dense path no longer leaves on the table.
+MIN_PRUNED_SPEEDUP = {"numpy": 3.0, "native": 1.3}
 
 
 def _build_database(seed: int = 0) -> GraphDatabase:
@@ -266,15 +277,18 @@ def test_batched_matrix_and_sharded_parity(workload, results_dir):
 
 
 def test_pruned_selective_workload(results_dir):
-    """Filter-and-verify pruned execution: ≥3x QPS on a selective workload.
+    """Filter-and-verify pruned execution on a selective workload, per backend.
 
     The database mixes graph sizes 8..120 while the queries stay small
     (8..12 vertices) with small τ̂ and high γ.  The γ-threshold inversion
     plus the GBD lower bound then eliminates ~96% of the candidates with
     O(1) arithmetic per graph, and only the survivors' postings are read
     through the (key, order)-block index — the unpruned engine scores the
-    whole database per query.  Answers must be bit-identical.  Also emits
-    the machine-readable ``BENCH_serving.json`` (QPS, prune rate, latency
+    whole database per query.  Answers must be bit-identical.  The whole
+    measurement runs once per available kernel backend (numpy always, the
+    compiled native kernels when they build here), each held to its own
+    ``MIN_PRUNED_SPEEDUP`` bar.  Also emits the machine-readable
+    ``BENCH_serving.json`` (QPS per backend, prune rate, latency
     percentiles) consumed by the CI artifact upload.
     """
     rng = random.Random(5)
@@ -299,64 +313,87 @@ def test_pruned_selective_workload(results_dir):
             )
         )
 
-    pruned = BatchQueryEngine.from_search(search, cache_size=None)
-    unpruned = BatchQueryEngine.from_search(search, cache_size=None, pruned_execution=False)
+    backends = available_backends()
+    primary = "native" if "native" in backends else "numpy"
+    results = {}
+    for backend in backends:
+        pruned = BatchQueryEngine.from_search(
+            search, cache_size=None, kernel_backend=backend
+        )
+        unpruned = BatchQueryEngine.from_search(
+            search, cache_size=None, pruned_execution=False, kernel_backend=backend
+        )
 
-    # Correctness first: filter-and-verify must be bit-identical (warm pass).
-    pruned_answers = [pruned.query(query) for query in queries]
-    for query, pruned_answer in zip(queries, pruned_answers):
-        unpruned_answer = unpruned.query(query)
-        assert pruned_answer.accepted_ids == unpruned_answer.accepted_ids
-        assert pruned_answer.scores == unpruned_answer.scores
+        # Correctness first: filter-and-verify must be bit-identical (warm pass).
+        pruned_answers = [pruned.query(query) for query in queries]
+        for query, pruned_answer in zip(queries, pruned_answers):
+            unpruned_answer = unpruned.query(query)
+            assert pruned_answer.accepted_ids == unpruned_answer.accepted_ids
+            assert pruned_answer.scores == unpruned_answer.scores
 
-    counters_before = pruned.prune_counters
-    pruned_seconds, _ = _best_of(2, lambda: [pruned.query(q) for q in queries])
-    counters_after = pruned.prune_counters
-    unpruned_seconds, _ = _best_of(2, lambda: [unpruned.query(q) for q in queries])
-    batch_pruned_seconds, _ = _best_of(2, lambda: pruned.query_batch(queries))
-    batch_unpruned_seconds, _ = _best_of(2, lambda: unpruned.query_batch(queries))
+        # Best-of-3: one pass over this workload is a couple of milliseconds,
+        # so a single scheduler hiccup would otherwise dominate the reading.
+        counters_before = pruned.prune_counters
+        pruned_seconds, _ = _best_of(3, lambda: [pruned.query(q) for q in queries])
+        counters_after = pruned.prune_counters
+        unpruned_seconds, _ = _best_of(3, lambda: [unpruned.query(q) for q in queries])
+        batch_pruned_seconds, _ = _best_of(3, lambda: pruned.query_batch(queries))
+        batch_unpruned_seconds, _ = _best_of(3, lambda: unpruned.query_batch(queries))
 
-    pruned_qps = len(queries) / pruned_seconds
-    unpruned_qps = len(queries) / unpruned_seconds
-    speedup = pruned_qps / unpruned_qps
-    batch_speedup = batch_pruned_seconds and (batch_unpruned_seconds / batch_pruned_seconds)
-    generated = counters_after["candidates_generated"] - counters_before["candidates_generated"]
-    eliminated = counters_after["candidates_pruned"] - counters_before["candidates_pruned"]
-    prune_rate = eliminated / generated if generated else 0.0
-
-    # Latency percentiles (and the prune counters as serving stats) come
-    # from one executor pass over the pruned engine.
-    executor = ServingExecutor(pruned, num_workers=1, mode="serial")
-    executor.map(queries)
-    stats = executor.last_stats
-
-    payload = {
-        "benchmark": "serving",
-        "mode": "smoke" if SMOKE else "full",
-        "selective": {
-            "database_size": SELECTIVE_DB_SIZE,
-            "num_queries": len(queries),
-            "tau_hats": [0, 1],
-            "gamma": 0.95,
+        generated = (
+            counters_after["candidates_generated"] - counters_before["candidates_generated"]
+        )
+        eliminated = (
+            counters_after["candidates_pruned"] - counters_before["candidates_pruned"]
+        )
+        results[backend] = {
+            "engine": pruned,
+            "pruned_seconds": pruned_seconds,
+            "unpruned_seconds": unpruned_seconds,
             "qps": {
-                "pruned": pruned_qps,
-                "unpruned": unpruned_qps,
-                "speedup": speedup,
+                "pruned": len(queries) / pruned_seconds,
+                "unpruned": len(queries) / unpruned_seconds,
+                "speedup": unpruned_seconds / pruned_seconds,
                 "batch_pruned": len(queries) / batch_pruned_seconds,
                 "batch_unpruned": len(queries) / batch_unpruned_seconds,
-                "batch_speedup": batch_speedup,
+                "batch_speedup": batch_unpruned_seconds / batch_pruned_seconds,
             },
             "prune": {
                 "candidates_generated": generated,
                 "candidates_pruned": eliminated,
                 "candidates_verified": generated - eliminated,
-                "prune_rate": prune_rate,
+                "prune_rate": eliminated / generated if generated else 0.0,
             },
+        }
+
+    # Latency percentiles (and the prune counters as serving stats) come
+    # from one executor pass over the primary backend's pruned engine.
+    executor = ServingExecutor(results[primary]["engine"], num_workers=1, mode="serial")
+    executor.map(queries)
+    stats = executor.last_stats
+    primary_result = results[primary]
+    prune_rate = primary_result["prune"]["prune_rate"]
+
+    payload = {
+        "benchmark": "serving",
+        "mode": "smoke" if SMOKE else "full",
+        "kernel_backend": primary,
+        "selective": {
+            "database_size": SELECTIVE_DB_SIZE,
+            "num_queries": len(queries),
+            "tau_hats": [0, 1],
+            "gamma": 0.95,
+            "qps": primary_result["qps"],
+            "prune": primary_result["prune"],
             "latency_seconds": {
                 "mean": stats.mean_latency,
                 "p50": stats.p50_latency,
                 "p95": stats.p95_latency,
                 "p99": stats.p99_latency,
+            },
+            "backends": {
+                backend: {"qps": result["qps"], "prune": result["prune"]}
+                for backend, result in results.items()
             },
         },
     }
@@ -369,18 +406,30 @@ def test_pruned_selective_workload(results_dir):
         f"(tau in {{0, 1}}, gamma=0.95, query sizes 8..12, db sizes 8..{SELECTIVE_MAX_ORDER})",
         "",
         f"{'engine':<38}{'seconds':>10}{'QPS':>12}",
-        f"{'unpruned (full scan)':<38}{unpruned_seconds:>10.3f}{unpruned_qps:>12.1f}",
-        f"{'pruned (filter-and-verify)':<38}{pruned_seconds:>10.3f}{pruned_qps:>12.1f}",
-        f"{'unpruned query_batch':<38}{batch_unpruned_seconds:>10.3f}"
-        f"{len(queries) / batch_unpruned_seconds:>12.1f}",
-        f"{'pruned query_batch':<38}{batch_pruned_seconds:>10.3f}"
-        f"{len(queries) / batch_pruned_seconds:>12.1f}",
-        "",
-        f"pruned speedup: {speedup:.1f}x (required >= {MIN_PRUNED_SPEEDUP:.0f}x), "
-        f"batched: {batch_speedup:.1f}x",
+    ]
+    for backend, result in results.items():
+        qps = result["qps"]
+        lines += [
+            f"{f'unpruned full scan [{backend}]':<38}"
+            f"{result['unpruned_seconds']:>10.3f}{qps['unpruned']:>12.1f}",
+            f"{f'pruned filter-and-verify [{backend}]':<38}"
+            f"{result['pruned_seconds']:>10.3f}{qps['pruned']:>12.1f}",
+        ]
+    lines += [""]
+    for backend, result in results.items():
+        qps = result["qps"]
+        lines.append(
+            f"[{backend}] pruned speedup: {qps['speedup']:.1f}x "
+            f"(required >= {MIN_PRUNED_SPEEDUP[backend]:.1f}x), "
+            f"batched: {qps['batch_speedup']:.1f}x, "
+            f"batch pruned {qps['batch_pruned']:.1f} QPS"
+        )
+    prune = primary_result["prune"]
+    lines += [
         f"prune rate: {prune_rate:.1%} "
-        f"({eliminated} of {generated} candidates eliminated by bound arithmetic)",
-        f"latency p50/p95/p99: {stats.p50_latency * 1e3:.2f} / "
+        f"({prune['candidates_pruned']} of {prune['candidates_generated']} "
+        f"candidates eliminated by bound arithmetic)",
+        f"latency p50/p95/p99 [{primary}]: {stats.p50_latency * 1e3:.2f} / "
         f"{stats.p95_latency * 1e3:.2f} / {stats.p99_latency * 1e3:.2f} ms",
     ]
     rendered = "\n".join(lines)
@@ -390,7 +439,9 @@ def test_pruned_selective_workload(results_dir):
 
     assert prune_rate > 0.5, "the selective workload should prune most candidates"
     if not SMOKE:
-        assert speedup >= MIN_PRUNED_SPEEDUP, (
-            f"pruned QPS {pruned_qps:.1f} is only {speedup:.2f}x "
-            f"the unpruned engine QPS {unpruned_qps:.1f}"
-        )
+        for backend, result in results.items():
+            speedup = result["qps"]["speedup"]
+            assert speedup >= MIN_PRUNED_SPEEDUP[backend], (
+                f"[{backend}] pruned QPS {result['qps']['pruned']:.1f} is only "
+                f"{speedup:.2f}x the unpruned engine QPS {result['qps']['unpruned']:.1f}"
+            )

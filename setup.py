@@ -37,6 +37,9 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # The native kernel backend compiles this source on demand at runtime —
+    # it must travel with the wheel/sdist.
+    package_data={"repro.db.kernels": ["*.c"]},
     python_requires=">=3.8",
     install_requires=[
         "numpy",
@@ -45,6 +48,10 @@ setup(
     ],
     extras_require={
         "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+        # No extra Python packages — the native kernels only need a system C
+        # compiler (cc/gcc/clang). The extra exists so deployments can declare
+        # the intent ("this install expects the compiled backend") explicitly.
+        "native": [],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -133,6 +133,12 @@ _TABLE_COST_FACTOR = 4
 #: contiguous memory traffic amortises better than per-block gathers.
 _SPARSE_COST_FACTOR = 8
 
+#: The same bar under the compiled kernel backend.  The fused C filter-verify
+#: call has no per-stage allocation or numpy dispatch overhead, so the sparse
+#: plan stays profitable up to twice the candidate volume — the bar only
+#: decides plan choice, never answers.
+_SPARSE_COST_FACTOR_NATIVE = 4
+
 #: Chunk size of the top-k verification loop: candidates are verified in
 #: upper-bound order this many at a time, so the loop can stop as soon as
 #: the k-th best verified posterior dominates every remaining bound.
@@ -255,6 +261,12 @@ class ExecutionCore:
     index:
         Optional pre-built :class:`BranchInvertedIndex`; built lazily on
         first use otherwise.
+    kernel_backend:
+        Columnar kernel backend of the lazily-built index (``"auto"`` |
+        ``"numpy"`` | ``"native"`` — see :mod:`repro.db.kernels`).  Ignored
+        when a pre-built ``index`` is supplied.  Plan choice adapts to the
+        resolved backend (the fused native kernels move the sparse/dense
+        cost bar), but answers never depend on it.
     """
 
     def __init__(
@@ -265,11 +277,13 @@ class ExecutionCore:
         max_tau: int,
         error_class: Type[Exception] = SearchError,
         index: Optional[BranchInvertedIndex] = None,
+        kernel_backend: str = "auto",
     ) -> None:
         self.database = database
         self.estimator = estimator
         self.max_tau = int(max_tau)
         self.error_class = error_class
+        self.kernel_backend = str(kernel_backend)
         self._index = index
         self._tables: Dict[Tuple[int, int], np.ndarray] = {}
         # Published (matrix, frozen filled-order set) pairs per τ̂ (resp.
@@ -299,7 +313,9 @@ class ExecutionCore:
         self._distinct_orders: Dict[int, np.ndarray] = {}
         self._orders_rows: Dict[Tuple[int, int], np.ndarray] = {}
         self._order_codes_cache: Dict[int, np.ndarray] = {}
-        self._order_partition_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # (τ̂, γ, |V_Q|, |distinct|, pruning) -> (extended, capped threshold)
+        # vector pairs of the pruned path — see _pruned_thresholds.
+        self._pruned_thresholds_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
         # γ-threshold inversion cache: (τ̂, γ) -> {order: max acceptable GBD}.
         # Entries are idempotent (derived from the posterior vectors), so no
         # lock is needed; see acceptance_threshold.
@@ -342,8 +358,29 @@ class ExecutionCore:
     def ensure_index(self) -> BranchInvertedIndex:
         """Return the branch index, building it on first use."""
         if self._index is None:
-            self._index = BranchInvertedIndex(self.database)
+            self._index = BranchInvertedIndex(
+                self.database, backend=getattr(self, "kernel_backend", "auto")
+            )
         return self._index
+
+    def _sparse_cost_factor(self) -> int:
+        """Selectivity divisor of the sparse-vs-dense plan choice.
+
+        Resolved once from the store's kernel backend (the fused native
+        kernels keep the sparse plan profitable at twice the candidate
+        volume) and cached as a plain int — the cache rides along when the
+        core is pickled into pool workers.
+        """
+        factor = getattr(self, "_sparse_factor", None)
+        if factor is None:
+            backend = self.ensure_index().store.backend
+            factor = (
+                _SPARSE_COST_FACTOR_NATIVE
+                if backend == "native"
+                else _SPARSE_COST_FACTOR
+            )
+            self._sparse_factor = factor
+        return factor
 
     @property
     def tables(self) -> Dict[Tuple[int, int], np.ndarray]:
@@ -408,47 +445,6 @@ class ExecutionCore:
             codes = np.searchsorted(distinct, db_orders)
             self._order_codes_cache[key] = codes
         return codes
-
-    def _order_partition(
-        self, db_orders: np.ndarray, distinct: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Rows of a snapshot grouped by ``|V_G|``: ``(row order, starts, ends)``.
-
-        ``row_order[starts[i]:ends[i]]`` are the (ascending) store positions
-        whose order is ``distinct[i]``.  Built once per snapshot, this turns
-        "all rows of the eligible orders" into a few slice concatenations —
-        O(E) per query instead of an O(D) scan.
-        """
-        if len(self._order_partition_cache) > 16:
-            self._order_partition_cache = {}
-        key = len(db_orders)
-        cached = self._order_partition_cache.get(key)
-        if cached is None:
-            row_order = np.argsort(db_orders, kind="stable")
-            sorted_orders = db_orders[row_order]
-            starts = np.searchsorted(sorted_orders, distinct, side="left")
-            ends = np.searchsorted(sorted_orders, distinct, side="right")
-            cached = (row_order, starts, ends)
-            self._order_partition_cache[key] = cached
-        return cached
-
-    def _eligible_positions(
-        self,
-        db_orders: np.ndarray,
-        distinct: np.ndarray,
-        eligible_orders: np.ndarray,
-    ) -> np.ndarray:
-        """Sorted store positions whose order is marked eligible — O(E)."""
-        row_order, starts, ends = self._order_partition(db_orders, distinct)
-        slots = np.flatnonzero(eligible_orders)
-        if len(slots) == len(distinct):
-            return np.arange(len(db_orders), dtype=np.int64)
-        chunks = [row_order[starts[slot] : ends[slot]] for slot in slots.tolist()]
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
-        positions = np.concatenate(chunks)
-        positions.sort()
-        return positions
 
     def _count(
         self, generated: int, pruned: int, verified: int, *, sparse: Optional[bool] = None
@@ -548,6 +544,45 @@ class ExecutionCore:
     ) -> np.ndarray:
         """Vectorized :meth:`acceptance_threshold` over an array of orders."""
         return self._threshold_lookup(tau_hat, gamma, extended_orders)[extended_orders]
+
+    def _pruned_thresholds(
+        self,
+        tau_hat: int,
+        gamma: float,
+        num_query_vertices: int,
+        distinct: np.ndarray,
+        use_pruning: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(extended, capped thresholds)`` per-distinct-order pair.
+
+        One query shape ``(τ̂, γ, |V_Q|, pruning)`` over one snapshot always
+        produces the same two small vectors, so they are built once and
+        reused — and because the *same array objects* recur, the native
+        backend's per-array address cache applies to the thresholds too.
+        ``len(distinct)`` identifies the distinct-order set: the store is
+        append-only, so the set only ever grows.
+        """
+        cache = getattr(self, "_pruned_thresholds_cache", None)
+        if cache is None:
+            cache = self._pruned_thresholds_cache = {}
+        key = (
+            int(tau_hat),
+            float(gamma),
+            int(num_query_vertices),
+            len(distinct),
+            bool(use_pruning),
+        )
+        cached = cache.get(key)
+        if cached is None:
+            if len(cache) > 256:
+                cache.clear()
+            extended = np.maximum(num_query_vertices, distinct)
+            thresholds = self._thresholds_for(tau_hat, gamma, extended)
+            if use_pruning:
+                thresholds = np.minimum(thresholds, max_gbd_for_ged(tau_hat))
+            cached = (extended, np.ascontiguousarray(thresholds, dtype=np.int64))
+            cache[key] = cached
+        return cached
 
     def _threshold_lookup(
         self, tau_hat: int, gamma: float, extended_orders: np.ndarray
@@ -805,25 +840,35 @@ class ExecutionCore:
             self._dense_signatures.pop(signature, None)
         distinct = self._store_distinct_orders(db_orders)
         extended = np.maximum(num_query_vertices, distinct)
-        needed_orders = extended.tolist()
-        if not self._use_tables(tau_hat, needed_orders, num_rows):
+        if not self._use_tables(tau_hat, extended.tolist(), num_rows):
             # One-shot workload: inverting the thresholds would cost more
             # posterior evaluations than it saves — score directly.
             return self.execute(query, query_branches=branches, use_pruning=use_pruning)
-
+        filter_started = time.perf_counter()
         # Step 4 inverted: per distinct extended order, the largest GBD an
         # accepted graph may have (and, with pruning, may survive at all).
-        filter_started = time.perf_counter()
-        thresholds = self._thresholds_for(tau_hat, gamma, extended)
-        if use_pruning:
-            thresholds = np.minimum(thresholds, max_gbd_for_ged(tau_hat))
+        # The cached pair keeps the array objects stable across repeat query
+        # shapes, which the native backend's address cache feeds on.
+        extended, thresholds = self._pruned_thresholds(
+            tau_hat, gamma, num_query_vertices, distinct, use_pruning
+        )
 
-        # O(1)-per-candidate elimination: the lower bound depends on the row
-        # only through |V_G|, so eligibility is decided per distinct order.
-        matched_total = store.matched_query_total(branches)
-        lower_bounds = extended - np.minimum(matched_total, distinct)
-        eligible_orders = lower_bounds <= thresholds
-        if not eligible_orders.any():
+        # Fused filter-and-verify: one store call decides per-distinct-order
+        # eligibility with O(1) bound arithmetic, applies the selectivity bar
+        # (at most D / cost-factor survivors — above that the dense plan's
+        # contiguous traffic wins), and computes the survivors' exact
+        # intersections through the (key, order)-block index without ever
+        # reading a pruned row's postings.  On the native backend the whole
+        # sequence is a single C call with no intermediates.
+        max_candidates = num_rows // self._sparse_cost_factor()
+        positions, intersections, eligible_orders, num_eligible = store.filter_verify_row(
+            num_query_vertices,
+            branches,
+            thresholds,
+            max_candidates,
+            view=(csr, num_rows),
+        )
+        if num_eligible == 0:
             self._count(num_rows, num_rows, 0)
             self._observe_selectivity(tau_hat, gamma, num_rows, 0, "sparse")
             _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
@@ -837,12 +882,7 @@ class ExecutionCore:
                 accepted_items=([], []),
                 positions=empty,
             )
-
-        # Cost model: estimate selectivity from the per-order row counts
-        # (O(u)) before materialising anything per-row.
-        _row_order, starts, ends = self._order_partition(db_orders, distinct)
-        num_eligible = int((ends - starts)[eligible_orders].sum())
-        if num_eligible * _SPARSE_COST_FACTOR > num_rows:
+        if positions is None:
             # Low selectivity: compacted verification would cost more than
             # it saves — the plain dense pass is the better plan.  Remember
             # the shape so its next repeats skip the estimation too.
@@ -852,18 +892,11 @@ class ExecutionCore:
             self._observe_selectivity(tau_hat, gamma, num_rows, num_eligible, "dense")
             _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
             return self.execute(query, query_branches=branches, use_pruning=use_pruning)
-        positions = self._eligible_positions(db_orders, distinct, eligible_orders)
         self._count(num_rows, num_rows - num_eligible, num_eligible, sparse=True)
         self._observe_selectivity(tau_hat, gamma, num_rows, num_eligible, "sparse")
         _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
         verify_started = time.perf_counter()
 
-        # Verification: exact GBDs for the survivors only, through the
-        # (key, order)-block index — pruned rows' postings are never read.
-        view = (csr, num_rows)
-        intersections = store.intersection_for_orders(
-            branches, distinct[eligible_orders], positions, view=view
-        )
         sub_orders = np.maximum(num_query_vertices, db_orders[positions])
         sub_gbds = sub_orders - intersections
 
@@ -1078,15 +1111,17 @@ class ExecutionCore:
             thresholds = self._threshold_lookup(tau_hat, gamma, unique_orders)[extended]
             if use_pruning:
                 thresholds = np.minimum(thresholds, max_gbd_for_ged(tau_hat))
-            totals = np.asarray(
-                [store.matched_query_total(branches) for branches in group_branches],
-                dtype=np.int64,
-            )
-            lower_bounds = extended - np.minimum(totals[:, None], distinct[None, :])
-            eligible = lower_bounds <= thresholds  # (group, distinct orders)
-            union_orders = eligible.any(axis=0)
             generated = group_size * num_rows
-            if not union_orders.any():
+            # Fused group filter-and-verify: one store call bounds every
+            # (query, distinct order) pair, applies the selectivity bar to
+            # the union of surviving orders, and produces the exact (G, E)
+            # intersection matrix blockwise — pruned orders' postings are
+            # never read, and the per-query python loop is gone.
+            max_union_rows = num_rows // self._sparse_cost_factor()
+            positions, intersections, eligible, union_rows = store.filter_verify_matrix(
+                vertices, group_branches, thresholds, max_union_rows, view=view
+            )
+            if union_rows == 0:
                 self._count(generated, generated, 0)
                 self._observe_selectivity(tau_hat, gamma, generated, 0, "sparse")
                 _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
@@ -1101,9 +1136,7 @@ class ExecutionCore:
                         positions=empty,
                     )
                 continue
-            _row_order, starts, ends = self._order_partition(db_orders, distinct)
-            union_rows = int((ends - starts)[union_orders].sum())
-            if union_rows * _SPARSE_COST_FACTOR > num_rows:
+            if positions is None:
                 self._observe_selectivity(
                     tau_hat, gamma, generated, group_size * union_rows, "dense"
                 )
@@ -1121,10 +1154,6 @@ class ExecutionCore:
                 for i, result in zip(group, group_results):
                     results[i] = result
                 continue
-            # Index-driven generation: every query touches only the postings
-            # of the union's surviving orders.
-            positions = self._eligible_positions(db_orders, distinct, union_orders)
-            union_values = distinct[union_orders]
             eligible_sub = eligible[:, codes[positions]]  # (group, survivors)
             # Count every cell whose intersection is actually computed (the
             # whole union per query) as verified — prune_rate must reflect
@@ -1134,14 +1163,6 @@ class ExecutionCore:
             self._observe_selectivity(tau_hat, gamma, generated, verified, "sparse")
             _record_stage(_STAGE_BOUND_FILTER, "bound_filter", filter_started)
             verify_started = time.perf_counter()
-            intersections = np.vstack(
-                [
-                    store.intersection_for_orders(
-                        branches, union_values, positions, view=view
-                    )
-                    for branches in group_branches
-                ]
-            )
             sub_orders = np.maximum(vertices[:, None], db_orders[positions][None, :])
             sub_gbds = sub_orders - intersections
             # Classify only the eligible cells — ineligible ones are pruned
@@ -1277,7 +1298,7 @@ class ExecutionCore:
         # after ~1/8 of the database, one dense pass amortises better than
         # further per-chunk gathers.
         gbds: Optional[np.ndarray] = None
-        dense_after = num_rows // _SPARSE_COST_FACTOR
+        dense_after = num_rows // self._sparse_cost_factor()
         scored_ids: List[np.ndarray] = []
         scored_posteriors: List[np.ndarray] = []
         kth_score = -np.inf

@@ -4,16 +4,24 @@
 :class:`~repro.db.database.GraphDatabase` in compressed-sparse-row form:
 
 * a *vocabulary* mapping each canonical branch key to a dense integer id,
-* three contiguous ``int64`` arrays — ``offsets`` (one slot per branch key,
+* three contiguous arrays — ``offsets`` (one ``int64`` slot per branch key,
   CSR row pointers), ``positions`` (the database rows containing the key),
   and ``counts`` (the key's multiplicity in each of those rows).
 
-Compared with the dict-of-tuple-lists layout this replaces, the contiguous
-arrays turn the innermost loop of the online stage — accumulating
-``|B_Q ∩ B_G|`` over the postings — into numpy slicing plus one
-``bincount`` scatter-add, and they generalise to whole query *batches*:
-:meth:`gbd_matrix` produces the ``(Q, D)`` GBD matrix of a batch in a
-single vectorized pass.
+``positions``/``counts`` use the **compact int32 layout** whenever the store
+fits (fewer than 2³¹ rows and per-row multiplicities): half the memory
+bandwidth on the hottest arrays of the online stage.  :meth:`compact`
+re-checks the limits on every rebuild and promotes to int64 the moment
+either is exceeded — the kernels accept both layouts, so promotion is an
+internal dtype change, never an API event.
+
+The kernels themselves live in :mod:`repro.db.kernels` behind a pluggable
+``backend`` (``"numpy"`` | ``"native"`` | ``"auto"``): this class owns the
+vocabulary pass, the snapshot caches, and the metrics, and dispatches the
+array work to the selected backend.  The ``native`` backend additionally
+fuses the pruned execution layer's bound-filter → survivor-gather →
+verification sequence into one C call (:meth:`filter_verify_row`), so
+pruned-out candidates never allocate or touch intermediates.
 
 Incremental additions go through an **append buffer**: :meth:`append` is
 ``O(|branches|)`` bookkeeping, and the CSR arrays are rebuilt lazily by
@@ -44,52 +52,99 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.db.kernels import backend_module, resolve_backend
 from repro.obs.metrics import get_registry
 
 __all__ = ["ColumnarBranchStore"]
 
-# Kernel call/row counters (repro.obs): children are bound once at import so
-# the per-call cost is one attribute add — the kernels below are the hot path
-# of every online query.  Rows count the cells each call produced (D for a
-# dense row, Q·D for a matrix, E for compacted kernels), making
+# Kernel call/row counters (repro.obs): children are bound once per backend
+# and cached at module level — the kernels below are the hot path of every
+# online query, and children must never live on store instances (stores are
+# pickled into pool workers, whose deltas merge back by label set).  Rows
+# count the cells each call produced (D for a dense row, Q·D for a matrix, E
+# for compacted kernels, U distinct orders for the fused filters), making
 # ``rows / calls`` an instant read on how selective the pruned layer is.
 _KERNEL_CALLS = get_registry().counter(
-    "repro_kernel_calls_total", "Columnar CSR kernel invocations", ("kernel",)
+    "repro_kernel_calls_total", "Columnar CSR kernel invocations", ("kernel", "backend")
 )
 _KERNEL_ROWS = get_registry().counter(
-    "repro_kernel_rows_total", "Result cells produced by columnar CSR kernels", ("kernel",)
+    "repro_kernel_rows_total",
+    "Result cells produced by columnar CSR kernels",
+    ("kernel", "backend"),
 )
-_CALLS_ROW = _KERNEL_CALLS.labels(kernel="intersection_row")
-_ROWS_ROW = _KERNEL_ROWS.labels(kernel="intersection_row")
-_CALLS_MATRIX = _KERNEL_CALLS.labels(kernel="intersection_matrix")
-_ROWS_MATRIX = _KERNEL_ROWS.labels(kernel="intersection_matrix")
-_CALLS_SUBROW = _KERNEL_CALLS.labels(kernel="intersection_subrow")
-_ROWS_SUBROW = _KERNEL_ROWS.labels(kernel="intersection_subrow")
-_CALLS_FOR_ORDERS = _KERNEL_CALLS.labels(kernel="intersection_for_orders")
-_ROWS_FOR_ORDERS = _KERNEL_ROWS.labels(kernel="intersection_for_orders")
-_CALLS_SUBMATRIX = _KERNEL_CALLS.labels(kernel="intersection_submatrix")
-_ROWS_SUBMATRIX = _KERNEL_ROWS.labels(kernel="intersection_submatrix")
-_CALLS_BOUND_ROW = _KERNEL_CALLS.labels(kernel="gbd_lower_bound_row")
-_ROWS_BOUND_ROW = _KERNEL_ROWS.labels(kernel="gbd_lower_bound_row")
-_CALLS_BOUND_MATRIX = _KERNEL_CALLS.labels(kernel="gbd_lower_bound_matrix")
-_ROWS_BOUND_MATRIX = _KERNEL_ROWS.labels(kernel="gbd_lower_bound_matrix")
+_BACKEND_INFO = get_registry().gauge(
+    "repro_kernel_backend_info",
+    "Columnar kernel backends in use by this process (1 per active backend)",
+    ("backend",),
+)
+
+
+class _BackendCounters:
+    """Pre-bound (calls, rows) counter children of one backend label."""
+
+    __slots__ = (
+        "row",
+        "matrix",
+        "subrow",
+        "for_orders",
+        "submatrix",
+        "bound_row",
+        "bound_matrix",
+        "filter_verify_row",
+        "filter_verify_matrix",
+    )
+
+    def __init__(self, backend: str) -> None:
+        for kernel in self.__slots__:
+            setattr(
+                self,
+                kernel,
+                (
+                    _KERNEL_CALLS.labels(kernel=kernel, backend=backend),
+                    _KERNEL_ROWS.labels(kernel=kernel, backend=backend),
+                ),
+            )
+
+
+_COUNTERS_BY_BACKEND: Dict[str, _BackendCounters] = {}
+
+
+def _counters(backend: str) -> _BackendCounters:
+    counters = _COUNTERS_BY_BACKEND.get(backend)
+    if counters is None:
+        counters = _COUNTERS_BY_BACKEND[backend] = _BackendCounters(backend)
+    return counters
+
 
 #: The compacted arrays travel together with the number of rows they
 #: cover: (offsets, positions, counts, rows_covered).
 _Csr = Tuple[np.ndarray, np.ndarray, np.ndarray, int]
 
+#: Largest row index / posting multiplicity representable in the compact
+#: int32 layout.  Module-level so the overflow-promotion tests can shrink
+#: them; :meth:`ColumnarBranchStore.compact` re-reads them on every rebuild.
+_POSITION_DTYPE_LIMIT = int(np.iinfo(np.int32).max)
+_COUNT_DTYPE_LIMIT = int(np.iinfo(np.int32).max)
+
 _EMPTY_CSR: _Csr = (
     np.zeros(1, dtype=np.int64),
-    np.empty(0, dtype=np.int64),
-    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int32),
+    np.empty(0, dtype=np.int32),
     0,
 )
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 class ColumnarBranchStore:
     """CSR branch-key postings with an append buffer and lazy compaction."""
 
-    def __init__(self, entries: Iterable = ()) -> None:
+    def __init__(self, entries: Iterable = (), *, backend: str = "auto") -> None:
+        #: Resolved kernel backend name (``"numpy"`` or ``"native"``) — the
+        #: requested name is resolved once here, so an explicitly requested
+        #: but unbuildable ``"native"`` fails at construction, loudly.
+        self.backend = resolve_backend(backend)
+        _BACKEND_INFO.labels(backend=self.backend).set(1)
         self._key_ids: Dict[Tuple, int] = {}
         self._keys: List[Tuple] = []
         # Per-key norm: the largest multiplicity of the key in any single
@@ -117,11 +172,20 @@ class ColumnarBranchStore:
         # the last snapshot's (key, row-order) block index — see
         # _order_blocks_for.
         self._order_blocks_cache: Optional[Tuple[np.ndarray, Tuple]] = None
+        # (postings array identity, (distinct, row_order, starts, ends)) of
+        # the last snapshot's rows-grouped-by-order partition — see
+        # _order_partition_for.
+        self._order_partition_cache: Optional[Tuple[np.ndarray, Tuple]] = None
         self._compact_lock = threading.Lock()
         #: Number of compaction passes performed (bulk-load tests pin this).
         self.num_compactions = 0
         for entry in entries:
             self.append(entry)
+
+    @property
+    def _kernels(self):
+        """The resolved backend's kernel module (one dict probe — hot path)."""
+        return backend_module(self.backend)
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -131,6 +195,10 @@ class ColumnarBranchStore:
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._compact_lock = threading.Lock()
+        # A snapshot restored on another machine keeps its configured
+        # backend name; backend_module degrades native->numpy with a
+        # warning if this host cannot build the library.
+        _BACKEND_INFO.labels(backend=self.backend).set(1)
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -168,6 +236,21 @@ class ColumnarBranchStore:
             self._caps_cache = None
         return position
 
+    def _is_compacted(self) -> bool:
+        """Whether the published CSR already covers every key *and* row.
+
+        Both conditions matter: an appended entry with zero branches grows
+        the row count without touching the vocabulary or the buffer, so
+        checking the vocabulary alone would leave ``rows_covered`` stale
+        forever (and :meth:`view`, which insists on full row coverage,
+        spinning).
+        """
+        return (
+            not self._pending_keys
+            and len(self._csr[0]) == len(self._keys) + 1
+            and self._csr[3] == len(self._row_global_ids)
+        )
+
     def compact(self) -> bool:
         """Merge the append buffer into the CSR arrays; return whether work was done.
 
@@ -176,13 +259,20 @@ class ColumnarBranchStore:
         strictly larger) are placed after it in arrival order.  The merge
         runs under a lock and publishes the rebuilt arrays as one atomic
         tuple swap, so concurrent readers are never exposed to a torn CSR.
+
+        The rebuilt ``positions``/``counts`` use int32 while every row index
+        and posting multiplicity fits (:data:`_POSITION_DTYPE_LIMIT` /
+        :data:`_COUNT_DTYPE_LIMIT`), promoting to int64 otherwise.  Both
+        decisions are value-safe in either direction: positions are bounded
+        by the row count and counts by the max per-key cap, which are
+        exactly the quantities checked.
         """
-        if not self._pending_keys and len(self._csr[0]) == len(self._keys) + 1:
+        if self._is_compacted():
             return False
         with self._compact_lock:
             num_keys = len(self._keys)
             old_offsets, old_positions, old_counts, _old_rows = self._csr
-            if not self._pending_keys and len(old_offsets) == num_keys + 1:
+            if self._is_compacted():
                 return False  # another thread compacted while we waited
 
             old_num_keys = len(old_offsets) - 1
@@ -196,10 +286,14 @@ class ColumnarBranchStore:
                 pending_counts = np.asarray(self._pending_counts, dtype=np.int64)
                 lengths += np.bincount(pending_keys, minlength=num_keys)
 
+            num_rows = len(self._row_global_ids)
+            position_dtype = np.int32 if num_rows <= _POSITION_DTYPE_LIMIT else np.int64
+            max_cap = max(self._key_caps, default=0)
+            count_dtype = np.int32 if max_cap <= _COUNT_DTYPE_LIMIT else np.int64
             offsets = np.zeros(num_keys + 1, dtype=np.int64)
             np.cumsum(lengths, out=offsets[1:])
-            positions = np.empty(int(offsets[-1]), dtype=np.int64)
-            counts = np.empty_like(positions)
+            positions = np.empty(int(offsets[-1]), dtype=position_dtype)
+            counts = np.empty(int(offsets[-1]), dtype=count_dtype)
 
             if len(old_positions):
                 # Shift every old posting of key k by the room its segment grew.
@@ -225,7 +319,7 @@ class ColumnarBranchStore:
                 positions[destination] = pending_positions[order]
                 counts[destination] = pending_counts[order]
 
-            self._csr = (offsets, positions, counts, len(self._row_global_ids))
+            self._csr = (offsets, positions, counts, num_rows)
             self._pending_keys = []
             self._pending_positions = []
             self._pending_counts = []
@@ -345,34 +439,40 @@ class ColumnarBranchStore:
             np.asarray(query_counts, dtype=np.int64),
         )
 
-    def _gather(self, query_branch_sets: Sequence[Counter], csr: Optional[_Csr] = None):
-        """Gather all matched postings of a query batch in one vectorized pass.
+    def _match_single(self, query_branches: Counter, csr: _Csr):
+        """One-query vocabulary pass: matched keys *and* the cap-sum bound.
 
-        Returns ``(rows, cols, values)`` int64 arrays — one element per
-        matched posting — or ``None`` when nothing matched.  The postings
-        are materialised by a single range-concatenation gather over the
-        CSR arrays.
+        Returns ``(key_ids, query_counts, matched_total)`` — the first two
+        ``None`` when no key of the snapshot matched.  ``matched_total`` is
+        exactly :meth:`matched_query_total` (it reads the *live* caps over
+        every known vocabulary key, including keys newer than the CSR
+        snapshot — a newer cap only loosens the bound), while the key arrays
+        cover only keys the snapshot can answer for, exactly like
+        :meth:`_match_keys`.  Fusing the two passes halves the per-query
+        Python-loop work of the pruned path.
         """
-        if csr is None:
-            csr = self._snapshot()
-        matched = self._match_keys(query_branch_sets, csr)
-        if matched is None:
-            return None
-        offsets, all_positions, all_counts, _rows = csr
-        row_ids, keys, query_counts = matched
-        starts = offsets[keys]
-        lengths = offsets[keys + 1] - starts
-        total = int(lengths.sum())
-        if total == 0:
-            return None
-        # Concatenated [start, end) ranges: repeat each start and add the
-        # within-segment offset 0..length-1.
-        ends = np.cumsum(lengths)
-        flat = np.repeat(starts - (ends - lengths), lengths) + np.arange(total, dtype=np.int64)
-        cols = all_positions[flat]
-        values = np.minimum(np.repeat(query_counts, lengths), all_counts[flat])
-        rows = np.repeat(row_ids, lengths)
-        return rows, cols, values
+        known = len(csr[0]) - 1
+        caps = self._key_caps
+        lookup = self._key_ids.get
+        key_ids: List[int] = []
+        query_counts: List[int] = []
+        total = 0
+        for key, count in query_branches.items():
+            key_id = lookup(key)
+            if key_id is None:
+                continue
+            cap = caps[key_id]
+            total += count if count <= cap else cap
+            if key_id < known:
+                key_ids.append(key_id)
+                query_counts.append(count)
+        if not key_ids:
+            return None, None, total
+        return (
+            np.asarray(key_ids, dtype=np.int64),
+            np.asarray(query_counts, dtype=np.int64),
+            total,
+        )
 
     # ------------------------------------------------------------------ #
     # vectorized intersection / GBD kernels
@@ -382,21 +482,24 @@ class ColumnarBranchStore:
     ) -> np.ndarray:
         """Return ``|B_Q ∩ B_G|`` for every row as a dense ``(D,)`` array.
 
-        One vocabulary pass over the query's branch keys, one vectorized
-        gather of the matching CSR segments, and a single ``bincount``
-        scatter-add — no Python-level loop over postings.  ``view``
-        optionally pins the ``(csr, num_graphs)`` snapshot the caller is
-        computing against (see :meth:`view`).
+        One vocabulary pass over the query's branch keys, then the selected
+        backend accumulates the matching CSR segments (a vectorized gather
+        plus ``bincount`` scatter-add on numpy, a direct segment scatter in
+        C).  ``view`` optionally pins the ``(csr, num_graphs)`` snapshot the
+        caller is computing against (see :meth:`view`).
         """
-        csr, num_graphs = view if view is not None else (None, self.num_graphs)
-        _CALLS_ROW.inc()
-        _ROWS_ROW.inc(num_graphs)
-        gathered = self._gather((query_branches,), csr)
-        if gathered is None:
+        if view is not None:
+            csr, num_graphs = view
+        else:
+            csr, num_graphs = self._snapshot(), self.num_graphs
+        calls, rows = _counters(self.backend).row
+        calls.inc()
+        rows.inc(num_graphs)
+        matched = self._match_keys((query_branches,), csr)
+        if matched is None:
             return np.zeros(num_graphs, dtype=np.int64)
-        _rows, cols, values = gathered
-        # The weighted sums are exact small integers, so float64 is lossless.
-        return np.bincount(cols, weights=values, minlength=num_graphs).astype(np.int64)
+        _rows, key_ids, query_counts = matched
+        return self._kernels.intersection_row(csr, key_ids, query_counts, num_graphs)
 
     def intersection_matrix(
         self,
@@ -406,31 +509,25 @@ class ColumnarBranchStore:
     ) -> np.ndarray:
         """Return the ``(Q, D)`` multiset-intersection matrix of a query batch.
 
-        One vectorized gather materialises every matched posting of the
-        whole batch, then each query row is filled by a ``bincount``
-        scatter-add over its (contiguous, pre-sorted) slice — entries are
-        identical to stacking :meth:`intersection_row` per query, at a
-        fraction of the per-call overhead.
+        Entries are identical to stacking :meth:`intersection_row` per
+        query, at a fraction of the per-call overhead: the whole batch's
+        matched postings are accumulated in one backend pass.
         """
         num_queries = len(query_branch_sets)
-        csr, num_graphs = view if view is not None else (None, self.num_graphs)
-        _CALLS_MATRIX.inc()
-        _ROWS_MATRIX.inc(num_queries * num_graphs)
-        gathered = self._gather(query_branch_sets, csr)
-        if gathered is None:
+        if view is not None:
+            csr, num_graphs = view
+        else:
+            csr, num_graphs = self._snapshot(), self.num_graphs
+        calls, rows = _counters(self.backend).matrix
+        calls.inc()
+        rows.inc(num_queries * num_graphs)
+        matched = self._match_keys(query_branch_sets, csr)
+        if matched is None:
             return np.zeros((num_queries, num_graphs), dtype=np.int64)
-        rows, cols, values = gathered
-        # ``rows`` is sorted by construction; slice out each query's run.
-        boundaries = np.searchsorted(rows, np.arange(num_queries + 1, dtype=np.int64))
-        out = np.zeros((num_queries, num_graphs), dtype=np.float64)
-        for row in range(num_queries):
-            start, end = boundaries[row], boundaries[row + 1]
-            if start == end:
-                continue
-            out[row] = np.bincount(
-                cols[start:end], weights=values[start:end], minlength=num_graphs
-            )
-        return out.astype(np.int64)
+        row_ids, key_ids, query_counts = matched
+        return self._kernels.intersection_matrix(
+            csr, row_ids, key_ids, query_counts, num_queries, num_graphs
+        )
 
     # ------------------------------------------------------------------ #
     # GBD lower-bound kernels and sparse (position-restricted) intersections
@@ -471,15 +568,16 @@ class ColumnarBranchStore:
         Because ``matched_total <= |B_Q| = |V_Q|``, this dominates the plain
         size-difference bound ``| |V_Q| - |V_G| |``.  No postings are
         traversed — the whole row costs one vocabulary pass plus two dense
-        numpy ops, which is what lets the pruned execution layer discard
+        ops, which is what lets the pruned execution layer discard
         candidates before touching the index.  ``db_orders`` optionally pins
         the per-row order vector of the caller's snapshot.
         """
         orders = self.orders() if db_orders is None else db_orders
-        _CALLS_BOUND_ROW.inc()
-        _ROWS_BOUND_ROW.inc(len(orders))
+        calls, rows = _counters(self.backend).bound_row
+        calls.inc()
+        rows.inc(len(orders))
         total = self.matched_query_total(query_branches)
-        return np.maximum(int(num_query_vertices), orders) - np.minimum(total, orders)
+        return self._kernels.gbd_lower_bound_row(int(num_query_vertices), total, orders)
 
     def gbd_lower_bound_matrix(
         self,
@@ -491,15 +589,14 @@ class ColumnarBranchStore:
         """Batched form of :meth:`gbd_lower_bound_row`: the ``(Q, D)`` bound matrix."""
         orders = self.orders() if db_orders is None else db_orders
         vertices = np.asarray(list(num_query_vertices), dtype=np.int64)
-        _CALLS_BOUND_MATRIX.inc()
-        _ROWS_BOUND_MATRIX.inc(len(vertices) * len(orders))
+        calls, rows = _counters(self.backend).bound_matrix
+        calls.inc()
+        rows.inc(len(vertices) * len(orders))
         totals = np.asarray(
             [self.matched_query_total(branches) for branches in query_branch_sets],
             dtype=np.int64,
         )
-        return np.maximum(vertices[:, None], orders[None, :]) - np.minimum(
-            totals[:, None], orders[None, :]
-        )
+        return self._kernels.gbd_lower_bound_matrix(vertices, totals, orders)
 
     def _composite_for(self, csr: _Csr) -> Tuple[np.ndarray, int]:
         """Flat sorted ``key_id * stride + position`` view of a CSR snapshot.
@@ -507,7 +604,9 @@ class ColumnarBranchStore:
         Within a key the postings are position-sorted and keys are laid out
         in id order, so the composite codes are strictly increasing — one
         global ``searchsorted`` can probe any (key, row) pair.  Built once
-        per compaction (O(P)) and cached against the snapshot's identity.
+        per compaction (O(P)) and cached against the snapshot's postings
+        array *identity* — every :meth:`compact` allocates fresh arrays, so
+        a stale entry can never alias a rebuilt snapshot.
         """
         offsets, all_positions, _counts, rows_covered = csr
         stride = max(int(rows_covered), 1)
@@ -530,43 +629,29 @@ class ColumnarBranchStore:
     ) -> np.ndarray:
         """``|B_Q ∩ B_G|`` for a sorted subset of rows, without a full gather.
 
-        Instead of materialising every posting of the query's keys (O(P))
-        and masking, all K · E (query key, surviving row) pairs are probed
-        at once by a single ``searchsorted`` against the composite-sorted
-        CSR (:meth:`_composite_for`) — the index-driven sparse strategy of
-        the pruned execution layer: when the bound filter leaves few
-        candidates, the postings of the pruned rows are never touched.
-        Entries equal ``intersection_row(...)[positions]`` exactly.
+        The index-driven sparse strategy of the pruned execution layer: when
+        the bound filter leaves few candidates, the postings of the pruned
+        rows are never touched.  The numpy backend probes all K · E (query
+        key, surviving row) pairs through the composite-sorted CSR
+        (:meth:`_composite_for`); the native backend walks whichever side of
+        each key's segment is shorter.  Entries equal
+        ``intersection_row(...)[positions]`` exactly.
         """
         csr = view[0] if view is not None else self._snapshot()
-        offsets, _all_positions, all_counts, _rows = csr
+        _offsets, _all_positions, all_counts, _rows = csr
         positions = np.asarray(positions, dtype=np.int64)
         num_positions = len(positions)
-        _CALLS_SUBROW.inc()
-        _ROWS_SUBROW.inc(num_positions)
-        out = np.zeros(num_positions, dtype=np.int64)
+        calls, rows = _counters(self.backend).subrow
+        calls.inc()
+        rows.inc(num_positions)
         if num_positions == 0 or len(all_counts) == 0:
-            return out
+            return np.zeros(num_positions, dtype=np.int64)
         matched = self._match_keys((query_branches,), csr)
         if matched is None:
-            return out
+            return np.zeros(num_positions, dtype=np.int64)
         _query_rows, key_ids, query_counts = matched
-        order = np.argsort(key_ids, kind="stable")
-        key_ids = key_ids[order]
-        query_counts = query_counts[order]
-        composite, stride = self._composite_for(csr)
-        probes = (key_ids[:, None] * stride + positions[None, :]).ravel()
-        slots = np.searchsorted(composite, probes)
-        slots_clipped = np.minimum(slots, len(composite) - 1)
-        hits = composite[slots_clipped] == probes
-        if not hits.any():
-            return out
-        counts = all_counts[slots_clipped[hits]]
-        capped = np.minimum(np.repeat(query_counts, num_positions)[hits], counts)
-        columns = np.tile(np.arange(num_positions, dtype=np.int64), len(key_ids))[hits]
-        # Weighted sums are exact small integers, so float64 is lossless.
-        return np.bincount(columns, weights=capped, minlength=num_positions).astype(
-            np.int64
+        return self._kernels.intersection_subrow(
+            csr, lambda: self._composite_for(csr), key_ids, query_counts, positions
         )
 
     def _order_blocks_for(self, csr: _Csr) -> Tuple[np.ndarray, np.ndarray, int]:
@@ -575,9 +660,11 @@ class ColumnarBranchStore:
         Returns ``(sorted codes, permutation, stride)`` where ``codes =
         key_id * stride + |V_row|`` and ``permutation`` maps the sorted
         order back to posting slots.  Every ``(branch key, vertex count)``
-        pair owns one contiguous block, located by two ``searchsorted``
-        probes — the backbone of :meth:`intersection_for_orders`.  Built
-        once per compaction (O(P log P)) and cached against the snapshot.
+        pair owns one contiguous block, located by two binary-search probes
+        — the backbone of :meth:`intersection_for_orders` and the fused
+        filter-verify kernels.  Built once per compaction (O(P log P)) and
+        cached against the snapshot's postings array identity (fresh arrays
+        every compaction — see :meth:`_composite_for`).
         """
         offsets, all_positions, _counts, rows_covered = csr
         cached = self._order_blocks_cache
@@ -593,6 +680,31 @@ class ColumnarBranchStore:
         blocks = (codes[permutation], permutation, stride)
         self._order_blocks_cache = (all_positions, blocks)
         return blocks
+
+    def _order_partition_for(
+        self, csr: _Csr
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Rows of a snapshot grouped by ``|V_G|``: ``(distinct, row_order, starts, ends)``.
+
+        ``row_order[starts[i]:ends[i]]`` are the (ascending) store positions
+        whose order is ``distinct[i]`` — the shape the fused filter-verify
+        kernels consume: per-distinct-order eligibility plus slice
+        concatenation of the survivors.  Built once per compaction and
+        cached against the snapshot's postings array identity.
+        """
+        _offsets, all_positions, _counts, rows_covered = csr
+        cached = self._order_partition_cache
+        if cached is not None and cached[0] is all_positions:
+            return cached[1]
+        orders = self.orders()[: int(rows_covered)]
+        distinct = np.unique(orders)
+        row_order = np.argsort(orders, kind="stable")
+        sorted_orders = orders[row_order]
+        starts = np.searchsorted(sorted_orders, distinct, side="left")
+        ends = np.searchsorted(sorted_orders, distinct, side="right")
+        partition = (distinct, row_order, starts, ends)
+        self._order_partition_cache = (all_positions, partition)
+        return partition
 
     def intersection_for_orders(
         self,
@@ -615,42 +727,25 @@ class ColumnarBranchStore:
         ``intersection_row(...)[positions]`` exactly.
         """
         csr = view[0] if view is not None else self._snapshot()
-        offsets, all_positions, all_counts, _rows = csr
+        _offsets, all_positions, _all_counts, _rows = csr
         positions = np.asarray(positions, dtype=np.int64)
         num_positions = len(positions)
-        _CALLS_FOR_ORDERS.inc()
-        _ROWS_FOR_ORDERS.inc(num_positions)
-        out = np.zeros(num_positions, dtype=np.int64)
+        calls, rows = _counters(self.backend).for_orders
+        calls.inc()
+        rows.inc(num_positions)
         if num_positions == 0 or len(all_positions) == 0:
-            return out
+            return np.zeros(num_positions, dtype=np.int64)
         matched = self._match_keys((query_branches,), csr)
         if matched is None:
-            return out
+            return np.zeros(num_positions, dtype=np.int64)
         _query_rows, key_ids, query_counts = matched
-        codes_sorted, permutation, stride = self._order_blocks_for(csr)
-        order_values = np.asarray(order_values, dtype=np.int64)
-        probe_codes = (key_ids[:, None] * stride + order_values[None, :]).ravel()
-        starts = np.searchsorted(codes_sorted, probe_codes, side="left")
-        ends = np.searchsorted(codes_sorted, probe_codes, side="right")
-        lengths = ends - starts
-        total = int(lengths.sum())
-        if total == 0:
-            return out
-        # Concatenated [start, end) block ranges (cf. _gather).
-        block_ends = np.cumsum(lengths)
-        flat = np.repeat(starts - (block_ends - lengths), lengths) + np.arange(
-            total, dtype=np.int64
-        )
-        posting_slots = permutation[flat]
-        rows = all_positions[posting_slots]
-        counts = all_counts[posting_slots]
-        capped = np.minimum(
-            np.repeat(np.repeat(query_counts, len(order_values)), lengths), counts
-        )
-        columns = np.searchsorted(positions, rows)
-        # Weighted sums are exact small integers, so float64 is lossless.
-        return np.bincount(columns, weights=capped, minlength=num_positions).astype(
-            np.int64
+        return self._kernels.intersection_for_orders(
+            csr,
+            self._order_blocks_for(csr),
+            key_ids,
+            query_counts,
+            np.asarray(order_values, dtype=np.int64),
+            positions,
         )
 
     def intersection_submatrix(
@@ -662,43 +757,153 @@ class ColumnarBranchStore:
     ) -> np.ndarray:
         """``(Q, E)`` intersection matrix restricted to sorted row ``positions``.
 
-        General-purpose compacted batch kernel: one gather materialises the
-        batch's matched postings, postings outside ``positions`` are masked
-        away, and each query row is filled by a ``bincount`` over the
-        *compacted* position space — the dense arrays scale with E, not the
-        database size D.  (The pruned execution layer's batch path uses
-        :meth:`intersection_for_orders` per query instead, which also skips
-        the gather of the pruned rows' postings.)  Columns equal
+        General-purpose compacted batch kernel — the dense arrays scale with
+        E, not the database size D.  (The pruned execution layer's batch
+        path uses the fused :meth:`filter_verify_matrix` instead, which also
+        skips the gather of the pruned rows' postings.)  Columns equal
         ``intersection_matrix(...)[:, positions]`` exactly.
         """
         num_queries = len(query_branch_sets)
-        csr = view[0] if view is not None else None
+        csr = view[0] if view is not None else self._snapshot()
         positions = np.asarray(positions, dtype=np.int64)
-        _CALLS_SUBMATRIX.inc()
-        _ROWS_SUBMATRIX.inc(num_queries * len(positions))
-        out = np.zeros((num_queries, len(positions)), dtype=np.int64)
+        calls, rows = _counters(self.backend).submatrix
+        calls.inc()
+        rows.inc(num_queries * len(positions))
         if positions.size == 0:
-            return out
-        gathered = self._gather(query_branch_sets, csr)
-        if gathered is None:
-            return out
-        rows, cols, values = gathered
-        slots = np.searchsorted(positions, cols)
-        slots_clipped = np.minimum(slots, len(positions) - 1)
-        member = positions[slots_clipped] == cols
-        rows = rows[member]
-        compact = slots_clipped[member]
-        values = values[member]
-        boundaries = np.searchsorted(rows, np.arange(num_queries + 1, dtype=np.int64))
-        dense = np.zeros((num_queries, len(positions)), dtype=np.float64)
-        for row in range(num_queries):
-            start, end = boundaries[row], boundaries[row + 1]
-            if start == end:
-                continue
-            dense[row] = np.bincount(
-                compact[start:end], weights=values[start:end], minlength=len(positions)
+            return np.zeros((num_queries, len(positions)), dtype=np.int64)
+        matched = self._match_keys(query_branch_sets, csr)
+        if matched is None:
+            return np.zeros((num_queries, len(positions)), dtype=np.int64)
+        row_ids, key_ids, query_counts = matched
+        return self._kernels.intersection_submatrix(
+            csr, row_ids, key_ids, query_counts, num_queries, positions
+        )
+
+    # ------------------------------------------------------------------ #
+    # fused filter-and-verify entry points (pruned execution layer)
+    # ------------------------------------------------------------------ #
+    def filter_verify_row(
+        self,
+        num_query_vertices: int,
+        query_branches: Counter,
+        thresholds: np.ndarray,
+        max_candidates: int,
+        *,
+        view: Optional[Tuple[_Csr, int]] = None,
+    ):
+        """Single-pass bound filter + survivor verification of one query.
+
+        ``thresholds[i]`` is the caller's max acceptable GBD for rows of
+        order ``distinct[i]`` (the snapshot's distinct-order partition) —
+        the γ-threshold inversion of the execution core.  Returns
+        ``(positions, intersections, eligible_orders, num_eligible)``:
+
+        * no order survives — two empty arrays, the all-false mask, 0;
+        * ``num_eligible > max_candidates`` (the caller's dense-plan bar) —
+          ``(None, None, mask, num_eligible)``; no per-row work was done;
+        * otherwise — the sorted surviving store positions and their exact
+          ``|B_Q ∩ B_G|`` values (equal to
+          ``intersection_row(...)[positions]``), computed without touching
+          any pruned row's postings.  On the native backend the whole
+          sequence is one C call with no intermediates.
+        """
+        csr = view[0] if view is not None else self._snapshot()
+        partition = self._order_partition_for(csr)
+        calls, rows = _counters(self.backend).filter_verify_row
+        calls.inc()
+        rows.inc(len(partition[0]))
+        key_ids, query_counts, matched_total = self._match_single(query_branches, csr)
+        if key_ids is None:
+            key_ids = _EMPTY_I64
+            query_counts = _EMPTY_I64
+        return self._kernels.filter_verify_row(
+            csr,
+            self._order_blocks_for(csr),
+            partition,
+            int(num_query_vertices),
+            matched_total,
+            key_ids,
+            query_counts,
+            np.ascontiguousarray(thresholds, dtype=np.int64),
+            int(max_candidates),
+        )
+
+    def filter_verify_matrix(
+        self,
+        num_query_vertices: Sequence[int],
+        query_branch_sets: Sequence[Counter],
+        thresholds: np.ndarray,
+        max_union_rows: int,
+        *,
+        view: Optional[Tuple[_Csr, int]] = None,
+    ):
+        """Group form of :meth:`filter_verify_row` over one (τ̂, γ) batch.
+
+        ``thresholds`` is the ``(G, U)`` per-(query, distinct order) max
+        acceptable GBD matrix.  Returns ``(positions, intersections,
+        eligible, num_union_rows)`` where ``eligible`` is the ``(G, U)``
+        bound-survival mask and ``positions`` covers the *union* of every
+        query's surviving orders:
+
+        * empty union — two empty arrays (``intersections`` shaped (G, 0));
+        * ``num_union_rows > max_union_rows`` — ``(None, None, eligible,
+          num_union_rows)``, the caller's cue to run the dense batch plan;
+        * otherwise — sorted union positions plus the ``(G, E)`` exact
+          intersection matrix, computed blockwise so pruned orders' postings
+          are never read.
+        """
+        csr = view[0] if view is not None else self._snapshot()
+        distinct, row_order, starts, ends = self._order_partition_for(csr)
+        num_queries = len(query_branch_sets)
+        calls, rows = _counters(self.backend).filter_verify_matrix
+        calls.inc()
+        rows.inc(num_queries * len(distinct))
+        vertices = np.asarray(list(num_query_vertices), dtype=np.int64)
+        matched = [self._match_single(branches, csr) for branches in query_branch_sets]
+        totals = np.asarray([entry[2] for entry in matched], dtype=np.int64)
+        lower_bounds = np.maximum(vertices[:, None], distinct[None, :]) - np.minimum(
+            totals[:, None], distinct[None, :]
+        )
+        eligible = lower_bounds <= thresholds
+        union_orders = eligible.any(axis=0)
+        num_union_rows = int((ends - starts)[union_orders].sum())
+        if num_union_rows == 0:
+            return (
+                _EMPTY_I64,
+                np.zeros((num_queries, 0), dtype=np.int64),
+                eligible,
+                0,
             )
-        return dense.astype(np.int64)
+        if num_union_rows > max_union_rows:
+            return None, None, eligible, num_union_rows
+        slots = np.flatnonzero(union_orders)
+        if len(slots) == len(distinct):
+            positions = np.arange(len(row_order), dtype=np.int64)
+        else:
+            positions = np.concatenate(
+                [row_order[starts[slot] : ends[slot]] for slot in slots.tolist()]
+            )
+            positions.sort()
+        key_offsets = np.zeros(num_queries + 1, dtype=np.int64)
+        id_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        for group, (key_ids, query_counts, _total) in enumerate(matched):
+            if key_ids is None:
+                key_offsets[group + 1] = key_offsets[group]
+            else:
+                key_offsets[group + 1] = key_offsets[group] + len(key_ids)
+                id_parts.append(key_ids)
+                count_parts.append(query_counts)
+        intersections = self._kernels.intersection_matrix_for_orders(
+            csr,
+            self._order_blocks_for(csr),
+            key_offsets,
+            np.concatenate(id_parts) if id_parts else _EMPTY_I64,
+            np.concatenate(count_parts) if count_parts else _EMPTY_I64,
+            distinct[union_orders],
+            positions,
+        )
+        return positions, intersections, eligible, num_union_rows
 
     def gbd_row(self, num_query_vertices: int, query_branches: Counter) -> np.ndarray:
         """Return ``GBD(Q, G)`` for every row as a dense ``(D,)`` array."""
@@ -716,5 +921,6 @@ class ColumnarBranchStore:
     def __repr__(self) -> str:
         return (
             f"<ColumnarBranchStore rows={self.num_graphs} keys={self.num_keys} "
-            f"postings={self.num_postings} pending={len(self._pending_keys)}>"
+            f"postings={self.num_postings} pending={len(self._pending_keys)} "
+            f"backend={self.backend}>"
         )

@@ -45,9 +45,9 @@ __all__ = ["BranchInvertedIndex"]
 class BranchInvertedIndex:
     """Inverted index from branch keys to the graphs containing them."""
 
-    def __init__(self, database: GraphDatabase) -> None:
+    def __init__(self, database: GraphDatabase, *, backend: str = "auto") -> None:
         self.database = database
-        self._store = ColumnarBranchStore(database)
+        self._store = ColumnarBranchStore(database, backend=backend)
         database.subscribe(self._on_graph_added)
 
     def _on_graph_added(self, entry: StoredGraph) -> None:

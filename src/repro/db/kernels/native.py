@@ -1,0 +1,415 @@
+"""Compiled (C, via ctypes) kernel backend for the columnar store.
+
+The bundled ``_kernels.c`` is compiled on demand with the system C compiler
+(``cc``/``gcc``/``clang`` — no third-party build dependency) into a per-user
+cache directory keyed by the source hash, then loaded through :mod:`ctypes`.
+Every wrapper returns bit-identical results to its
+:mod:`repro.db.kernels.numpy_impl` twin; inputs whose CSR arrays are not in
+the compact int32 layout (a store that outgrew int32) are transparently
+delegated to the numpy backend rather than widening the C surface.
+
+The compiled calls release the GIL for their whole duration (plain ctypes
+foreign calls), so thread-mode serving executors scale better on this
+backend than on the numpy one.
+
+Pointer arguments are declared ``void *`` and passed as plain addresses:
+extracting ``array.ctypes.data_as(...)`` costs ~2µs per array in ctypes
+machinery, which at a dozen arrays per fused call would rival the kernel
+itself.  Addresses of snapshot-stable arrays (the CSR triple, the block and
+partition indexes) are therefore identity-cached via :func:`_pinned` — the
+cache holds a strong reference to each keyed array, so a cached address can
+never dangle or alias a recycled ``id``.
+
+Build products land in ``$REPRO_KERNEL_CACHE`` when set, else
+``$TMPDIR/repro-kernels-<uid>``; a failed build is recorded once and surfaces
+through :func:`available` / :func:`load_error`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.db.kernels import numpy_impl
+
+name = "native"
+
+_SOURCE_PATH = Path(__file__).with_name("_kernels.c")
+_ABI_VERSION = 1
+
+#: argtypes of every exported kernel (i=int64 scalar, p=array address)
+_SIGNATURES = {
+    "repro_kernels_abi_version": "",
+    "repro_gather_postings": "pppppipp",
+    "repro_intersection_row": "pppppip",
+    "repro_intersection_matrix": "ppppppiip",
+    "repro_intersection_subrow": "pppppipip",
+    "repro_intersection_submatrix": "ppppppipip",
+    "repro_intersection_for_orders": "ppiippppipipip",
+    "repro_intersection_matrix_for_orders": "ppiipppipppipip",
+    "repro_gbd_lower_bound_row": "iipip",
+    "repro_gbd_lower_bound_matrix": "ppipip",
+    "repro_filter_verify_row": "iipppippippiippppippp",
+}
+_ARG_KINDS = {"i": ctypes.c_int64, "p": ctypes.c_void_p}
+
+_lock = threading.Lock()
+_lib: Optional[ctypes.CDLL] = None
+_load_error: Optional[str] = None
+_attempted = False
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_KERNEL_CACHE")
+    if env:
+        return Path(env)
+    uid = os.getuid() if hasattr(os, "getuid") else "any"
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
+
+
+def _find_compiler() -> Optional[str]:
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _build_and_load() -> ctypes.CDLL:
+    source = _SOURCE_PATH.read_bytes()
+    tag = hashlib.sha256(
+        source + f"|{platform.system()}|{platform.machine()}|{_ABI_VERSION}".encode()
+    ).hexdigest()[:16]
+    library_path = _cache_dir() / f"repro_kernels_{tag}.so"
+    if not library_path.exists():
+        compiler = _find_compiler()
+        if compiler is None:
+            raise RuntimeError("no C compiler found (tried cc, gcc, clang)")
+        library_path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = library_path.with_suffix(f".build-{os.getpid()}.so")
+        command = [
+            compiler,
+            "-O3",
+            "-std=c99",
+            "-fPIC",
+            "-shared",
+            str(_SOURCE_PATH),
+            "-o",
+            str(scratch),
+        ]
+        result = subprocess.run(command, capture_output=True, text=True, timeout=300)
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"kernel build failed ({' '.join(command)}): {result.stderr.strip()}"
+            )
+        os.replace(scratch, library_path)  # atomic publish against racing builders
+    library = ctypes.CDLL(str(library_path))
+    for symbol, signature in _SIGNATURES.items():
+        function = getattr(library, symbol)
+        function.argtypes = [_ARG_KINDS[kind] for kind in signature]
+        function.restype = ctypes.c_int64
+    if library.repro_kernels_abi_version() != _ABI_VERSION:
+        raise RuntimeError("stale kernel library: ABI version mismatch")
+    return library
+
+
+def _library() -> ctypes.CDLL:
+    """Build/load the shared library once; raise with the recorded error after."""
+    global _lib, _load_error, _attempted
+    if _lib is not None:
+        return _lib
+    with _lock:
+        if _lib is not None:
+            return _lib
+        if _attempted:
+            raise RuntimeError(f"native kernels unavailable: {_load_error}")
+        _attempted = True
+        try:
+            _lib = _build_and_load()
+        except Exception as exc:  # noqa: BLE001 - recorded and surfaced to callers
+            _load_error = str(exc)
+            raise RuntimeError(f"native kernels unavailable: {exc}") from exc
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled library can be (or already was) built and loaded."""
+    try:
+        _library()
+    except Exception:  # noqa: BLE001
+        return False
+    return True
+
+
+def load_error() -> Optional[str]:
+    """The recorded build/load failure, if the library is unavailable."""
+    return _load_error
+
+
+#: id(array) -> (keyed array, contiguous twin, address).  Entries strongly
+#: reference the keyed array, so its id cannot be recycled while cached and
+#: the address cannot dangle.  Snapshot arrays change only on compaction;
+#: the occasional wholesale clear just re-primes a handful of entries.
+_PTR_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+
+def _pinned(array: np.ndarray, dtype) -> int:
+    """Cached address of a snapshot-stable array (contiguous, ``dtype``)."""
+    key = id(array)
+    entry = _PTR_CACHE.get(key)
+    if entry is None or entry[0] is not array:
+        if len(_PTR_CACHE) > 512:
+            _PTR_CACHE.clear()
+        contiguous = np.ascontiguousarray(array, dtype=dtype)
+        entry = (array, contiguous, contiguous.ctypes.data)
+        _PTR_CACHE[key] = entry
+    return entry[2]
+
+
+def _c64(array: np.ndarray) -> np.ndarray:
+    # No-op for the common case (already contiguous int64); copies strided
+    # or mistyped caller arrays instead of reading garbage.  The caller must
+    # hold the returned array until after the foreign call — addresses are
+    # extracted with ``.ctypes.data``, which does not pin the array.
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+def _compact_csr(csr) -> Optional[Tuple[int, int, int]]:
+    """Pinned (offsets, positions, counts) addresses iff in the int32 layout."""
+    offsets, positions, counts, _rows = csr
+    if positions.dtype != np.int32 or counts.dtype != np.int32:
+        return None  # store outgrew int32 — numpy backend handles the wide layout
+    return (
+        _pinned(offsets, np.int64),
+        _pinned(positions, np.int32),
+        _pinned(counts, np.int32),
+    )
+
+
+def gather_postings(csr, key_ids, query_counts):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.gather_postings(csr, key_ids, query_counts)
+    offsets = csr[0]
+    lengths = offsets[key_ids + 1] - offsets[key_ids]
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY_I64, _EMPTY_I64
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    out_cols = np.empty(total, dtype=np.int64)
+    out_values = np.empty(total, dtype=np.int64)
+    _library().repro_gather_postings(
+        *compact,
+        keys.ctypes.data, counts_q.ctypes.data, len(keys),
+        out_cols.ctypes.data, out_values.ctypes.data,
+    )
+    return out_cols, out_values
+
+
+def intersection_row(csr, key_ids, query_counts, num_graphs):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.intersection_row(csr, key_ids, query_counts, num_graphs)
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    out = np.zeros(num_graphs, dtype=np.int64)
+    _library().repro_intersection_row(
+        *compact, keys.ctypes.data, counts_q.ctypes.data, len(keys), out.ctypes.data,
+    )
+    return out
+
+
+def intersection_matrix(csr, row_ids, key_ids, query_counts, num_queries, num_graphs):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.intersection_matrix(
+            csr, row_ids, key_ids, query_counts, num_queries, num_graphs
+        )
+    rows = _c64(row_ids)
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    out = np.zeros((num_queries, num_graphs), dtype=np.int64)
+    _library().repro_intersection_matrix(
+        *compact,
+        rows.ctypes.data, keys.ctypes.data, counts_q.ctypes.data,
+        len(keys), num_graphs, out.ctypes.data,
+    )
+    return out
+
+
+def intersection_subrow(csr, composite_fn, key_ids, query_counts, sub_positions):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.intersection_subrow(
+            csr, composite_fn, key_ids, query_counts, sub_positions
+        )
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    subs = _c64(sub_positions)
+    out = np.zeros(len(subs), dtype=np.int64)
+    _library().repro_intersection_subrow(
+        *compact,
+        keys.ctypes.data, counts_q.ctypes.data, len(keys),
+        subs.ctypes.data, len(subs), out.ctypes.data,
+    )
+    return out
+
+
+def intersection_submatrix(csr, row_ids, key_ids, query_counts, num_queries, sub_positions):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.intersection_submatrix(
+            csr, row_ids, key_ids, query_counts, num_queries, sub_positions
+        )
+    rows = _c64(row_ids)
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    subs = _c64(sub_positions)
+    out = np.zeros((num_queries, len(subs)), dtype=np.int64)
+    _library().repro_intersection_submatrix(
+        *compact,
+        rows.ctypes.data, keys.ctypes.data, counts_q.ctypes.data, len(keys),
+        subs.ctypes.data, len(subs), out.ctypes.data,
+    )
+    return out
+
+
+def intersection_for_orders(csr, blocks, key_ids, query_counts, order_values, sub_positions):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.intersection_for_orders(
+            csr, blocks, key_ids, query_counts, order_values, sub_positions
+        )
+    _offsets_ptr, positions_ptr, counts_ptr = compact
+    codes_sorted, permutation, stride = blocks
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    values = _c64(order_values)
+    subs = _c64(sub_positions)
+    out = np.zeros(len(subs), dtype=np.int64)
+    _library().repro_intersection_for_orders(
+        _pinned(codes_sorted, np.int64), _pinned(permutation, np.int64),
+        len(codes_sorted), stride,
+        positions_ptr, counts_ptr,
+        keys.ctypes.data, counts_q.ctypes.data, len(keys),
+        values.ctypes.data, len(values),
+        subs.ctypes.data, len(subs), out.ctypes.data,
+    )
+    return out
+
+
+def intersection_matrix_for_orders(
+    csr, blocks, key_offsets, key_ids, query_counts, order_values, sub_positions
+):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.intersection_matrix_for_orders(
+            csr, blocks, key_offsets, key_ids, query_counts, order_values, sub_positions
+        )
+    _offsets_ptr, positions_ptr, counts_ptr = compact
+    codes_sorted, permutation, stride = blocks
+    offsets_q = _c64(key_offsets)
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    values = _c64(order_values)
+    subs = _c64(sub_positions)
+    num_queries = len(key_offsets) - 1
+    out = np.zeros((num_queries, len(subs)), dtype=np.int64)
+    _library().repro_intersection_matrix_for_orders(
+        _pinned(codes_sorted, np.int64), _pinned(permutation, np.int64),
+        len(codes_sorted), stride,
+        positions_ptr, counts_ptr,
+        offsets_q.ctypes.data, num_queries, keys.ctypes.data, counts_q.ctypes.data,
+        values.ctypes.data, len(values),
+        subs.ctypes.data, len(subs), out.ctypes.data,
+    )
+    return out
+
+
+def gbd_lower_bound_row(num_query_vertices, matched_total, orders):
+    out = np.empty(len(orders), dtype=np.int64)
+    _library().repro_gbd_lower_bound_row(
+        int(num_query_vertices), int(matched_total),
+        _pinned(orders, np.int64), len(orders), out.ctypes.data,
+    )
+    return out
+
+
+def gbd_lower_bound_matrix(vertices, totals, orders):
+    verts = _c64(vertices)
+    tots = _c64(totals)
+    out = np.empty((len(verts), len(orders)), dtype=np.int64)
+    _library().repro_gbd_lower_bound_matrix(
+        verts.ctypes.data, tots.ctypes.data, len(verts),
+        _pinned(orders, np.int64), len(orders), out.ctypes.data,
+    )
+    return out
+
+
+def filter_verify_row(
+    csr,
+    blocks,
+    partition,
+    num_query_vertices,
+    matched_total,
+    key_ids,
+    query_counts,
+    thresholds,
+    max_candidates,
+):
+    compact = _compact_csr(csr)
+    if compact is None:
+        return numpy_impl.filter_verify_row(
+            csr, blocks, partition, num_query_vertices, matched_total,
+            key_ids, query_counts, thresholds, max_candidates,
+        )
+    _offsets_ptr, positions_ptr, counts_ptr = compact
+    codes_sorted, permutation, stride = blocks
+    distinct, row_order, starts, ends = partition
+    keys = _c64(key_ids)
+    counts_q = _c64(query_counts)
+    # The execution core reuses one thresholds array per repeated query
+    # shape, so its address is worth caching alongside the snapshot arrays.
+    bars_ptr = _pinned(thresholds, np.int64)
+    capacity = max(int(max_candidates), 0)
+    eligible_flags = np.empty(len(distinct), dtype=np.uint8)
+    out_positions = np.empty(capacity, dtype=np.int64)
+    out_intersections = np.empty(capacity, dtype=np.int64)
+    num_eligible = int(
+        _library().repro_filter_verify_row(
+            int(num_query_vertices), int(matched_total),
+            _pinned(distinct, np.int64), _pinned(starts, np.int64),
+            _pinned(ends, np.int64), len(distinct),
+            _pinned(row_order, np.int64), bars_ptr, capacity,
+            _pinned(codes_sorted, np.int64), _pinned(permutation, np.int64),
+            len(codes_sorted), stride,
+            positions_ptr, counts_ptr,
+            keys.ctypes.data, counts_q.ctypes.data, len(keys),
+            out_positions.ctypes.data, out_intersections.ctypes.data,
+            eligible_flags.ctypes.data,
+        )
+    )
+    if num_eligible < 0:  # allocation failure inside the kernel
+        return numpy_impl.filter_verify_row(
+            csr, blocks, partition, num_query_vertices, matched_total,
+            key_ids, query_counts, thresholds, max_candidates,
+        )
+    eligible = eligible_flags.view(np.bool_)
+    if num_eligible == 0:
+        return _EMPTY_I64, _EMPTY_I64, eligible, 0
+    if num_eligible > capacity:
+        return None, None, eligible, num_eligible
+    return out_positions[:num_eligible], out_intersections[:num_eligible], eligible, num_eligible

@@ -1,0 +1,296 @@
+"""Pure-NumPy kernel backend for the columnar (CSR) branch-postings store.
+
+This module is the behaviour-defining reference implementation of the kernel
+backend interface: every function is a stateless array transform over one CSR
+snapshot plus the pre-matched query arrays the store's vocabulary pass
+produced.  The compiled backend (:mod:`repro.db.kernels.native`) must return
+bit-identical results for every function here; the hypothesis parity suite
+drives both against the scalar reference loop.
+
+Interface conventions shared by all backends:
+
+* ``csr`` is the store's ``(offsets, positions, counts, rows_covered)``
+  snapshot tuple.  ``offsets`` is int64; ``positions``/``counts`` are int32
+  under the compact layout (int64 once the store outgrows it — this backend
+  is dtype-agnostic, the native backend falls back to this one).
+* ``key_ids``/``query_counts`` are parallel int64 arrays of the query's
+  *matched* branch keys (possibly empty, never ``None``).
+* ``blocks`` is the snapshot's ``(sorted codes, permutation, stride)``
+  (key, row-order) block index; ``composite_fn`` lazily yields the
+  ``(composite codes, stride)`` flat probe index — lazy because only this
+  backend needs it.
+* ``partition`` is ``(distinct orders, row_order, starts, ends)``: rows
+  grouped by ``|V_G|``, each group's slice of ``row_order`` ascending.
+* Outputs are always int64; weighted ``bincount`` sums are exact small
+  integers, so the float64 round-trip is lossless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+name = "numpy"
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _gather_segments(
+    csr, key_ids: np.ndarray, query_counts: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Materialise the matched CSR segments: ``(flat slots, cols, values)``.
+
+    One range-concatenation gather — repeat each segment start and add the
+    within-segment offset ``0..length-1`` — with no Python-level loop.
+    """
+    offsets, all_positions, all_counts, _rows = csr
+    starts = offsets[key_ids]
+    lengths = offsets[key_ids + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return None
+    ends = np.cumsum(lengths)
+    flat = np.repeat(starts - (ends - lengths), lengths) + np.arange(total, dtype=np.int64)
+    cols = all_positions[flat]
+    values = np.minimum(np.repeat(query_counts, lengths), all_counts[flat])
+    return flat, cols, values
+
+
+def gather_postings(
+    csr, key_ids: np.ndarray, query_counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Postings gather of one query: ``(cols, values)`` int64 arrays."""
+    gathered = _gather_segments(csr, key_ids, query_counts)
+    if gathered is None:
+        return _EMPTY_I64, _EMPTY_I64
+    _flat, cols, values = gathered
+    return cols.astype(np.int64, copy=False), values.astype(np.int64, copy=False)
+
+
+def intersection_row(
+    csr, key_ids: np.ndarray, query_counts: np.ndarray, num_graphs: int
+) -> np.ndarray:
+    """``|B_Q ∩ B_G|`` for every row: one gather plus one bincount scatter-add."""
+    gathered = _gather_segments(csr, key_ids, query_counts)
+    if gathered is None:
+        return np.zeros(num_graphs, dtype=np.int64)
+    _flat, cols, values = gathered
+    return np.bincount(cols, weights=values, minlength=num_graphs).astype(np.int64)
+
+
+def intersection_matrix(
+    csr,
+    row_ids: np.ndarray,
+    key_ids: np.ndarray,
+    query_counts: np.ndarray,
+    num_queries: int,
+    num_graphs: int,
+) -> np.ndarray:
+    """``(Q, D)`` intersection matrix of a batch (``row_ids`` sorted ascending)."""
+    out_shape = (num_queries, num_graphs)
+    gathered = _gather_segments(csr, key_ids, query_counts)
+    if gathered is None:
+        return np.zeros(out_shape, dtype=np.int64)
+    _flat, cols, values = gathered
+    offsets = csr[0]
+    lengths = offsets[key_ids + 1] - offsets[key_ids]
+    rows = np.repeat(row_ids, lengths)
+    boundaries = np.searchsorted(rows, np.arange(num_queries + 1, dtype=np.int64))
+    out = np.zeros(out_shape, dtype=np.float64)
+    for row in range(num_queries):
+        start, end = boundaries[row], boundaries[row + 1]
+        if start == end:
+            continue
+        out[row] = np.bincount(
+            cols[start:end], weights=values[start:end], minlength=num_graphs
+        )
+    return out.astype(np.int64)
+
+
+def intersection_subrow(
+    csr,
+    composite_fn: Callable[[], Tuple[np.ndarray, int]],
+    key_ids: np.ndarray,
+    query_counts: np.ndarray,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """``|B_Q ∩ B_G|`` for a sorted row subset via composite-code probes."""
+    _offsets, _all_positions, all_counts, _rows = csr
+    num_positions = len(positions)
+    out = np.zeros(num_positions, dtype=np.int64)
+    order = np.argsort(key_ids, kind="stable")
+    key_ids = key_ids[order]
+    query_counts = query_counts[order]
+    composite, stride = composite_fn()
+    probes = (key_ids[:, None] * stride + positions[None, :]).ravel()
+    slots = np.searchsorted(composite, probes)
+    slots_clipped = np.minimum(slots, len(composite) - 1)
+    hits = composite[slots_clipped] == probes
+    if not hits.any():
+        return out
+    counts = all_counts[slots_clipped[hits]]
+    capped = np.minimum(np.repeat(query_counts, num_positions)[hits], counts)
+    columns = np.tile(np.arange(num_positions, dtype=np.int64), len(key_ids))[hits]
+    return np.bincount(columns, weights=capped, minlength=num_positions).astype(np.int64)
+
+
+def intersection_submatrix(
+    csr,
+    row_ids: np.ndarray,
+    key_ids: np.ndarray,
+    query_counts: np.ndarray,
+    num_queries: int,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """``(Q, E)`` intersection matrix restricted to sorted row ``positions``."""
+    num_positions = len(positions)
+    out_shape = (num_queries, num_positions)
+    gathered = _gather_segments(csr, key_ids, query_counts)
+    if gathered is None:
+        return np.zeros(out_shape, dtype=np.int64)
+    _flat, cols, values = gathered
+    offsets = csr[0]
+    lengths = offsets[key_ids + 1] - offsets[key_ids]
+    rows = np.repeat(row_ids, lengths)
+    slots = np.searchsorted(positions, cols)
+    slots_clipped = np.minimum(slots, num_positions - 1)
+    member = positions[slots_clipped] == cols
+    rows = rows[member]
+    compact = slots_clipped[member]
+    values = values[member]
+    boundaries = np.searchsorted(rows, np.arange(num_queries + 1, dtype=np.int64))
+    dense = np.zeros(out_shape, dtype=np.float64)
+    for row in range(num_queries):
+        start, end = boundaries[row], boundaries[row + 1]
+        if start == end:
+            continue
+        dense[row] = np.bincount(
+            compact[start:end], weights=values[start:end], minlength=num_positions
+        )
+    return dense.astype(np.int64)
+
+
+def intersection_for_orders(
+    csr,
+    blocks: Tuple[np.ndarray, np.ndarray, int],
+    key_ids: np.ndarray,
+    query_counts: np.ndarray,
+    order_values: np.ndarray,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """``|B_Q ∩ B_G|`` over the rows of the given orders via block probes.
+
+    Each (query key, eligible order) pair is one contiguous block of the
+    snapshot's block index — only postings of surviving rows are gathered.
+    """
+    _offsets, all_positions, all_counts, _rows = csr
+    num_positions = len(positions)
+    out = np.zeros(num_positions, dtype=np.int64)
+    codes_sorted, permutation, stride = blocks
+    probe_codes = (key_ids[:, None] * stride + order_values[None, :]).ravel()
+    starts = np.searchsorted(codes_sorted, probe_codes, side="left")
+    ends = np.searchsorted(codes_sorted, probe_codes, side="right")
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return out
+    block_ends = np.cumsum(lengths)
+    flat = np.repeat(starts - (block_ends - lengths), lengths) + np.arange(
+        total, dtype=np.int64
+    )
+    posting_slots = permutation[flat]
+    rows = all_positions[posting_slots]
+    counts = all_counts[posting_slots]
+    capped = np.minimum(
+        np.repeat(np.repeat(query_counts, len(order_values)), lengths), counts
+    )
+    columns = np.searchsorted(positions, rows)
+    return np.bincount(columns, weights=capped, minlength=num_positions).astype(np.int64)
+
+
+def intersection_matrix_for_orders(
+    csr,
+    blocks: Tuple[np.ndarray, np.ndarray, int],
+    key_offsets: np.ndarray,
+    key_ids: np.ndarray,
+    query_counts: np.ndarray,
+    order_values: np.ndarray,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """``(G, E)`` block-probe intersections of a query group.
+
+    ``key_offsets[g]..key_offsets[g+1]`` delimits query ``g``'s slice of
+    ``key_ids``/``query_counts``.
+    """
+    num_queries = len(key_offsets) - 1
+    out = np.zeros((num_queries, len(positions)), dtype=np.int64)
+    for g in range(num_queries):
+        lo, hi = int(key_offsets[g]), int(key_offsets[g + 1])
+        if lo == hi:
+            continue
+        out[g] = intersection_for_orders(
+            csr, blocks, key_ids[lo:hi], query_counts[lo:hi], order_values, positions
+        )
+    return out
+
+
+def gbd_lower_bound_row(
+    num_query_vertices: int, matched_total: int, orders: np.ndarray
+) -> np.ndarray:
+    """``max(|V_Q|, |V_G|) - min(matched_total, |V_G|)`` per row."""
+    return np.maximum(int(num_query_vertices), orders) - np.minimum(
+        int(matched_total), orders
+    )
+
+
+def gbd_lower_bound_matrix(
+    vertices: np.ndarray, totals: np.ndarray, orders: np.ndarray
+) -> np.ndarray:
+    """Batched ``(Q, D)`` form of :func:`gbd_lower_bound_row`."""
+    return np.maximum(vertices[:, None], orders[None, :]) - np.minimum(
+        totals[:, None], orders[None, :]
+    )
+
+
+def filter_verify_row(
+    csr,
+    blocks: Tuple[np.ndarray, np.ndarray, int],
+    partition: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    num_query_vertices: int,
+    matched_total: int,
+    key_ids: np.ndarray,
+    query_counts: np.ndarray,
+    thresholds: np.ndarray,
+    max_candidates: int,
+):
+    """Fused single-query filter-and-verify (see the native twin for the contract).
+
+    Returns ``(positions, intersections, eligible, num_eligible)`` where
+    ``eligible`` is the per-distinct-order bool mask.  ``positions`` and
+    ``intersections`` are ``None`` when ``num_eligible`` exceeds
+    ``max_candidates`` (the caller's dense-plan bar) and empty when no order
+    survives; otherwise they cover exactly the surviving rows, sorted.
+    """
+    distinct, row_order, starts, ends = partition
+    lower_bounds = np.maximum(int(num_query_vertices), distinct) - np.minimum(
+        int(matched_total), distinct
+    )
+    eligible = lower_bounds <= thresholds
+    num_eligible = int((ends - starts)[eligible].sum())
+    if num_eligible == 0:
+        return _EMPTY_I64, _EMPTY_I64, eligible, 0
+    if num_eligible > max_candidates:
+        return None, None, eligible, num_eligible
+    slots = np.flatnonzero(eligible)
+    if len(slots) == len(distinct):
+        positions = np.arange(len(row_order), dtype=np.int64)
+    else:
+        positions = np.concatenate(
+            [row_order[starts[slot] : ends[slot]] for slot in slots.tolist()]
+        )
+        positions.sort()
+    intersections = intersection_for_orders(
+        csr, blocks, key_ids, query_counts, distinct[eligible], positions
+    )
+    return positions, intersections, eligible, num_eligible

@@ -119,6 +119,11 @@ class BatchQueryEngine:
         threshold and candidates are eliminated by O(1) GBD-lower-bound
         arithmetic before any postings traversal.  Answers are bit-identical
         either way; set to false to benchmark the unpruned engine.
+    kernel_backend:
+        Columnar kernel backend of the engine's branch index: ``"auto"``
+        (default — the compiled backend when buildable, numpy otherwise),
+        ``"numpy"``, or ``"native"`` (hard error when unbuildable).  See
+        :mod:`repro.db.kernels`; answers are bit-identical across backends.
     """
 
     method_name = "GBDA"
@@ -133,6 +138,7 @@ class BatchQueryEngine:
         keep_scores: str = "accepted",
         use_index_pruning: bool = False,
         pruned_execution: bool = True,
+        kernel_backend: str = "auto",
     ) -> None:
         if len(database) == 0:
             raise ServingError("cannot serve queries over an empty database")
@@ -146,6 +152,7 @@ class BatchQueryEngine:
         self.keep_scores = keep_scores
         self.use_index_pruning = bool(use_index_pruning)
         self.pruned_execution = bool(pruned_execution)
+        self.kernel_backend = str(kernel_backend)
         self.cache_size = int(cache_size) if cache_size else 0
         self.cache: Optional[QueryResultCache] = (
             QueryResultCache(self.cache_size) if self.cache_size else None
@@ -153,7 +160,11 @@ class BatchQueryEngine:
         # The shared execution core: columnar branch index (subscribed to
         # the database's add-hook) plus the (τ̂, |V'1|) posterior tables.
         self._core = ExecutionCore(
-            database, estimator, max_tau=self.max_tau, error_class=ServingError
+            database,
+            estimator,
+            max_tau=self.max_tau,
+            error_class=ServingError,
+            kernel_backend=self.kernel_backend,
         )
         self._core.ensure_index()
         #: Version of the offline model serving the answers.  0 for an
@@ -196,6 +207,16 @@ class BatchQueryEngine:
     def _index(self) -> BranchInvertedIndex:
         """The columnar branch index owned by the execution core."""
         return self._core.ensure_index()
+
+    @property
+    def active_kernel_backend(self) -> str:
+        """The *resolved* kernel backend name (``"numpy"`` or ``"native"``).
+
+        May differ from the configured :attr:`kernel_backend` when that is
+        ``"auto"``, or when a snapshot configured for the native backend is
+        restored on a machine that cannot build it.
+        """
+        return self._core.ensure_index().store.backend
 
     # ------------------------------------------------------------------ #
     # posterior lookup tables (delegated to the execution core)
@@ -497,6 +518,7 @@ class BatchQueryEngine:
                 keep_scores=self.keep_scores,
                 use_index_pruning=self.use_index_pruning,
                 pruned_execution=self.pruned_execution,
+                kernel_backend=self.kernel_backend,
             )
             engine.model_version = self.model_version
             engines.append(engine)

@@ -35,9 +35,12 @@ __all__ = ["save_engine", "load_engine", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION"]
 SNAPSHOT_FORMAT = "repro.serving.engine-snapshot"
 #: Format version 2 adds the offline ``model_version`` and the priors' seed
 #: state (so a reloaded prior refits deterministically); version 3 adds the
-#: engine's ``pruned_execution`` flag.  Older files are still readable — the
-#: new fields default to 0 / seed 0 / pruned execution on.
-SNAPSHOT_VERSION = 3
+#: engine's ``pruned_execution`` flag; version 4 adds the *configured*
+#: ``kernel_backend`` (configured, not resolved — a snapshot built where the
+#: native kernels compile must still load on a machine without a toolchain,
+#: so ``"auto"`` re-resolves per host).  Older files are still readable —
+#: the new fields default to 0 / seed 0 / pruned execution on / ``"auto"``.
+SNAPSHOT_VERSION = 4
 
 PathLike = Union[str, Path]
 
@@ -73,6 +76,7 @@ def save_engine(engine: BatchQueryEngine, path: PathLike) -> Path:
             "keep_scores": engine.keep_scores,
             "use_index_pruning": engine.use_index_pruning,
             "pruned_execution": engine.pruned_execution,
+            "kernel_backend": getattr(engine, "kernel_backend", "auto"),
         },
         "posterior_tables": engine.tables_state(),
     }
@@ -134,6 +138,7 @@ def load_engine(path: PathLike) -> BatchQueryEngine:
         keep_scores=config["keep_scores"],
         use_index_pruning=config.get("use_index_pruning", False),
         pruned_execution=config.get("pruned_execution", True),
+        kernel_backend=config.get("kernel_backend", "auto"),
     )
     engine.load_tables(payload["posterior_tables"])
     engine.model_version = int(payload.get("model_version", 0))

@@ -1,17 +1,51 @@
-"""Tests for the CSR columnar branch store (repro.db.columnar)."""
+"""Tests for the CSR columnar branch store (repro.db.columnar).
+
+Every test runs once per kernel backend (``numpy`` always; ``native`` when
+the bundled C kernels build on this machine, skipped loudly otherwise) —
+the two implementations are bit-identical by contract.
+"""
 
 from __future__ import annotations
 
 import random
+from collections import Counter
 
 import numpy as np
 import pytest
 
 from repro.core.branches import branch_multiset
 from repro.core.gbd import branch_intersection_size, graph_branch_distance
+from repro.db import columnar
 from repro.db.columnar import ColumnarBranchStore
 from repro.db.database import GraphDatabase
+from repro.db.kernels import available_backends
 from repro.graphs.generators import random_labeled_graph
+from repro.graphs.graph import Graph
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(
+    params=[
+        pytest.param(
+            name,
+            marks=()
+            if name in BACKENDS
+            else pytest.mark.skip(reason="native kernel backend unavailable here"),
+        )
+        for name in ("numpy", "native")
+    ]
+)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def make_store(backend):
+    def make(entries=()):
+        return ColumnarBranchStore(entries, backend=backend)
+
+    return make
 
 
 @pytest.fixture
@@ -32,9 +66,20 @@ def _queries(num, seed):
     ]
 
 
+def _appendable(store, entry):
+    """Re-id a database entry so it can be appended to ``store``."""
+    return type(entry)(
+        graph_id=store.num_graphs,
+        graph=entry.graph,
+        branches=entry.branches,
+        num_vertices=entry.num_vertices,
+        num_edges=entry.num_edges,
+    )
+
+
 class TestCsrLayout:
-    def test_counts_shapes_and_vocabulary(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_counts_shapes_and_vocabulary(self, random_database, make_store):
+        store = make_store(random_database)
         store.compact()
         assert store.num_graphs == len(random_database)
         distinct = {key for entry in random_database for key in entry.branches}
@@ -43,8 +88,8 @@ class TestCsrLayout:
             len(entry.branches) for entry in random_database
         )
 
-    def test_postings_match_database_and_stay_sorted(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_postings_match_database_and_stay_sorted(self, random_database, make_store):
+        store = make_store(random_database)
         for entry in random_database:
             for key, count in entry.branches.items():
                 postings = store.postings(key)
@@ -52,35 +97,27 @@ class TestCsrLayout:
                 ids = [graph_id for graph_id, _count in postings]
                 assert ids == sorted(ids)
 
-    def test_unknown_key_and_empty_store(self):
-        store = ColumnarBranchStore()
+    def test_unknown_key_and_empty_store(self, make_store):
+        store = make_store()
         assert store.num_graphs == 0
         assert store.postings(("missing", ())) == []
         assert store.intersection_row(branch_multiset(random_labeled_graph(3, 2, seed=0))).shape == (0,)
 
-    def test_orders_and_global_ids(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_orders_and_global_ids(self, random_database, make_store):
+        store = make_store(random_database)
         assert store.orders().tolist() == [e.num_vertices for e in random_database]
         assert store.global_ids().tolist() == [e.graph_id for e in random_database]
 
 
 class TestAppendBufferCompaction:
-    def test_appends_are_lazy_and_compaction_is_batched(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_appends_are_lazy_and_compaction_is_batched(self, random_database, make_store):
+        store = make_store(random_database)
         store.compact()
         before = store.num_compactions
         extras = _queries(5, seed=3)
         entries = GraphDatabase(extras)
         for entry in entries:
-            store.append(
-                type(entry)(
-                    graph_id=store.num_graphs,
-                    graph=entry.graph,
-                    branches=entry.branches,
-                    num_vertices=entry.num_vertices,
-                    num_edges=entry.num_edges,
-                )
-            )
+            store.append(_appendable(store, entry))
         # five appends buffered, still zero extra compactions
         assert store.num_compactions == before
         store.intersection_row(branch_multiset(extras[0]))  # any read compacts
@@ -88,16 +125,16 @@ class TestAppendBufferCompaction:
         store.intersection_row(branch_multiset(extras[0]))
         assert store.num_compactions == before + 1  # reads stay no-ops
 
-    def test_results_identical_after_incremental_appends(self):
+    def test_results_identical_after_incremental_appends(self, make_store):
         rng = random.Random(5)
         graphs = [random_labeled_graph(rng.randint(3, 7), rng.randint(2, 9), seed=rng) for _ in range(20)]
         incremental = GraphDatabase(graphs[:10], name="inc")
-        store = ColumnarBranchStore(incremental)
+        store = make_store(incremental)
         store.compact()
         for graph in graphs[10:]:
             incremental.add(graph)
             store.append(incremental[len(incremental) - 1])
-        bulk_store = ColumnarBranchStore(GraphDatabase(graphs, name="bulk"))
+        bulk_store = make_store(GraphDatabase(graphs, name="bulk"))
         for query in _queries(5, seed=9):
             branches = branch_multiset(query)
             assert (
@@ -106,9 +143,134 @@ class TestAppendBufferCompaction:
             )
 
 
+class TestCompactionRegressions:
+    """Regressions around the lazy compaction fast path."""
+
+    def test_zero_branch_append_still_compacts(self, random_database, make_store):
+        """An appended entry with no branches must not leave the CSR stale.
+
+        Such an entry grows the row count without touching the vocabulary or
+        the append buffer, so a vocabulary-only "already compacted" check
+        would return early forever — and :meth:`view`, which insists the CSR
+        covers every row, would spin.
+        """
+        store = make_store(random_database)
+        store.compact()
+        entry = random_database[0]
+        store.append(
+            type(entry)(
+                graph_id=store.num_graphs,
+                graph=None,
+                branches=Counter(),
+                num_vertices=0,
+                num_edges=0,
+            )
+        )
+        assert store.compact() is True  # must do work, not early-return
+        csr, orders, global_ids = store.view()  # and view() must terminate
+        assert csr[3] == len(orders) == len(global_ids) == len(random_database) + 1
+        row = store.intersection_row(branch_multiset(_queries(1, seed=7)[0]))
+        assert len(row) == store.num_graphs
+        assert row[-1] == 0  # the branchless row intersects nothing
+
+    def test_caches_refresh_after_mid_query_compaction(self, random_database, make_store):
+        """Per-snapshot derived caches must key on the CSR actually in use.
+
+        The composite sort key, order blocks, and order partition are cached
+        per snapshot; after an append + compaction they must be rebuilt for
+        the new arrays, never served stale for the old (shorter) ones.
+        """
+        store = make_store(random_database)
+        queries = _queries(6, seed=29)
+        branch_sets = [branch_multiset(query) for query in queries]
+        # Warm every derived cache on the first snapshot.
+        store.intersection_for_orders(
+            branch_sets[0], np.unique(store.orders()), np.arange(store.num_graphs)
+        )
+        store.intersection_subrow(branch_sets[0], np.arange(0, store.num_graphs, 2))
+        extras = GraphDatabase(_queries(4, seed=31))
+        for entry in extras:
+            store.append(_appendable(store, entry))
+        # The next read compacts mid-stream; answers must match a store built
+        # directly over the grown database (fresh caches by construction).
+        grown = GraphDatabase(
+            [e.graph for e in random_database] + [e.graph for e in extras]
+        )
+        bulk = make_store(grown)
+        positions = np.arange(0, store.num_graphs + len(extras), 3)
+        for nq, branches in zip((q.num_vertices for q in queries), branch_sets):
+            assert (
+                store.intersection_subrow(branches, positions).tolist()
+                == bulk.intersection_subrow(branches, positions).tolist()
+            )
+            assert (
+                store.gbd_lower_bound_row(nq, branches).tolist()
+                == bulk.gbd_lower_bound_row(nq, branches).tolist()
+            )
+            assert (
+                store.intersection_row(branches).tolist()
+                == bulk.intersection_row(branches).tolist()
+            )
+
+
+class TestDtypeLayout:
+    """int32 postings layout with overflow-checked promotion to int64."""
+
+    def test_compact_layout_is_int32_for_small_stores(self, random_database, make_store):
+        store = make_store(random_database)
+        store.compact()
+        offsets, positions, counts, _rows = store._csr
+        assert offsets.dtype == np.int64
+        assert positions.dtype == np.int32
+        assert counts.dtype == np.int32
+
+    def test_position_overflow_promotes_to_int64(
+        self, random_database, make_store, monkeypatch
+    ):
+        monkeypatch.setattr(columnar, "_POSITION_DTYPE_LIMIT", 4)
+        store = make_store(random_database)  # 30 rows > the patched limit
+        store.compact()
+        assert store._csr[1].dtype == np.int64
+        assert store._csr[2].dtype == np.int32  # counts unaffected
+        reference = ColumnarBranchStore(random_database, backend="numpy")
+        for query in _queries(6, seed=61):
+            branches = branch_multiset(query)
+            assert (
+                store.intersection_row(branches).tolist()
+                == reference.intersection_row(branches).tolist()
+            )
+
+    def test_count_overflow_promotes_to_int64(self, make_store, monkeypatch):
+        monkeypatch.setattr(columnar, "_COUNT_DTYPE_LIMIT", 2)
+        # Three isolated same-label vertices -> one branch key with count 3.
+        heavy = Graph.from_dicts({0: "A", 1: "A", 2: "A"}, {}, name="heavy")
+        database = GraphDatabase([heavy] + _queries(6, seed=67))
+        store = make_store(database)
+        store.compact()
+        assert store._csr[2].dtype == np.int64
+        reference = ColumnarBranchStore(database, backend="numpy")
+        for query in [heavy] + _queries(4, seed=71):
+            branches = branch_multiset(query)
+            assert (
+                store.gbd_row(query.num_vertices, branches).tolist()
+                == reference.gbd_row(query.num_vertices, branches).tolist()
+            )
+
+    def test_promotion_boundary_is_exact(self, make_store, monkeypatch):
+        """Row count exactly at the limit stays int32; one past promotes."""
+        graphs = _queries(6, seed=73)
+        monkeypatch.setattr(columnar, "_POSITION_DTYPE_LIMIT", len(graphs))
+        at_limit = make_store(GraphDatabase(graphs))
+        at_limit.compact()
+        assert at_limit._csr[1].dtype == np.int32
+        past_limit = make_store(GraphDatabase(graphs + _queries(1, seed=74)))
+        past_limit.compact()
+        assert past_limit._csr[1].dtype == np.int64
+
+
 class TestVectorizedKernels:
-    def test_intersection_row_matches_pairwise(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_intersection_row_matches_pairwise(self, random_database, make_store):
+        store = make_store(random_database)
         for query in _queries(8, seed=11):
             branches = branch_multiset(query)
             row = store.intersection_row(branches)
@@ -116,15 +278,15 @@ class TestVectorizedKernels:
                 expected = branch_intersection_size(branches, entry.branches)
                 assert row[entry.graph_id] == expected
 
-    def test_gbd_row_matches_direct_gbd(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_gbd_row_matches_direct_gbd(self, random_database, make_store):
+        store = make_store(random_database)
         for query in _queries(8, seed=13):
             row = store.gbd_row(query.num_vertices, branch_multiset(query))
             for entry in random_database:
                 assert row[entry.graph_id] == graph_branch_distance(query, entry.graph)
 
-    def test_matrix_kernels_match_row_kernels(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_matrix_kernels_match_row_kernels(self, random_database, make_store):
+        store = make_store(random_database)
         queries = _queries(7, seed=17)
         branch_sets = [branch_multiset(query) for query in queries]
         inter = store.intersection_matrix(branch_sets)
@@ -135,8 +297,8 @@ class TestVectorizedKernels:
             assert inter[i].tolist() == store.intersection_row(branch_sets[i]).tolist()
             assert gbd[i].tolist() == store.gbd_row(query.num_vertices, branch_sets[i]).tolist()
 
-    def test_empty_batch_and_disjoint_queries(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_empty_batch_and_disjoint_queries(self, random_database, make_store):
+        store = make_store(random_database)
         assert store.intersection_matrix([]).shape == (0, len(random_database))
         stranger = random_labeled_graph(
             4, 4, vertex_labels=["Z1"], edge_labels=["zz"], seed=0
@@ -144,14 +306,14 @@ class TestVectorizedKernels:
         matrix = store.intersection_matrix([branch_multiset(stranger)])
         assert not matrix.any()
 
-    def test_shard_stores_keep_global_ids(self, random_database):
-        full = ColumnarBranchStore(random_database)
+    def test_shard_stores_keep_global_ids(self, random_database, make_store):
+        full = make_store(random_database)
         shards = random_database.shard(3)
         query = _queries(1, seed=19)[0]
         branches = branch_multiset(query)
         merged = {}
         for shard in shards:
-            store = ColumnarBranchStore(shard)
+            store = make_store(shard)
             row = store.gbd_row(query.num_vertices, branches)
             for global_id, value in zip(store.global_ids().tolist(), row.tolist()):
                 merged[global_id] = value
@@ -161,8 +323,8 @@ class TestVectorizedKernels:
 class TestBoundKernels:
     """GBD lower bounds and the sparse (position-restricted) kernels."""
 
-    def test_lower_bound_never_exceeds_true_gbd(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_lower_bound_never_exceeds_true_gbd(self, random_database, make_store):
+        store = make_store(random_database)
         for query in _queries(25, seed=31):
             branches = branch_multiset(query)
             bounds = store.gbd_lower_bound_row(query.num_vertices, branches)
@@ -171,15 +333,15 @@ class TestBoundKernels:
             # the norm bound dominates the plain size-difference bound
             assert (bounds >= np.abs(query.num_vertices - store.orders())).all()
 
-    def test_lower_bound_tight_for_database_members(self, random_database):
+    def test_lower_bound_tight_for_database_members(self, random_database, make_store):
         """A graph queried against itself must keep lb <= GBD = 0."""
-        store = ColumnarBranchStore(random_database)
+        store = make_store(random_database)
         for entry in random_database:
             bounds = store.gbd_lower_bound_row(entry.num_vertices, entry.branches)
             assert bounds[entry.graph_id] == 0
 
-    def test_lower_bound_matrix_matches_rows(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_lower_bound_matrix_matches_rows(self, random_database, make_store):
+        store = make_store(random_database)
         queries = _queries(6, seed=37)
         branch_sets = [branch_multiset(query) for query in queries]
         matrix = store.gbd_lower_bound_matrix(
@@ -189,8 +351,8 @@ class TestBoundKernels:
             expected = store.gbd_lower_bound_row(query.num_vertices, branch_sets[i])
             assert matrix[i].tolist() == expected.tolist()
 
-    def test_bounds_stay_sound_after_incremental_appends(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_bounds_stay_sound_after_incremental_appends(self, random_database, make_store):
+        store = make_store(random_database)
         rng = random.Random(41)
         for _ in range(3):
             graph = random_labeled_graph(rng.randint(2, 14), rng.randint(1, 20), seed=rng)
@@ -201,8 +363,8 @@ class TestBoundKernels:
                 bounds = store.gbd_lower_bound_row(query.num_vertices, branches)
                 assert (bounds <= store.gbd_row(query.num_vertices, branches)).all()
 
-    def test_key_caps_track_max_multiplicity(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_key_caps_track_max_multiplicity(self, random_database, make_store):
+        store = make_store(random_database)
         caps = store.key_caps()
         expected = {}
         for entry in random_database:
@@ -212,16 +374,16 @@ class TestBoundKernels:
             key: int(caps[key_id]) for key, key_id in store._key_ids.items()
         } == expected
 
-    def test_matched_query_total_bounds_every_intersection(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_matched_query_total_bounds_every_intersection(self, random_database, make_store):
+        store = make_store(random_database)
         for query in _queries(10, seed=43):
             branches = branch_multiset(query)
             total = store.matched_query_total(branches)
             assert total <= query.num_vertices  # |B_Q| branches overall
             assert total >= int(store.intersection_row(branches).max(initial=0))
 
-    def test_subrow_and_submatrix_match_dense_selections(self, random_database):
-        store = ColumnarBranchStore(random_database)
+    def test_subrow_and_submatrix_match_dense_selections(self, random_database, make_store):
+        store = make_store(random_database)
         queries = _queries(5, seed=47)
         branch_sets = [branch_multiset(query) for query in queries]
         dense = store.intersection_matrix(branch_sets)
@@ -237,3 +399,96 @@ class TestBoundKernels:
             for i, branches in enumerate(branch_sets):
                 row = store.intersection_subrow(branches, positions)
                 assert row.tolist() == dense[i, positions].tolist()
+
+
+class TestFusedFilterVerify:
+    """Contract of the single-pass bound-filter + verify kernels."""
+
+    @staticmethod
+    def _bars(store, num_query_vertices, tau):
+        """Per-distinct-order GBD bars: min(max(|V_Q|, o), τ) — arbitrary
+        but order-dependent, like the γ-threshold inversion produces."""
+        distinct = np.unique(store.orders())
+        return distinct, np.minimum(np.maximum(num_query_vertices, distinct), tau)
+
+    def test_row_matches_unfused_kernels(self, random_database, make_store):
+        store = make_store(random_database)
+        orders = store.orders()
+        for query in _queries(10, seed=53):
+            branches = branch_multiset(query)
+            nq = query.num_vertices
+            bounds = store.gbd_lower_bound_row(nq, branches)
+            dense = store.intersection_row(branches)
+            for tau in (0, 1, 2, 4, 50):
+                distinct, thresholds = self._bars(store, nq, tau)
+                positions, inters, eligible, num_eligible = store.filter_verify_row(
+                    nq, branches, thresholds, max_candidates=store.num_graphs
+                )
+                per_row_bar = thresholds[np.searchsorted(distinct, orders)]
+                expected_rows = np.flatnonzero(bounds <= per_row_bar)
+                assert eligible.dtype == np.bool_ and len(eligible) == len(distinct)
+                assert num_eligible == len(expected_rows)
+                assert positions.tolist() == expected_rows.tolist()
+                assert inters.tolist() == dense[expected_rows].tolist()
+
+    def test_row_dense_bail_and_empty_cases(self, random_database, make_store):
+        store = make_store(random_database)
+        query = _queries(1, seed=59)[0]
+        branches = branch_multiset(query)
+        nq = query.num_vertices
+        distinct, thresholds = self._bars(store, nq, 50)  # everything survives
+        positions, inters, eligible, num_eligible = store.filter_verify_row(
+            nq, branches, thresholds, max_candidates=0
+        )
+        assert positions is None and inters is None  # over the caller's bar
+        assert eligible.all() and num_eligible == store.num_graphs
+        hopeless = np.full(len(distinct), -1, dtype=np.int64)  # GBD >= 0 always
+        positions, inters, eligible, num_eligible = store.filter_verify_row(
+            nq, branches, hopeless, max_candidates=store.num_graphs
+        )
+        assert num_eligible == 0 and not eligible.any()
+        assert positions.shape == (0,) and inters.shape == (0,)
+
+    def test_matrix_matches_row_calls(self, random_database, make_store):
+        store = make_store(random_database)
+        queries = _queries(6, seed=63)
+        branch_sets = [branch_multiset(query) for query in queries]
+        vertices = [query.num_vertices for query in queries]
+        distinct = np.unique(store.orders())
+        rng = np.random.default_rng(3)
+        thresholds = rng.integers(0, 6, size=(len(queries), len(distinct)))
+        positions, inters, eligible, num_union = store.filter_verify_matrix(
+            vertices, branch_sets, thresholds, max_union_rows=store.num_graphs
+        )
+        assert eligible.shape == (len(queries), len(distinct))
+        union = set()
+        for i, (nq, branches) in enumerate(zip(vertices, branch_sets)):
+            row_positions, row_inters, row_eligible, _n = store.filter_verify_row(
+                nq, branches, np.ascontiguousarray(thresholds[i]), store.num_graphs
+            )
+            assert eligible[i].tolist() == row_eligible.tolist()
+            union.update(row_positions.tolist())
+            dense = store.intersection_row(branches)
+            assert inters[i].tolist() == dense[positions].tolist()
+        assert set(positions.tolist()) >= union
+        assert num_union == len(positions)
+
+    def test_matrix_dense_bail_and_empty_union(self, random_database, make_store):
+        store = make_store(random_database)
+        queries = _queries(3, seed=69)
+        branch_sets = [branch_multiset(query) for query in queries]
+        vertices = [query.num_vertices for query in queries]
+        distinct = np.unique(store.orders())
+        generous = np.full((len(queries), len(distinct)), 100, dtype=np.int64)
+        positions, inters, eligible, num_union = store.filter_verify_matrix(
+            vertices, branch_sets, generous, max_union_rows=1
+        )
+        assert positions is None and inters is None
+        assert num_union == store.num_graphs and eligible.all()
+        hopeless = np.full((len(queries), len(distinct)), -1, dtype=np.int64)
+        positions, inters, eligible, num_union = store.filter_verify_matrix(
+            vertices, branch_sets, hopeless, max_union_rows=store.num_graphs
+        )
+        assert num_union == 0 and not eligible.any()
+        assert positions.shape == (0,)
+        assert inters.shape == (len(queries), 0)

@@ -29,17 +29,32 @@ from hypothesis import strategies as st
 
 from repro.core.search import GBDASearch
 from repro.db.database import GraphDatabase
+from repro.db.kernels import available_backends
 from repro.db.query import SimilarityQuery
 from repro.graphs.generators import random_labeled_graph
 from repro.serving import BatchQueryEngine
 
 MAX_TAU = 3
+#: Both kernel backends when the native one builds here, else just numpy —
+#: the parity property then covers every online path under each backend.
+BACKENDS = available_backends()
+#: For ``pytest.mark.parametrize`` legs: a skipped ``native`` leg (instead of
+#: a silently absent one) when this machine has no working C toolchain.
+BACKEND_PARAMS = [
+    pytest.param(
+        name,
+        marks=()
+        if name in BACKENDS
+        else pytest.mark.skip(reason="native kernel backend unavailable here"),
+    )
+    for name in ("numpy", "native")
+]
 _FITTED_CACHE = {}
 
 
-def _fitted(seed: int, pruning: bool):
+def _fitted(seed: int, pruning: bool, backend: str = BACKENDS[0]):
     """Build (once per configuration) a fitted search + engines + shards."""
-    key = (seed, pruning)
+    key = (seed, pruning, backend)
     if key not in _FITTED_CACHE:
         rng = random.Random(100 + seed)
         graphs = [
@@ -54,11 +69,15 @@ def _fitted(seed: int, pruning: bool):
             seed=seed,
             use_index_pruning=pruning,
         ).fit()
-        engine = BatchQueryEngine.from_search(search, keep_scores="all", cache_size=None)
+        engine = BatchQueryEngine.from_search(
+            search, keep_scores="all", cache_size=None, kernel_backend=backend
+        )
         # default engine: accepted-only scores, pruned filter-and-verify path
-        default_engine = BatchQueryEngine.from_search(search, cache_size=None)
+        default_engine = BatchQueryEngine.from_search(
+            search, cache_size=None, kernel_backend=backend
+        )
         unpruned_engine = BatchQueryEngine.from_search(
-            search, cache_size=None, pruned_execution=False
+            search, cache_size=None, pruned_execution=False, kernel_backend=backend
         )
         shard_engines = engine.shard_engines(3)
         _FITTED_CACHE[key] = (
@@ -75,12 +94,15 @@ def _fitted(seed: int, pruning: bool):
 @given(
     seed=st.sampled_from([0, 1]),
     pruning=st.booleans(),
+    backend=st.sampled_from(BACKENDS),
     query_seed=st.integers(min_value=0, max_value=40),
     tau_hat=st.integers(min_value=0, max_value=MAX_TAU),
     gamma=st.sampled_from([0.05, 0.3, 0.5, 0.75, 0.9]),
 )
-def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
-    search, engine, default_engine, unpruned_engine, shard_engines = _fitted(seed, pruning)
+def test_all_online_paths_agree(seed, pruning, backend, query_seed, tau_hat, gamma):
+    search, engine, default_engine, unpruned_engine, shard_engines = _fitted(
+        seed, pruning, backend
+    )
     qrng = random.Random(query_seed)
     query = SimilarityQuery(
         random_labeled_graph(qrng.randint(3, 10), qrng.randint(2, 14), seed=qrng),
@@ -136,9 +158,10 @@ def test_all_online_paths_agree(seed, pruning, query_seed, tau_hat, gamma):
     assert sharded_topk.ranking == expected_topk
 
 
+@pytest.mark.parametrize("backend", BACKEND_PARAMS)
 @pytest.mark.parametrize("pruning", [False, True])
-def test_query_batch_returns_input_order(pruning):
-    search, engine, _default, _unpruned, _shards = _fitted(0, pruning)
+def test_query_batch_returns_input_order(pruning, backend):
+    search, engine, _default, _unpruned, _shards = _fitted(0, pruning, backend)
     qrng = random.Random(7)
     queries = [
         SimilarityQuery(
@@ -176,14 +199,15 @@ def test_data_parallel_executor_matches_batch():
     assert executor.last_stats.num_queries == len(queries)
 
 
+@pytest.mark.parametrize("backend", BACKEND_PARAMS)
 @pytest.mark.parametrize("pruning", [False, True])
-def test_bound_filter_never_prunes_an_accepted_graph(pruning):
+def test_bound_filter_never_prunes_an_accepted_graph(pruning, backend):
     """The γ-threshold inversion is sound: pruned-out rows are never accepted.
 
     (The accepted-set equality of the property test implies this; asserting
     it directly on the counters documents the filter really fires.)
     """
-    search, _engine, default_engine, _unpruned, _shards = _fitted(0, pruning)
+    search, _engine, default_engine, _unpruned, _shards = _fitted(0, pruning, backend)
     before = default_engine.prune_counters
     qrng = random.Random(99)
     for _ in range(10):

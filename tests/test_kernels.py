@@ -1,0 +1,147 @@
+"""Tests for the kernel backend registry (repro.db.kernels).
+
+The columnar store, execution core, serving engine, and snapshots all hold a
+*configured* backend name and resolve it through this registry — these tests
+pin the resolution semantics (auto preference, environment override, hard
+errors for an explicitly requested but unbuildable native backend).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.search import GBDASearch
+from repro.db.columnar import ColumnarBranchStore
+from repro.db.database import GraphDatabase
+from repro.db.kernels import (
+    KNOWN_BACKENDS,
+    available_backends,
+    backend_module,
+    native_available,
+    native_load_error,
+    resolve_backend,
+)
+from repro.db.kernels import numpy_impl
+from repro.graphs.generators import random_labeled_graph
+from repro.serving import BatchQueryEngine
+from repro.serving.snapshot import load_engine, save_engine
+
+NATIVE = native_available()
+needs_native = pytest.mark.skipif(not NATIVE, reason="native backend unavailable here")
+needs_no_native = pytest.mark.skipif(NATIVE, reason="native backend builds here")
+
+
+class TestResolveBackend:
+    def test_known_names_and_registry_shape(self):
+        assert KNOWN_BACKENDS == ("auto", "numpy", "native")
+        assert available_backends()[0] == "numpy"
+        assert resolve_backend("numpy") == "numpy"
+        # name normalisation: case and surrounding whitespace are forgiven
+        assert resolve_backend("  NumPy ") == "numpy"
+        assert resolve_backend("") in available_backends()
+
+    def test_auto_prefers_native_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        expected = "native" if NATIVE else "numpy"
+        assert resolve_backend("auto") == expected
+        assert resolve_backend() == expected
+
+    def test_environment_overrides_auto_but_not_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        assert resolve_backend("auto") == "numpy"
+        # an explicitly configured name always wins over the environment
+        if NATIVE:
+            assert resolve_backend("native") == "native"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            backend_module("fortran")
+
+    @needs_no_native
+    def test_explicit_native_raises_when_unbuildable(self, monkeypatch):
+        with pytest.raises(RuntimeError, match="native.*unavailable"):
+            resolve_backend("native")
+        # the environment pin is equally hard — CI wants build breakage loud
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "native")
+        with pytest.raises(RuntimeError, match="native.*unavailable"):
+            resolve_backend("auto")
+
+    def test_load_error_explains_unavailability(self):
+        if NATIVE:
+            assert native_load_error() is None
+        else:
+            assert isinstance(native_load_error(), str) and native_load_error()
+
+    def test_backend_module_lookup(self):
+        assert backend_module("numpy") is numpy_impl
+        if NATIVE:
+            from repro.db.kernels import native
+
+            assert backend_module("native") is native
+
+
+class TestBackendPlumbing:
+    """The configured name travels store → core → engine → snapshot."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = random.Random(17)
+        graphs = [
+            random_labeled_graph(rng.randint(3, 8), rng.randint(2, 10), seed=rng)
+            for _ in range(12)
+        ]
+        database = GraphDatabase(graphs, name="kernels-plumbing")
+        return GBDASearch(database, max_tau=2, num_prior_pairs=40, seed=3).fit()
+
+    def test_store_holds_resolved_name(self):
+        store = ColumnarBranchStore(backend="numpy")
+        assert store.backend == "numpy"
+        assert ColumnarBranchStore(backend="auto").backend in available_backends()
+        with pytest.raises(ValueError):
+            ColumnarBranchStore(backend="fortran")
+
+    def test_engine_reports_active_backend(self, fitted):
+        engine = BatchQueryEngine.from_search(fitted, kernel_backend="numpy")
+        assert engine.kernel_backend == "numpy"
+        assert engine.active_kernel_backend == "numpy"
+        auto_engine = BatchQueryEngine.from_search(fitted)
+        assert auto_engine.kernel_backend == "auto"
+        assert auto_engine.active_kernel_backend in available_backends()
+
+    def test_snapshot_round_trips_configured_backend(self, fitted, tmp_path):
+        engine = BatchQueryEngine.from_search(fitted, kernel_backend="numpy")
+        path = save_engine(engine, tmp_path / "numpy.snap")
+        assert load_engine(path).kernel_backend == "numpy"
+        # "auto" is persisted un-resolved: a snapshot from a machine with a
+        # C toolchain must not pin native on a machine without one.
+        auto_engine = BatchQueryEngine.from_search(fitted)
+        assert auto_engine.active_kernel_backend in available_backends()
+        path = save_engine(auto_engine, tmp_path / "auto.snap")
+        restored = load_engine(path)
+        assert restored.kernel_backend == "auto"
+
+    @needs_native
+    def test_backends_answer_identically(self, fitted):
+        from repro.db.query import SimilarityQuery
+
+        numpy_engine = BatchQueryEngine.from_search(
+            fitted, cache_size=None, kernel_backend="numpy"
+        )
+        native_engine = BatchQueryEngine.from_search(
+            fitted, cache_size=None, kernel_backend="native"
+        )
+        qrng = random.Random(29)
+        for _ in range(12):
+            query = SimilarityQuery(
+                random_labeled_graph(qrng.randint(3, 9), qrng.randint(2, 12), seed=qrng),
+                qrng.randint(0, 2),
+                qrng.choice([0.25, 0.5, 0.9]),
+            )
+            a = numpy_engine.query(query)
+            b = native_engine.query(query)
+            assert a.accepted_ids == b.accepted_ids
+            assert a.scores == b.scores

@@ -263,6 +263,7 @@ class TestPrometheusText:
         names = {family.name for family in get_registry().families()}
         expected = {
             "repro_kernel_calls_total",  # db layer
+            "repro_kernel_backend_info",
             "repro_stage_seconds",  # execution core
             "repro_plan_choices_total",
             "repro_engine_queries_total",  # serving layer

@@ -99,6 +99,8 @@ class TestMetricsScrape:
         ):
             assert f"# TYPE {family}" in text, f"{family} missing from scrape"
         assert _sample_value(text, 'repro_service_requests_total{outcome="answered"}') >= 16
+        # Which compiled-kernel backend answered — an info-style gauge.
+        assert _sample_value(text, "repro_kernel_backend_info{") == 1.0
 
     def test_http_404_for_unknown_path(self, handle):
         port = handle.service.metrics_http_port

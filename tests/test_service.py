@@ -501,6 +501,8 @@ class TestMetricsEndpoint:
             assert metrics["engine"]["cache"]["hits"] >= len(queries)
             assert 0.0 < metrics["engine"]["cache"]["hit_rate"] <= 1.0
             assert metrics["engine"]["prune_counters"]["candidates_generated"] > 0
+            # The resolved kernel backend is surfaced for fleet debugging.
+            assert metrics["engine"]["kernel_backend"] in ("numpy", "native")
             assert metrics["batcher"]["batches_flushed"] >= 1
             assert metrics["batcher"]["queries_batched"] == 2 * len(queries)
             assert metrics["admission"]["admitted"] == 2 * len(queries)
