@@ -12,7 +12,10 @@ Walks the full operational loop of :mod:`repro.service`:
    occupancy, cache hit rate, admission counters);
 5. inspect observability: print a sampled query trace's stage waterfall,
    the slow-query log, and the first lines of the Prometheus exposition;
-6. hot-swap the engine from a new snapshot with zero downtime.
+6. hot-swap the engine from a new snapshot with zero downtime;
+7. query through a *resilient* client — per-request deadlines, retry with
+   capped exponential backoff, and a circuit breaker — and ride through a
+   simulated crash + restart of the service.
 
 Run with:  PYTHONPATH=src python examples/service_quickstart.py
 """
@@ -26,8 +29,14 @@ from pathlib import Path
 
 from repro import BatchQueryEngine, GBDASearch, GraphDatabase, SimilarityQuery
 from repro.graphs.generators import random_labeled_graph
+from repro.exceptions import DeadlineExceededError
 from repro.serving import save_engine
-from repro.service import ServiceClient, start_service_thread
+from repro.service import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    start_service_thread,
+)
 
 
 def build_snapshot(path: Path, num_graphs: int = 120, seed: int = 0) -> None:
@@ -127,6 +136,31 @@ def main() -> None:
             print("  reloaded:", result)
             answer = client.query(queries[0])
             print(f"  first query on v1: {answer.size} similar graphs")
+
+        # -- resilience: deadlines, retries, breaker ---------------------- #
+        # Production clients should always bound their waits and retry
+        # transient failures (queries are idempotent reads; each logical
+        # request keeps its idempotency key across attempts, so the server
+        # never re-scores work it already answered).
+        retry = RetryPolicy(max_attempts=5, base_delay_ms=25, max_delay_ms=500)
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout_ms=1000)
+        with ServiceClient(
+            *handle.address,
+            connect_timeout=5.0,
+            read_timeout=10.0,
+            retry=retry,
+            breaker=breaker,
+        ) as client:
+            answer = client.query(queries[0], deadline_ms=5_000)
+            print(
+                f"resilient client: {answer.size} similar graphs "
+                f"(deadline 5s, breaker {breaker.state})"
+            )
+            try:
+                client.query(queries[1], deadline_ms=0.001)
+            except DeadlineExceededError as exc:
+                print(f"  1µs deadline refused unscored, as designed: {exc}")
+            print(f"  retries so far: {retry.retries}")
     finally:
         handle.stop()
         print("server drained and stopped.")

@@ -72,6 +72,10 @@ from repro.serving import (
 )
 from repro.service import (
     AsyncServiceClient,
+    CircuitBreaker,
+    Deadline,
+    HedgePolicy,
+    RetryPolicy,
     ServiceClient,
     SimilarityService,
     start_service_thread,
@@ -95,16 +99,20 @@ from repro.baselines import (
 )
 from repro.datasets.registry import Dataset, build_dataset
 from repro.exceptions import (
+    CircuitOpenError,
+    ConnectionLostError,
+    DeadlineExceededError,
     ProtocolError,
     QueryError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
     ServingError,
+    SnapshotCorruptError,
     SnapshotError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Graph",
@@ -139,6 +147,10 @@ __all__ = [
     "ServiceClient",
     "AsyncServiceClient",
     "start_service_thread",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "Deadline",
     "MetricsRegistry",
     "Tracer",
     "SlowQueryLog",
@@ -158,8 +170,12 @@ __all__ = [
     "QueryError",
     "ServingError",
     "SnapshotError",
+    "SnapshotCorruptError",
     "ServiceError",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "ConnectionLostError",
+    "CircuitOpenError",
     "ProtocolError",
     "__version__",
 ]

@@ -81,6 +81,17 @@ class SnapshotError(ServingError):
     """Raised when a serving-engine snapshot cannot be written or read."""
 
 
+class SnapshotCorruptError(SnapshotError):
+    """Raised when a snapshot file fails its integrity check on load.
+
+    Covers truncation (the checksum footer is missing bytes), bit flips
+    (the sha256 of the payload does not match the recorded digest), and a
+    payload that unpickles but was written torn.  A corrupt snapshot is
+    *data loss evidence*, not a programming error — callers that hold a
+    previously-good engine (the service's hot swap) must keep serving it.
+    """
+
+
 class ServiceError(ServingError):
     """Base class for failures of the network service layer (:mod:`repro.service`)."""
 
@@ -95,6 +106,39 @@ class ServiceOverloadedError(ServiceError):
     The request was never queued: the admission controller rejected it
     because the server-wide pending budget (or the connection's in-flight
     budget) was exhausted.  Safe to retry after backing off.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a query's deadline expired before an answer was produced.
+
+    Server-side the query is *dropped*, never scored: admission refuses
+    already-expired work and the micro-batcher sheds expired entries at
+    flush time, so a deadline that has passed costs no engine cycles.
+    Client-side it also covers a local read timeout on a deadline-carrying
+    request.  Queries are idempotent reads — safe to retry with a fresh
+    deadline.
+    """
+
+
+class ConnectionLostError(ServiceError, ConnectionError):
+    """Raised client-side when the service connection died mid-conversation.
+
+    Covers abrupt resets, EOF with responses outstanding, and unframeable
+    bytes on the wire (a corrupt or truncated frame poisons the pipelined
+    stream — nothing after it can be trusted).  Subclasses
+    :class:`ConnectionError` so retry policies treat it as transient:
+    queries are idempotent reads and the client reconnects before
+    resending.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """Raised client-side when the endpoint's circuit breaker is open.
+
+    The request was not sent: recent failures tripped the breaker, and
+    until the reset timeout elapses (half-open probe) every attempt fails
+    fast locally instead of piling onto a struggling server.
     """
 
 

@@ -21,7 +21,16 @@ requests are coalesced into single ``query_batch`` calls.
   a ``stats`` metrics endpoint.
 * :class:`~repro.service.client.ServiceClient` /
   :class:`~repro.service.client.AsyncServiceClient` — pipelined sync and
-  asyncio clients with typed error mapping.
+  asyncio clients with typed error mapping, configurable timeouts,
+  retries, hedging, and circuit breaking.
+* :mod:`~repro.service.resilience` — the fault-tolerance primitives:
+  :class:`~repro.service.resilience.Deadline` (end-to-end budgets),
+  :class:`~repro.service.resilience.RetryPolicy` (capped exponential
+  backoff + jitter for idempotent queries),
+  :class:`~repro.service.resilience.CircuitBreaker`,
+  :class:`~repro.service.resilience.HedgePolicy` (tail-latency hedged
+  sends), and :class:`~repro.service.resilience.IdempotencyCache`
+  (server-side duplicate suppression).
 
 Quickstart
 ----------
@@ -43,13 +52,25 @@ from repro.service.protocol import (
     encode_answer,
     encode_query,
 )
+from repro.service.resilience import (
+    Deadline,
+    CircuitBreaker,
+    HedgePolicy,
+    IdempotencyCache,
+    RetryPolicy,
+)
 from repro.service.server import ServiceHandle, SimilarityService, start_service_thread
 
 __all__ = [
     "AdmissionController",
     "AsyncServiceClient",
+    "CircuitBreaker",
+    "Deadline",
+    "HedgePolicy",
+    "IdempotencyCache",
     "MicroBatcher",
     "MAX_FRAME_BYTES",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceHandle",
     "SimilarityService",

@@ -23,10 +23,11 @@ lock is needed (the engine's thread-offloaded scoring never touches it).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.exceptions import ServiceError
 from repro.obs.metrics import get_registry
+from repro.service.resilience import Deadline
 
 __all__ = ["AdmissionController"]
 
@@ -38,6 +39,12 @@ _REJECTED = get_registry().counter(
 )
 _REJECTED_PENDING = _REJECTED.labels(reason="max_pending")
 _REJECTED_CONNECTION = _REJECTED.labels(reason="per_connection")
+_DEADLINE_DROPS = get_registry().counter(
+    "repro_deadline_drops_total",
+    "Queries dropped because their deadline expired, by pipeline stage",
+    ("stage",),
+)
+_DEADLINE_DROPPED_ADMISSION = _DEADLINE_DROPS.labels(stage="admission")
 _PENDING_GAUGE = get_registry().gauge(
     "repro_admission_pending", "Admitted, not-yet-answered queries"
 )
@@ -68,10 +75,24 @@ class AdmissionController:
         #: Lifetime counters surfaced by the metrics endpoint.
         self.admitted = 0
         self.rejected = 0
+        self.deadline_expired = 0
 
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
+    def deadline_expired_on_arrival(self, deadline: Optional[Deadline]) -> bool:
+        """True (and counted) when a query's deadline passed before admission.
+
+        Already-expired work is refused outright: admitting it would burn a
+        pending-budget slot and engine cycles on an answer whose client has
+        stopped waiting.  The caller sheds with ``DEADLINE_EXCEEDED``.
+        """
+        if deadline is None or not deadline.expired:
+            return False
+        self.deadline_expired += 1
+        _DEADLINE_DROPPED_ADMISSION.inc()
+        return True
+
     def try_admit(self, connection_id: int) -> bool:
         """Admit one query from ``connection_id`` if both budgets allow it."""
         if self._pending >= self.max_pending:
@@ -123,6 +144,7 @@ class AdmissionController:
             "admitted": self.admitted,
             "rejected": self.rejected,
             "rejection_rate": self.rejected / total if total else 0.0,
+            "deadline_expired": self.deadline_expired,
         }
 
     def __repr__(self) -> str:

@@ -25,6 +25,13 @@ engine, never from a torn mixture.
 Shutdown is graceful: :meth:`stop` refuses new submissions, then the
 worker drains every query already queued before exiting — in-flight
 queries are answered, not dropped.
+
+Deadlines: a submission may carry a
+:class:`~repro.service.resilience.Deadline`; entries whose deadline passed
+while queueing are shed at flush-assembly time — before the runner's
+thread-offload — with a typed
+:class:`~repro.exceptions.DeadlineExceededError`, so expired work never
+costs a scoring cycle.
 """
 
 from __future__ import annotations
@@ -35,9 +42,10 @@ import time
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.db.query import QueryAnswer, SimilarityQuery
-from repro.exceptions import ServiceError
+from repro.exceptions import DeadlineExceededError, ServiceError
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
 from repro.obs.trace import QueryTrace
+from repro.service.resilience import Deadline
 
 __all__ = ["MicroBatcher"]
 
@@ -59,6 +67,11 @@ _FLUSHES = get_registry().counter(
 )
 _FLUSHES_FULL = _FLUSHES.labels(kind="full")
 _FLUSHES_TIMER = _FLUSHES.labels(kind="timer")
+_DEADLINE_DROPPED_BATCHER = get_registry().counter(
+    "repro_deadline_drops_total",
+    "Queries dropped because their deadline expired, by pipeline stage",
+    ("stage",),
+).labels(stage="batcher")
 
 
 class MicroBatcher:
@@ -107,6 +120,7 @@ class MicroBatcher:
         self.queries_batched = 0
         self.full_flushes = 0
         self.largest_batch = 0
+        self.deadline_dropped = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -131,7 +145,10 @@ class MicroBatcher:
     # submission
     # ------------------------------------------------------------------ #
     def submit(
-        self, query: SimilarityQuery, trace: Optional[QueryTrace] = None
+        self,
+        query: SimilarityQuery,
+        trace: Optional[QueryTrace] = None,
+        deadline: Optional[Deadline] = None,
     ) -> "asyncio.Future[QueryAnswer]":
         """Enqueue one query; the returned future resolves to its answer.
 
@@ -142,13 +159,18 @@ class MicroBatcher:
         ``trace`` optionally attaches a sampled :class:`QueryTrace`: the
         flush records the query's queue wait and scoring time into it and
         grafts the batch-level engine waterfall below them.
+
+        ``deadline`` optionally bounds the query's time in the queue: an
+        entry whose deadline has passed when its batch is assembled is
+        dropped with :class:`~repro.exceptions.DeadlineExceededError`
+        instead of being scored (see :meth:`_flush`).
         """
         if self._closed:
             raise ServiceError("micro-batcher is shutting down; query not accepted")
         if self._worker is None:
             raise ServiceError("micro-batcher is not started")
         future: "asyncio.Future[QueryAnswer]" = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((query, future, trace, time.perf_counter()))
+        self._queue.put_nowait((query, future, trace, time.perf_counter(), deadline))
         _QUEUE_DEPTH.set(self._queue.qsize())
         return future
 
@@ -179,6 +201,7 @@ class MicroBatcher:
             "full_flushes": self.full_flushes,
             "largest_batch": self.largest_batch,
             "mean_batch_size": self.mean_batch_size,
+            "deadline_dropped": self.deadline_dropped,
         }
 
     # ------------------------------------------------------------------ #
@@ -210,7 +233,37 @@ class MicroBatcher:
                 batch.append(nxt)
             await self._flush(batch)
 
-    async def _flush(self, batch: List[Tuple[SimilarityQuery, Any, Any, float]]) -> None:
+    def _drop_expired(self, batch: List[Tuple]) -> List[Tuple]:
+        """Shed entries whose deadline passed while they waited in the queue.
+
+        Runs at flush-assembly time, immediately before the runner call —
+        i.e. *before the thread-offload to the scoring engine* — so an
+        expired query never occupies a scoring thread.  Each dropped entry
+        resolves to a typed :class:`DeadlineExceededError`.
+        """
+        live: List[Tuple] = []
+        for item in batch:
+            deadline: Optional[Deadline] = item[4]
+            if deadline is not None and deadline.expired:
+                self.deadline_dropped += 1
+                _DEADLINE_DROPPED_BATCHER.inc()
+                future = item[1]
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExceededError(
+                            "deadline expired while the query waited for its batch "
+                            f"(by {-deadline.remaining_ms():.1f}ms)"
+                        )
+                    )
+            else:
+                live.append(item)
+        return live
+
+    async def _flush(self, batch: List[Tuple[SimilarityQuery, Any, Any, float, Any]]) -> None:
+        batch = self._drop_expired(batch)
+        if not batch:
+            _QUEUE_DEPTH.set(self._queue.qsize())
+            return
         queries = [item[0] for item in batch]
         # One batch-level trace serves every sampled query of the flush: the
         # engine activates it in the scoring thread (cache probe + core
@@ -252,7 +305,7 @@ class MicroBatcher:
             _QUEUE_DEPTH.set(self._queue.qsize())
         if batch_trace is not None:
             batch_trace.total_seconds = score_seconds
-        for (_query, future, trace, enqueued_at), answer in zip(batch, answers):
+        for (_query, future, trace, enqueued_at, _deadline), answer in zip(batch, answers):
             if trace is not None:
                 trace.add("queue_wait", max(flush_started - enqueued_at, 0.0), depth=1)
                 trace.add("score", score_seconds, depth=1)

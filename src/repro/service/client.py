@@ -14,29 +14,59 @@ connection feed the server's micro-batcher full batches.
   reader task dispatching responses to per-request futures; concurrent
   ``await client.query(...)`` calls pipeline naturally.
 
+Fault tolerance (see :mod:`repro.service.resilience`):
+
+* **Timeouts always.**  Both clients bound connect and every frame read
+  (``connect_timeout`` / ``read_timeout``, default 30 s) — a hung or
+  stalled server can no longer block a caller forever.
+* **Deadlines.**  ``query(..., deadline_ms=...)`` ships the budget to the
+  server (which refuses/sheds expired work unscored) and bounds the local
+  wait to the same budget.
+* **Retries.**  Pass a :class:`~repro.service.resilience.RetryPolicy` and
+  transient failures — ``OVERLOADED`` shedding, timeouts, connection
+  resets, corrupt frames — are retried with capped exponential backoff
+  and seeded jitter.  Only idempotent queries retry; every attempt of one
+  logical request reuses its ``request_key``, so the server answers
+  duplicates from its idempotency cache instead of re-scoring.
+* **Hedging** (async client).  Pass a
+  :class:`~repro.service.resilience.HedgePolicy` and a request still
+  unanswered after the observed latency percentile gets a duplicate send;
+  the first response wins and the loser is discarded.
+* **Circuit breaking.**  Pass a
+  :class:`~repro.service.resilience.CircuitBreaker` (shareable between
+  clients of one endpoint) and repeated failures fail fast locally with
+  :class:`~repro.exceptions.CircuitOpenError` instead of piling retries
+  onto a struggling server.
+
 Typed errors: an ``OVERLOADED`` response raises
 :class:`~repro.exceptions.ServiceOverloadedError` (safe to retry after
-backoff), ``BAD_REQUEST`` raises :class:`~repro.exceptions.ProtocolError`,
-anything else :class:`~repro.exceptions.ServiceError`.
+backoff), ``DEADLINE_EXCEEDED`` raises
+:class:`~repro.exceptions.DeadlineExceededError`, ``BAD_REQUEST`` raises
+:class:`~repro.exceptions.ProtocolError`, a dead or poisoned connection
+raises :class:`~repro.exceptions.ConnectionLostError`, anything else
+:class:`~repro.exceptions.ServiceError`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import socket
+import time
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.db.query import QueryAnswer, SimilarityQuery
-from repro.exceptions import ProtocolError, ServiceError
+from repro.exceptions import ConnectionLostError, ProtocolError, ServiceError
 from repro.service.protocol import (
     decode_answer,
     encode_frame,
-    encode_query,
     exception_for_error,
+    query_request,
     read_frame,
     recv_frame,
     send_frame,
 )
+from repro.service.resilience import CircuitBreaker, HedgePolicy, RetryPolicy
 
 __all__ = ["ServiceClient", "AsyncServiceClient"]
 
@@ -53,48 +83,111 @@ def _response_payload(message: Dict[str, Any]) -> Union[QueryAnswer, Dict[str, A
     return ProtocolError(f"unexpected response kind {kind!r}")
 
 
+def _new_key_prefix() -> str:
+    """A globally-unique idempotency-key prefix for one client instance."""
+    return os.urandom(8).hex()
+
+
 class ServiceClient:
-    """Blocking-socket client with pipelined requests.
+    """Blocking-socket client with pipelined requests and optional retries.
 
     Parameters
     ----------
     host, port:
         The service address (``ServiceHandle.address`` unpacks into both).
     timeout:
-        Socket timeout in seconds for connect and each frame read.
+        Back-compat default for both ``connect_timeout`` and
+        ``read_timeout``.
+    connect_timeout:
+        Seconds allowed for the TCP connect (hung/blackholed servers fail
+        fast instead of blocking the caller).
+    read_timeout:
+        Seconds allowed for each frame read; a stalled server surfaces as
+        a timeout error (retryable) instead of a forever-block.
+    retry:
+        Optional :class:`RetryPolicy` applied to queries (idempotent
+        reads).  Transient failures reconnect and resend unanswered
+        queries with their original ``request_key``.
+    breaker:
+        Optional :class:`CircuitBreaker` for this endpoint.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
+        self._host = host
+        self._port = port
+        self.connect_timeout = timeout if connect_timeout is None else float(connect_timeout)
+        self.read_timeout = timeout if read_timeout is None else float(read_timeout)
+        self.retry = retry
+        self.breaker = breaker
+        self._key_prefix = _new_key_prefix()
+        self._next_key = 0
         self._next_id = 0
         self._closed = False
+        self._sock = self._connect()
 
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self.connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # ``create_connection``'s timeout sticks to the socket; pin the
+        # steady-state one explicitly so every frame read is bounded.
+        sock.settimeout(self.read_timeout)
+        return sock
+
+    def _reconnect(self) -> None:
+        """Replace a poisoned connection (after a timeout/reset mid-stream)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = self._connect()
+
     def _new_id(self) -> int:
         self._next_id += 1
         return self._next_id
 
+    def _new_request_key(self) -> str:
+        self._next_key += 1
+        return f"{self._key_prefix}-{self._next_key}"
+
     def _read_response(self) -> Dict[str, Any]:
         message = recv_frame(self._sock)
         if message is None:
-            raise ServiceError("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         return message
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def query(self, query: SimilarityQuery) -> QueryAnswer:
+    def query(
+        self, query: SimilarityQuery, *, deadline_ms: Optional[float] = None
+    ) -> QueryAnswer:
         """Answer one query (raises the typed error on rejection)."""
-        result = self.query_many([query], return_errors=True)[0]
+        result = self.query_many([query], return_errors=True, deadline_ms=deadline_ms)[0]
         if isinstance(result, Exception):
             raise result
         return result
 
     def query_many(
-        self, queries: Iterable[SimilarityQuery], *, return_errors: bool = False
+        self,
+        queries: Iterable[SimilarityQuery],
+        *,
+        return_errors: bool = False,
+        deadline_ms: Optional[float] = None,
     ) -> List[Union[QueryAnswer, ServiceError]]:
         """Answer a stream of queries, pipelined, in input order.
 
@@ -104,28 +197,96 @@ class ServiceClient:
         come back as exception objects in their slots; otherwise the first
         failure is raised after every response has been drained (the
         connection stays usable).
+
+        With a :class:`RetryPolicy` configured, transient failures are
+        retried: per-query typed errors (``OVERLOADED``, a missed
+        deadline) back off and resend just the failed slots, while a
+        poisoned stream (timeout, reset, corrupt frame) reconnects and
+        resends everything unanswered.  Each slot keeps its
+        ``request_key`` across attempts, so the server never re-scores a
+        query it already answered.
         """
         stream = list(queries)
         if not stream:
             return []
+        keys = [self._new_request_key() for _ in stream]
+        results: List = [None] * len(stream)
+        outstanding = list(range(len(stream)))
+        attempt = 1
+        while True:
+            if self.breaker is not None:
+                self.breaker.check()
+            try:
+                roundtrip = self._pipeline(
+                    [stream[slot] for slot in outstanding],
+                    [keys[slot] for slot in outstanding],
+                    deadline_ms,
+                )
+            except (ConnectionError, TimeoutError, OSError, ProtocolError) as exc:
+                # The stream is poisoned: responses can no longer be matched.
+                if isinstance(exc, ProtocolError):
+                    exc = ConnectionLostError(f"response stream poisoned: {exc}")
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if (
+                    self.retry is None
+                    or attempt >= self.retry.max_attempts
+                    or not self.retry.is_retryable(exc)
+                ):
+                    raise exc
+                self.retry.record_retry(exc)
+                time.sleep(self.retry.delay_for(attempt))
+                attempt += 1
+                self._reconnect()
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            retryable_slots: List[int] = []
+            for slot, result in zip(outstanding, roundtrip):
+                results[slot] = result
+                if (
+                    isinstance(result, Exception)
+                    and self.retry is not None
+                    and self.retry.is_retryable(result)
+                ):
+                    retryable_slots.append(slot)
+            if retryable_slots and self.retry is not None and attempt < self.retry.max_attempts:
+                self.retry.record_retry(results[retryable_slots[0]])
+                time.sleep(self.retry.delay_for(attempt))
+                attempt += 1
+                outstanding = retryable_slots
+                continue
+            break
+        if not return_errors:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results
+
+    def _pipeline(
+        self,
+        queries: List[SimilarityQuery],
+        keys: List[str],
+        deadline_ms: Optional[float],
+    ) -> List[Union[QueryAnswer, ServiceError]]:
+        """One pipelined send-all-then-read-all pass (no retry logic)."""
         pending: Dict[int, int] = {}
-        for position, query in enumerate(stream):
+        for position, (query, key) in enumerate(zip(queries, keys)):
             message_id = self._new_id()
             pending[message_id] = position
             send_frame(
-                self._sock, {"id": message_id, "kind": "query", "query": encode_query(query)}
+                self._sock,
+                query_request(
+                    message_id, query, deadline_ms=deadline_ms, request_key=key
+                ),
             )
-        results: List = [None] * len(stream)
+        results: List = [None] * len(queries)
         while pending:
             message = self._read_response()
             message_id = message.get("id")
             if message_id not in pending:
                 raise ProtocolError(f"response for unknown request id {message_id!r}")
             results[pending.pop(message_id)] = _response_payload(message)
-        if not return_errors:
-            for result in results:
-                if isinstance(result, Exception):
-                    raise result
         return results
 
     # ------------------------------------------------------------------ #
@@ -163,7 +324,11 @@ class ServiceClient:
         return self._admin("prometheus")["text"]
 
     def reload(self, path=None) -> Dict[str, Any]:
-        """Hot-swap the server's engine from a snapshot (its default path if None)."""
+        """Hot-swap the server's engine from a snapshot (its default path if None).
+
+        Never retried: reload mutates server state and is not idempotent
+        from the client's point of view.
+        """
         extra = {} if path is None else {"path": str(path)}
         return self._admin("reload", **extra)
 
@@ -193,21 +358,73 @@ class AsyncServiceClient:
     responses to per-request futures, so any number of coroutines can have
     queries in flight simultaneously — exactly the traffic shape the
     server's micro-batcher coalesces.
+
+    Resilience: every await is bounded by ``read_timeout`` (or the
+    query's ``deadline_ms``, whichever is tighter); a
+    :class:`RetryPolicy` retries transient failures (reconnecting when
+    the connection died); a :class:`HedgePolicy` sends a duplicate of a
+    slow request after the observed latency percentile with
+    first-response-wins demux; a :class:`CircuitBreaker` fails fast while
+    the endpoint is struggling.
     """
 
-    def __init__(self, reader, writer):
+    def __init__(
+        self,
+        reader,
+        writer,
+        *,
+        read_timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self.read_timeout = float(read_timeout)
+        self.retry = retry
+        self.hedge = hedge
+        self.breaker = breaker
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._connect_timeout: float = 30.0
         self._pending: Dict[int, "asyncio.Future"] = {}
+        self._key_prefix = _new_key_prefix()
+        self._next_key = 0
         self._next_id = 0
         self._closed = False
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        connect_timeout: float = 30.0,
+        read_timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), connect_timeout
+        )
+        client = cls(
+            reader,
+            writer,
+            read_timeout=read_timeout,
+            retry=retry,
+            hedge=hedge,
+            breaker=breaker,
+        )
+        # Remember the endpoint so retries can re-dial a dead connection.
+        client._host, client._port = host, port
+        client._connect_timeout = float(connect_timeout)
+        return client
 
+    # ------------------------------------------------------------------ #
+    # connection plumbing
+    # ------------------------------------------------------------------ #
     async def _read_loop(self) -> None:
         error: Optional[Exception] = None
         try:
@@ -217,7 +434,7 @@ class AsyncServiceClient:
                     break
                 future = self._pending.pop(message.get("id"), None)
                 if future is None or future.done():
-                    continue
+                    continue  # late hedge loser / abandoned timeout — discard
                 result = _response_payload(message)
                 if isinstance(result, Exception):
                     future.set_exception(result)
@@ -226,34 +443,182 @@ class AsyncServiceClient:
         except Exception as exc:  # connection torn down mid-frame
             error = exc
         finally:
-            failure = error or ServiceError("server closed the connection")
+            # Whatever killed the read loop, the connection is unusable:
+            # surface it as a (retryable) connection loss to every waiter.
+            failure = ConnectionLostError(
+                f"service connection lost: {error}"
+                if error
+                else "server closed the connection"
+            )
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(failure)
             self._pending.clear()
 
-    async def _request(self, message: Dict[str, Any]):
+    @property
+    def connection_lost(self) -> bool:
+        """True when the background reader has exited (connection unusable)."""
+        return self._reader_task.done()
+
+    async def _ensure_connection(self) -> None:
+        """Re-dial a dead connection when the endpoint is known (retry path)."""
+        if not self.connection_lost or self._closed:
+            return
+        if self._host is None:
+            raise ConnectionLostError(
+                "service connection lost (no endpoint configured to re-dial)"
+            )
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port), self._connect_timeout
+        )
+        self._reader = reader
+        self._writer = writer
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    def _new_request_key(self) -> str:
+        self._next_key += 1
+        return f"{self._key_prefix}-{self._next_key}"
+
+    def _register(self, message: Dict[str, Any]) -> "asyncio.Future":
         if self._closed:
             raise ServiceError("client is closed")
         self._next_id += 1
-        message_id = self._next_id
-        message["id"] = message_id
+        message["id"] = self._next_id
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
-        self._pending[message_id] = future
+        self._pending[self._next_id] = future
         self._writer.write(encode_frame(message))
-        await self._writer.drain()
-        return await future
+        return future
 
-    async def query(self, query: SimilarityQuery) -> QueryAnswer:
-        """Answer one query (concurrent callers share the connection)."""
-        return await self._request({"kind": "query", "query": encode_query(query)})
+    def _abandon(self, future: "asyncio.Future") -> None:
+        """Unregister a future whose response we no longer want."""
+        for message_id, pending in list(self._pending.items()):
+            if pending is future:
+                self._pending.pop(message_id, None)
+        if not future.done():
+            future.cancel()
+
+    async def _request(self, message: Dict[str, Any], timeout: Optional[float] = None):
+        future = self._register(message)
+        await self._writer.drain()
+        wait = self.read_timeout if timeout is None else timeout
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), wait)
+        except asyncio.TimeoutError:
+            self._abandon(future)
+            raise TimeoutError(f"no response within {wait:.3f}s") from None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    async def query(
+        self, query: SimilarityQuery, *, deadline_ms: Optional[float] = None
+    ) -> QueryAnswer:
+        """Answer one query (concurrent callers share the connection).
+
+        Applies, in order: circuit breaker → hedging → retry policy.
+        """
+        attempt = 1
+        request_key = self._new_request_key()
+        while True:
+            if self.breaker is not None:
+                self.breaker.check()
+            try:
+                if self.retry is not None:
+                    await self._ensure_connection()
+                answer = await self._query_once(query, deadline_ms, request_key)
+            except Exception as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if (
+                    self.retry is None
+                    or attempt >= self.retry.max_attempts
+                    or not self.retry.is_retryable(exc)
+                ):
+                    raise
+                self.retry.record_retry(exc)
+                await asyncio.sleep(self.retry.delay_for(attempt))
+                attempt += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return answer
+
+    async def _query_once(
+        self,
+        query: SimilarityQuery,
+        deadline_ms: Optional[float],
+        request_key: str,
+    ) -> QueryAnswer:
+        """One attempt: send (and possibly hedge) a single query request."""
+        wait = self.read_timeout
+        if deadline_ms is not None:
+            wait = min(wait, float(deadline_ms) / 1000.0)
+        started = time.perf_counter()
+        message = query_request(
+            None, query, deadline_ms=deadline_ms, request_key=request_key
+        )
+        primary = self._register(dict(message))
+        await self._writer.drain()
+        if self.hedge is None:
+            try:
+                answer = await asyncio.wait_for(asyncio.shield(primary), wait)
+            except asyncio.TimeoutError:
+                self._abandon(primary)
+                raise TimeoutError(f"no response within {wait:.3f}s") from None
+            self._observe_latency(started)
+            return answer
+
+        hedge_delay = min(self.hedge.hedge_delay(), wait)
+        futures = [primary]
+        try:
+            done, _ = await asyncio.wait({primary}, timeout=hedge_delay)
+            if not done:
+                # Primary is slow: send the duplicate (same request_key, so
+                # the server can answer from its idempotency cache) and let
+                # the first response win.
+                self.hedge.record_sent()
+                hedged = self._register(dict(message))
+                futures.append(hedged)
+                await self._writer.drain()
+                remaining = max(wait - (time.perf_counter() - started), 0.001)
+                done, _ = await asyncio.wait(
+                    set(futures), timeout=remaining, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not done:
+                    raise TimeoutError(f"no response within {wait:.3f}s")
+                winner = primary if primary in done else next(iter(done))
+                if winner is primary:
+                    self.hedge.record_cancelled()
+                else:
+                    self.hedge.record_won()
+            else:
+                winner = primary
+            self._observe_latency(started)
+            return winner.result()
+        finally:
+            for future in futures:
+                if not future.done():
+                    self._abandon(future)
+
+    def _observe_latency(self, started: float) -> None:
+        if self.hedge is not None:
+            self.hedge.observe(time.perf_counter() - started)
 
     async def query_many(
-        self, queries: Iterable[SimilarityQuery], *, return_errors: bool = False
+        self,
+        queries: Iterable[SimilarityQuery],
+        *,
+        return_errors: bool = False,
+        deadline_ms: Optional[float] = None,
     ) -> List[Union[QueryAnswer, ServiceError]]:
         """Pipeline a stream of queries; answers return in input order."""
         results = await asyncio.gather(
-            *(self.query(query) for query in queries), return_exceptions=True
+            *(self.query(query, deadline_ms=deadline_ms) for query in queries),
+            return_exceptions=True,
         )
         if not return_errors:
             for result in results:
@@ -261,6 +626,9 @@ class AsyncServiceClient:
                     raise result
         return list(results)
 
+    # ------------------------------------------------------------------ #
+    # admin
+    # ------------------------------------------------------------------ #
     async def ping(self) -> Dict[str, Any]:
         return await self._request({"kind": "admin", "command": "ping"})
 
@@ -292,7 +660,7 @@ class AsyncServiceClient:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):
             pass
-        await self._reader_task
+        await asyncio.gather(self._reader_task, return_exceptions=True)
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return self

@@ -15,7 +15,8 @@ integer, echoed verbatim so pipelined responses can be matched out of
 order) and a ``kind``:
 
 ========  =========================================================
-request   ``{"id", "kind": "query",  "query": <encoded query>}``
+request   ``{"id", "kind": "query",  "query": <encoded query>,
+          "deadline_ms"?, "request_key"?}``
           ``{"id", "kind": "admin",  "command": ..., ...}``
 response  ``{"id", "kind": "answer", "answer": <encoded answer>}``
           ``{"id", "kind": "admin",  "result": {...}}``
@@ -24,7 +25,19 @@ response  ``{"id", "kind": "answer", "answer": <encoded answer>}``
 
 Error codes are the :data:`ERROR_*` constants below; ``OVERLOADED`` is the
 typed load-shedding response of the admission controller and maps to
-:class:`~repro.exceptions.ServiceOverloadedError` client-side.
+:class:`~repro.exceptions.ServiceOverloadedError` client-side;
+``DEADLINE_EXCEEDED`` means the query's ``deadline_ms`` budget expired
+before scoring (the server dropped it without wasting engine cycles) and
+maps to :class:`~repro.exceptions.DeadlineExceededError`.
+
+Resilience fields (both optional, both ignored by old servers):
+``deadline_ms`` is the request's *relative* latency budget in
+milliseconds — relative, because the two ends' wall clocks are never
+comparable; the server converts it to an absolute monotonic deadline at
+receipt.  ``request_key`` is an opaque client-chosen idempotency key:
+retried and hedged duplicates of one logical request reuse it, and the
+server answers duplicates of an already-completed request from its
+idempotency cache, bit-identically, without re-scoring.
 
 Codecs
 ------
@@ -45,7 +58,12 @@ import struct
 from typing import Any, Dict, Optional
 
 from repro.db.query import QueryAnswer, SimilarityQuery
-from repro.exceptions import ProtocolError, ServiceError, ServiceOverloadedError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.graphs.graph import Graph
 
 __all__ = [
@@ -54,6 +72,8 @@ __all__ = [
     "ERROR_BAD_REQUEST",
     "ERROR_SHUTTING_DOWN",
     "ERROR_SERVER_ERROR",
+    "ERROR_DEADLINE_EXCEEDED",
+    "query_request",
     "encode_frame",
     "decode_frame",
     "read_frame",
@@ -80,6 +100,7 @@ ERROR_OVERLOADED = "OVERLOADED"
 ERROR_BAD_REQUEST = "BAD_REQUEST"
 ERROR_SHUTTING_DOWN = "SHUTTING_DOWN"
 ERROR_SERVER_ERROR = "SERVER_ERROR"
+ERROR_DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
 
 
 # ---------------------------------------------------------------------- #
@@ -244,6 +265,26 @@ def decode_query(payload: Dict[str, Any]) -> SimilarityQuery:
     )
 
 
+def query_request(
+    message_id,
+    query: SimilarityQuery,
+    *,
+    deadline_ms: Optional[float] = None,
+    request_key: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one query request frame body with the resilience fields."""
+    message: Dict[str, Any] = {
+        "id": message_id,
+        "kind": "query",
+        "query": encode_query(query),
+    }
+    if deadline_ms is not None:
+        message["deadline_ms"] = float(deadline_ms)
+    if request_key is not None:
+        message["request_key"] = str(request_key)
+    return message
+
+
 def encode_answer(answer: QueryAnswer) -> Dict[str, Any]:
     """Encode one answer (delegates to :meth:`QueryAnswer.to_wire`)."""
     return answer.to_wire()
@@ -274,4 +315,6 @@ def exception_for_error(payload: Dict[str, Any]) -> ServiceError:
         return ServiceOverloadedError(message)
     if code == ERROR_BAD_REQUEST:
         return ProtocolError(message)
+    if code == ERROR_DEADLINE_EXCEEDED:
+        return DeadlineExceededError(message)
     return ServiceError(f"{code}: {message}")

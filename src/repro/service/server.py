@@ -53,6 +53,7 @@ from typing import Any, Dict, Optional
 
 from repro.db.query import SimilarityQuery
 from repro.exceptions import (
+    DeadlineExceededError,
     ProtocolError,
     QueryError,
     ReproError,
@@ -68,6 +69,7 @@ from repro.service.admission import AdmissionController
 from repro.service.batcher import MicroBatcher
 from repro.service.protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_DEADLINE_EXCEEDED,
     ERROR_OVERLOADED,
     ERROR_SERVER_ERROR,
     ERROR_SHUTTING_DOWN,
@@ -77,6 +79,7 @@ from repro.service.protocol import (
     error_response,
     read_frame,
 )
+from repro.service.resilience import Deadline, IdempotencyCache
 
 __all__ = ["SimilarityService", "ServiceHandle", "start_service_thread"]
 
@@ -92,8 +95,13 @@ _REQUEST_SECONDS = get_registry().histogram(
     "repro_service_request_seconds",
     "End-to-end request latency from admission to serialized response",
 )
+_REQ_DEADLINE = _REQUESTS.labels(outcome="deadline_exceeded")
 _RELOADS = get_registry().counter(
     "repro_service_reloads_total", "Engine hot-swaps completed"
+)
+_RELOAD_FAILURES = get_registry().counter(
+    "repro_reload_failures_total",
+    "Engine hot-swap attempts that failed (old engine kept serving)",
 )
 _CONNECTIONS = get_registry().gauge(
     "repro_service_connections", "Open client connections"
@@ -130,6 +138,10 @@ class SimilarityService:
         Prometheus text exposition at ``/metrics`` — port 0 picks a free
         port (see :attr:`metrics_http_port`).  ``None`` (default) starts
         no listener; the ``prometheus`` admin command always works.
+    idempotency_capacity:
+        Ring size of the completed-request idempotency cache (duplicate
+        ``request_key`` sends — client retries and hedges — are answered
+        from it bit-identically without re-scoring; 0 disables it).
     """
 
     def __init__(
@@ -148,6 +160,7 @@ class SimilarityService:
         slow_query_ms: float = 250.0,
         slow_log_size: int = 128,
         metrics_port: Optional[int] = None,
+        idempotency_capacity: int = 2048,
     ) -> None:
         if engine is None and snapshot_path is None:
             raise ServiceError("a SimilarityService needs an engine or a snapshot_path")
@@ -162,6 +175,7 @@ class SimilarityService:
             self._run_batch, max_batch=max_batch, max_delay_ms=max_delay_ms
         )
         self.stats = ServingStats(latency_window=latency_window)
+        self.idempotency = IdempotencyCache(capacity=idempotency_capacity)
         self.tracer = Tracer(sample_rate=trace_sample_rate)
         self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms, capacity=slow_log_size)
         self.metrics_port = None if metrics_port is None else int(metrics_port)
@@ -175,6 +189,7 @@ class SimilarityService:
         self._next_connection_id = 0
         self._connections = 0
         self._reloads = 0
+        self._reload_failures = 0
         self._inflight: set = set()
         self._writers: set = set()
         #: Strong refs to fire-and-forget tasks (SIGHUP reloads): the event
@@ -202,14 +217,30 @@ class SimilarityService:
         boundary: queries batched before it finish on the old engine,
         queries batched after it score on the new one — zero downtime and
         no torn answers.
+
+        Failure is *non-fatal by construction*: a missing, truncated, or
+        checksum-failing snapshot raises before the swap assignment, so the
+        last-good engine keeps serving; the attempt is counted in
+        ``repro_reload_failures_total`` and the metrics document.
+
+        The swap serializes with :meth:`stop` through ``_reload_lock``:
+        once shutdown has begun a reload is refused, and :meth:`stop` waits
+        for any in-flight swap before tearing the service down.
         """
         path = snapshot_path or self.snapshot_path
         if path is None:
             raise ServiceError("no snapshot path configured for engine reload")
         assert self._reload_lock is not None
         async with self._reload_lock:
+            if self._closing:
+                raise ServiceError("service is shutting down; reload refused")
             loop = asyncio.get_running_loop()
-            engine = await loop.run_in_executor(None, load_engine, path)
+            try:
+                engine = await loop.run_in_executor(None, load_engine, path)
+            except BaseException:
+                self._reload_failures += 1
+                _RELOAD_FAILURES.inc()
+                raise
             previous = self._engine
             self._engine = engine
             self._reloads += 1
@@ -316,6 +347,14 @@ class SimilarityService:
         if self._server is None or self._closing:
             return
         self._closing = True
+        # Serialize with an in-flight hot swap: the closing flag above makes
+        # any *new* reload fail fast inside the lock, and acquiring the lock
+        # here blocks until a swap already past that check has fully landed —
+        # teardown can never interleave with an engine swap (regression:
+        # stop() racing reload_engine()).
+        if self._reload_lock is not None:
+            async with self._reload_lock:
+                pass
         self._server.close()
         await self._server.wait_closed()
         if self._metrics_server is not None:
@@ -428,6 +467,51 @@ class SimilarityService:
                 ),
             )
             return
+        # Resilience fields ride next to the query payload: a relative
+        # latency budget (converted to an absolute monotonic deadline at
+        # receipt) and an opaque idempotency key for retried/hedged sends.
+        deadline: Optional[Deadline] = None
+        raw_deadline = message.get("deadline_ms")
+        if raw_deadline is not None:
+            try:
+                deadline = Deadline.after_ms(raw_deadline)
+            except (ServiceError, TypeError, ValueError):
+                _REQ_BAD_REQUEST.inc()
+                await self._respond(
+                    writer,
+                    write_lock,
+                    error_response(
+                        message_id,
+                        ERROR_BAD_REQUEST,
+                        f"invalid deadline_ms {raw_deadline!r}",
+                    ),
+                )
+                return
+        request_key = message.get("request_key")
+        if request_key is not None:
+            cached = self.idempotency.get(str(request_key))
+            if cached is not None:
+                # A duplicate of an already-answered request (client retry
+                # or hedge): answer bit-identically without re-scoring.
+                _REQ_ANSWERED.inc()
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {"id": message_id, "kind": "answer", "answer": cached},
+                )
+                return
+        if self.admission.deadline_expired_on_arrival(deadline):
+            _REQ_DEADLINE.inc()
+            await self._respond(
+                writer,
+                write_lock,
+                error_response(
+                    message_id,
+                    ERROR_DEADLINE_EXCEEDED,
+                    "deadline expired before admission; query refused unscored",
+                ),
+            )
+            return
         if not self.admission.try_admit(connection_id):
             _REQ_REJECTED.inc()
             await self._respond(
@@ -451,9 +535,17 @@ class SimilarityService:
             if trace is not None:
                 trace.add("decode", time.perf_counter() - start, depth=0)
             batcher_started = time.perf_counter()
-            answer = await self.batcher.submit(query, trace)
+            answer = await self.batcher.submit(query, trace, deadline)
             if trace is not None:
                 trace.add("batcher", time.perf_counter() - batcher_started, depth=0)
+        except DeadlineExceededError as exc:
+            _REQ_DEADLINE.inc()
+            await self._respond(
+                writer,
+                write_lock,
+                error_response(message_id, ERROR_DEADLINE_EXCEEDED, str(exc)),
+            )
+            return
         except (ProtocolError, QueryError, KeyError, TypeError) as exc:
             _REQ_BAD_REQUEST.inc()
             await self._respond(
@@ -480,7 +572,10 @@ class SimilarityService:
         finally:
             self.admission.release(connection_id)
         serialize_started = time.perf_counter()
-        payload = {"id": message_id, "kind": "answer", "answer": encode_answer(answer)}
+        encoded = encode_answer(answer)
+        if request_key is not None:
+            self.idempotency.put(str(request_key), encoded)
+        payload = {"id": message_id, "kind": "answer", "answer": encoded}
         latency = time.perf_counter() - start
         self.stats.record_latency(latency)
         _REQ_ANSWERED.inc()
@@ -593,6 +688,12 @@ class SimilarityService:
                 "inflight_requests": len(self._inflight),
                 "closing": self._closing,
                 "reload_count": self._reloads,
+                "reload_failures": self._reload_failures,
+            },
+            "resilience": {
+                "idempotency": self.idempotency.as_dict(),
+                "deadline_dropped_admission": self.admission.deadline_expired,
+                "deadline_dropped_batcher": self.batcher.deadline_dropped,
             },
             "serving": serving,
             "engine": {
@@ -689,6 +790,43 @@ class ServiceHandle:
         if self._thread.is_alive():
             try:
                 self.call(self.service.stop(), timeout)
+            except RuntimeError:  # loop already gone
+                pass
+        self._thread.join(timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Abrupt, *non-graceful* stop: simulate a service crash.
+
+        Stops the event loop from outside without draining — in-flight
+        queries are abandoned and every connection resets, exactly what
+        clients observe when a serving process dies.  Built for the
+        fault-injection harness (:mod:`repro.testing.faults`); production
+        shutdown is :meth:`stop`.
+        """
+
+        def _crash() -> None:
+            # A real crash closes every fd: abort client transports (no
+            # flush — peers see a reset, not a clean EOF) and close the
+            # listening socket so the port is immediately rebindable.
+            service = self.service
+            for writer in list(service._writers):
+                transport = getattr(writer, "transport", None)
+                if transport is not None:
+                    try:
+                        transport.abort()
+                    except Exception:
+                        pass
+            for server in (service._server, service._metrics_server):
+                if server is not None:
+                    try:
+                        server.close()
+                    except Exception:
+                        pass
+            self._loop.stop()
+
+        if self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(_crash)
             except RuntimeError:  # loop already gone
                 pass
         self._thread.join(timeout)

@@ -12,11 +12,26 @@ behind a ``(format, version)`` header; :func:`load_engine` refuses files
 with an unknown format or a newer version with a clear
 :class:`~repro.exceptions.SnapshotError`.  As with any pickle-based format,
 only load snapshots you produced yourself or otherwise trust.
+
+Crash safety
+------------
+:func:`save_engine` is atomic and torn-write-proof: the payload is written
+to a temporary file in the destination directory, flushed and ``fsync``-ed,
+then moved into place with ``os.replace`` — a crash mid-write leaves the
+previous snapshot intact, never a half-written file under the final name.
+Every snapshot ends in a fixed-size integrity footer (sha256 of the
+payload + payload length + magic); :func:`load_engine` verifies it and
+raises :class:`~repro.exceptions.SnapshotCorruptError` on truncation or
+bit corruption *before* any of the payload is trusted.  Footer-less files
+written by older builds still load (their integrity is unverified).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
+import struct
 from collections import Counter
 from pathlib import Path
 from typing import Union
@@ -26,7 +41,7 @@ from repro.core.estimator import GBDAEstimator
 from repro.core.gbd_prior import GBDPrior
 from repro.core.ged_prior import GEDPrior
 from repro.db.database import GraphDatabase
-from repro.exceptions import SnapshotError
+from repro.exceptions import SnapshotCorruptError, SnapshotError
 from repro.graphs.graph import Graph
 from repro.serving.engine import BatchQueryEngine
 
@@ -43,6 +58,69 @@ SNAPSHOT_FORMAT = "repro.serving.engine-snapshot"
 SNAPSHOT_VERSION = 4
 
 PathLike = Union[str, Path]
+
+#: Integrity footer appended after the pickle payload:
+#: ``sha256(payload) (32B) | payload length (8B big-endian) | magic (8B)``.
+#: The footer sits *after* the pickle stream, so files carrying it remain
+#: readable by any loader that simply unpickles from the front — and
+#: version 1–4 payloads round-trip through it unchanged.
+_FOOTER_MAGIC = b"RSNAPSUM"
+_FOOTER_STRUCT = struct.Struct(">32sQ8s")
+
+
+def _write_atomic(destination: Path, blob: bytes) -> None:
+    """Write ``blob`` to ``destination`` atomically (temp + fsync + rename).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem atomic rename; the file and (best
+    effort) its directory are fsync-ed first, so after a crash the name
+    either refers to the complete new snapshot or the complete old one.
+    """
+    tmp = destination.with_name(f".{destination.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, destination)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    try:
+        directory = os.open(str(destination.parent), os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+
+
+def _verified_payload(blob: bytes, source: Path) -> bytes:
+    """Strip and verify the integrity footer; raise on corruption.
+
+    Returns the pickle payload bytes.  Files without the footer (older
+    builds) are returned whole — their integrity cannot be checked.
+    """
+    footer_size = _FOOTER_STRUCT.size
+    if len(blob) < footer_size or blob[-8:] != _FOOTER_MAGIC:
+        return blob  # legacy footer-less snapshot
+    digest, length, _magic = _FOOTER_STRUCT.unpack(blob[-footer_size:])
+    payload = blob[:-footer_size]
+    if length != len(payload):
+        raise SnapshotCorruptError(
+            f"snapshot {source} is truncated: footer records {length} payload "
+            f"bytes, file holds {len(payload)}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise SnapshotCorruptError(
+            f"snapshot {source} failed its sha256 integrity check "
+            "(bit corruption or a torn write)"
+        )
+    return payload
 
 
 def save_engine(engine: BatchQueryEngine, path: PathLike) -> Path:
@@ -82,8 +160,11 @@ def save_engine(engine: BatchQueryEngine, path: PathLike) -> Path:
     }
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
-    with destination.open("wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    footer = _FOOTER_STRUCT.pack(
+        hashlib.sha256(blob).digest(), len(blob), _FOOTER_MAGIC
+    )
+    _write_atomic(destination, blob + footer)
     return destination
 
 
@@ -92,11 +173,20 @@ def load_engine(path: PathLike) -> BatchQueryEngine:
     source = Path(path)
     if not source.exists():
         raise SnapshotError(f"snapshot file {source} does not exist")
+    blob = source.read_bytes()
+    verified = _verified_payload(blob, source)
     try:
-        with source.open("rb") as handle:
-            payload = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
-        raise SnapshotError(f"snapshot file {source} is corrupt or not a snapshot") from exc
+        payload = pickle.loads(verified)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError, IndexError) as exc:
+        if len(verified) < len(blob):
+            # The footer checked out but the payload will not unpickle —
+            # only possible if the file was *written* torn.
+            raise SnapshotCorruptError(
+                f"snapshot file {source} passed its checksum but is unreadable"
+            ) from exc
+        raise SnapshotCorruptError(
+            f"snapshot file {source} is corrupt or not a snapshot"
+        ) from exc
 
     if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(f"file {source} is not a serving-engine snapshot")

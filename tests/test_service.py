@@ -23,7 +23,11 @@ import pytest
 from repro.core.search import GBDASearch
 from repro.db.database import GraphDatabase
 from repro.db.query import QueryAnswer, SimilarityQuery
-from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.graphs.generators import random_labeled_graph
 from repro.serving import BatchQueryEngine, load_engine, save_engine
 from repro.service import (
@@ -481,6 +485,116 @@ class TestHotSwap:
 
 
 # ---------------------------------------------------------------------- #
+# deadlines end-to-end
+# ---------------------------------------------------------------------- #
+class TestDeadlines:
+    def test_generous_deadline_answers_normally(self, engine):
+        handle = start_service_thread(engine, max_batch=8, max_delay_ms=1.0)
+        query = _random_queries(1, seed=61, with_topk=False)[0]
+        try:
+            with ServiceClient(*handle.address) as client:
+                answer = client.query(query, deadline_ms=60_000)
+            _assert_identical(answer, engine.query(query))
+        finally:
+            handle.stop()
+
+    def test_tight_deadline_is_refused_at_admission(self, engine):
+        # A sub-millisecond budget expires in transit: admission must
+        # refuse it with the typed error before it costs engine cycles.
+        handle = start_service_thread(engine, max_batch=8, max_delay_ms=1.0)
+        query = _random_queries(1, seed=67, with_topk=False)[0]
+        try:
+            with ServiceClient(*handle.address) as client:
+                results = [None] * 20
+                for position in range(len(results)):
+                    try:
+                        results[position] = client.query(query, deadline_ms=0.001)
+                    except DeadlineExceededError as exc:
+                        results[position] = exc
+            refused = [r for r in results if isinstance(r, DeadlineExceededError)]
+            assert refused, "a 1µs deadline must expire before admission"
+            stats = handle.service.metrics()
+            assert stats["admission"]["deadline_expired"] >= len(refused)
+            assert stats["resilience"]["deadline_dropped_admission"] >= len(refused)
+        finally:
+            handle.stop()
+
+    def test_deadline_expiring_in_the_batch_queue_is_dropped_at_flush(self, engine):
+        # A long batching tick: the query is admitted, then its budget
+        # runs out while it waits.  The flush must shed it (typed error)
+        # instead of scoring expired work.
+        handle = start_service_thread(engine, max_batch=64, max_delay_ms=200.0)
+        query = _random_queries(1, seed=71, with_topk=False)[0]
+        try:
+            with ServiceClient(*handle.address) as client:
+                with pytest.raises(DeadlineExceededError):
+                    client.query(query, deadline_ms=30)
+            stats = handle.service.metrics()
+            assert stats["batcher"]["deadline_dropped"] >= 1
+            assert stats["resilience"]["deadline_dropped_batcher"] >= 1
+            # The engine never scored the expired query.
+            assert stats["serving"]["num_queries"] == 0
+        finally:
+            handle.stop()
+
+    def test_invalid_deadline_is_a_bad_request(self, engine):
+        from repro.exceptions import ProtocolError
+
+        handle = start_service_thread(engine, max_batch=8, max_delay_ms=1.0)
+        query = _random_queries(1, seed=73, with_topk=False)[0]
+        try:
+            with ServiceClient(*handle.address) as client:
+                with pytest.raises(ProtocolError):
+                    client.query(query, deadline_ms=-5)
+                # The connection survives: later traffic is answered.
+                _assert_identical(client.query(query), engine.query(query))
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------- #
+# stop() racing reload()
+# ---------------------------------------------------------------------- #
+class TestStopDuringReload:
+    def test_stop_waits_for_an_inflight_swap(self, fitted, tmp_path):
+        """stop() during a hot swap must serialize behind the reload lock:
+        either the swap completes and then teardown runs, or the reload is
+        refused — never an interleaving, never a hang."""
+        engine = BatchQueryEngine.from_search(fitted)
+        path = tmp_path / "engine.snapshot"
+        save_engine(engine, path)
+        handle = start_service_thread(
+            engine, snapshot_path=path, max_batch=8, max_delay_ms=1.0
+        )
+        outcomes: dict = {}
+
+        def do_reload() -> None:
+            try:
+                with ServiceClient(*handle.address, timeout=30.0) as client:
+                    outcomes["reload"] = client.reload(path)
+            except Exception as exc:
+                outcomes["reload_error"] = exc
+
+        reloader = threading.Thread(target=do_reload)
+        reloader.start()
+        handle.stop(timeout=60)
+        reloader.join(timeout=60)
+        assert not reloader.is_alive(), "stop() must not deadlock with reload()"
+        # Whichever side won the race, it finished cleanly: a completed
+        # swap or a typed refusal / connection teardown — never a hang.
+        assert "reload" in outcomes or "reload_error" in outcomes
+
+    def test_reload_after_close_is_refused(self, engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(engine, path)
+        handle = start_service_thread(engine, max_batch=8, max_delay_ms=1.0)
+        service = handle.service
+        handle.stop()
+        with pytest.raises(ServiceError, match="shutting down"):
+            asyncio.run(service.reload_engine(path))
+
+
+# ---------------------------------------------------------------------- #
 # metrics endpoint
 # ---------------------------------------------------------------------- #
 class TestMetricsEndpoint:
@@ -527,8 +641,11 @@ class TestMetricsEndpoint:
             with ServiceClient(*handle.address, timeout=10.0) as client:
                 with pytest.raises(ServiceError):
                     client.reload(bad)
-                # Old engine still up and serving identical answers.
-                assert client.stats()["server"]["reload_count"] == 0
+                # Old engine still up and serving identical answers, and the
+                # failure is visible in the metrics document.
+                stats = client.stats()
+                assert stats["server"]["reload_count"] == 0
+                assert stats["server"]["reload_failures"] == 1
                 _assert_identical(client.query(query), engine.query(query))
         finally:
             handle.stop()

@@ -10,10 +10,15 @@ import pytest
 from repro.core.search import GBDASearch
 from repro.db.database import GraphDatabase
 from repro.db.query import SimilarityQuery
-from repro.exceptions import SnapshotError
+from repro.exceptions import SnapshotCorruptError, SnapshotError
 from repro.graphs.generators import random_labeled_graph
 from repro.serving import BatchQueryEngine, load_engine, save_engine
-from repro.serving.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    _FOOTER_MAGIC,
+    _FOOTER_STRUCT,
+)
 
 
 @pytest.fixture(scope="module")
@@ -128,3 +133,97 @@ class TestVersioning:
         engine = load_engine(path)
         assert engine.model_version == 0
         assert len(engine.database) == len(fitted_engine.database)
+
+
+class TestIntegrity:
+    """Crash-safe writes and the sha256 integrity footer."""
+
+    def test_snapshot_carries_the_footer(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        blob = path.read_bytes()
+        assert blob.endswith(_FOOTER_MAGIC)
+        digest, length, magic = _FOOTER_STRUCT.unpack(blob[-_FOOTER_STRUCT.size:])
+        assert magic == _FOOTER_MAGIC
+        assert length == len(blob) - _FOOTER_STRUCT.size
+
+    def test_truncated_file_is_rejected(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        blob = path.read_bytes()
+        # Cut bytes out of the payload but keep the footer intact — the
+        # recorded length no longer matches.
+        torn = blob[: len(blob) // 2] + blob[-_FOOTER_STRUCT.size:]
+        path.write_bytes(torn)
+        with pytest.raises(SnapshotCorruptError, match="truncated"):
+            load_engine(path)
+
+    def test_bit_flip_is_rejected(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0x01  # a single flipped bit in the payload
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotCorruptError, match="integrity"):
+            load_engine(path)
+
+    def test_corrupt_error_subclasses_snapshot_error(self, fitted_engine, tmp_path):
+        # Pre-existing callers catch SnapshotError; corruption must not
+        # escape that net.
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            load_engine(path)
+
+    def test_footer_less_legacy_snapshot_still_loads(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: -_FOOTER_STRUCT.size])  # strip → pre-footer file
+        engine = load_engine(path)
+        assert len(engine.database) == len(fitted_engine.database)
+
+    def test_all_versions_round_trip_through_the_footer(self, fitted_engine, tmp_path):
+        """Rewriting any v1–v4 payload with the footer appended loads fine —
+        the footer sits after the pickle stream and never touches it."""
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        base = pickle.loads(path.read_bytes())  # pickle ignores the footer
+        for version in range(1, SNAPSHOT_VERSION + 1):
+            payload = dict(base)
+            payload["version"] = version
+            blob = pickle.dumps(payload)
+            import hashlib
+
+            footer = _FOOTER_STRUCT.pack(
+                hashlib.sha256(blob).digest(), len(blob), _FOOTER_MAGIC
+            )
+            versioned = tmp_path / f"engine.v{version}.snapshot"
+            versioned.write_bytes(blob + footer)
+            engine = load_engine(versioned)
+            assert len(engine.database) == len(fitted_engine.database)
+
+    def test_atomic_write_leaves_no_temp_file(self, fitted_engine, tmp_path):
+        save_engine(fitted_engine, tmp_path / "engine.snapshot")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "engine.snapshot"]
+        assert leftovers == []
+
+    def test_failed_save_preserves_the_previous_snapshot(self, fitted_engine, tmp_path):
+        path = tmp_path / "engine.snapshot"
+        save_engine(fitted_engine, path)
+        good = path.read_bytes()
+
+        class NotAnInt:
+            def __int__(self):
+                raise RuntimeError("cannot serialize")
+
+        engine = load_engine(path)
+        engine.model_version = NotAnInt()  # poisons payload assembly
+        with pytest.raises(RuntimeError):
+            save_engine(engine, path)
+        assert path.read_bytes() == good, "a failed save must never touch the old file"
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "engine.snapshot"]
+        assert leftovers == []
