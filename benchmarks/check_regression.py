@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Compare fresh BENCH_*.json results against the committed baselines.
+
+CI runs the benchmark suite (usually under ``REPRO_SMOKE=1``), which
+rewrites ``results/BENCH_*.json`` in place.  This checker then diffs every
+throughput-style figure in the fresh documents against the version
+committed at ``HEAD`` (read via ``git show`` — the working tree already
+holds the fresh copy) and fails the build when one regressed beyond the
+tolerance.
+
+What is compared
+----------------
+Numeric leaves are extracted recursively; a leaf counts as a throughput
+figure — *higher is better* — when any component of its key path mentions
+``qps``, ``speedup``, ``samples_per_second`` or ``ratio``.  Everything
+else (sizes, counts, latencies, noise estimates) is configuration or
+context, not a pass/fail signal.
+
+When comparison is skipped
+--------------------------
+* **Mode mismatch** — a smoke-mode run is not comparable to a committed
+  full-mode baseline (different workload sizes); the pair is reported and
+  skipped rather than producing a bogus verdict.
+* **Missing baseline** — a benchmark new in this change has nothing to
+  regress against.
+* **Missing/extra metrics** — schema drift is reported, not failed; the
+  numeric check covers only the intersection.
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 0.80] [--results DIR]
+
+Exit status is non-zero only for a *real* regression: same mode on both
+sides and a ratio below tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Key-path fragments that mark a numeric leaf as higher-is-better.
+THROUGHPUT_MARKERS = ("qps", "speedup", "samples_per_second", "ratio")
+
+#: Fraction of the baseline a figure may drop to before it counts as a
+#: regression.  Benchmarks are noisy — especially smoke runs on shared CI
+#: runners — so the default is deliberately loose; it catches "the fast
+#: path stopped being fast", not single-digit jitter.
+DEFAULT_TOLERANCE = 0.80
+
+
+def _walk_numeric(doc: Any, path: Tuple[str, ...] = ()) -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf in ``doc``."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            yield from _walk_numeric(value, path + (str(key),))
+    elif isinstance(doc, list):
+        for index, value in enumerate(doc):
+            yield from _walk_numeric(value, path + (str(index),))
+    elif isinstance(doc, bool):
+        return
+    elif isinstance(doc, (int, float)):
+        yield ".".join(path), float(doc)
+
+
+def extract_throughput(doc: Any) -> Dict[str, float]:
+    """The higher-is-better figures of one BENCH document, keyed by path."""
+    figures = {}
+    for path, value in _walk_numeric(doc):
+        components = path.lower().split(".")
+        if any(
+            marker in component
+            for component in components
+            for marker in THROUGHPUT_MARKERS
+        ):
+            # Per-attempt sub-records repeat the headline figures with
+            # noisier values; compare the headline only.
+            if "attempts" in components:
+                continue
+            figures[path] = value
+    return figures
+
+
+def run_mode(doc: Any) -> str:
+    """The workload mode a BENCH document was produced under."""
+    if isinstance(doc, dict):
+        if isinstance(doc.get("mode"), str):
+            return doc["mode"]
+        if "smoke" in doc:
+            return "smoke" if doc["smoke"] else "full"
+    return "unknown"
+
+
+def baseline_document(relative: str) -> Optional[Any]:
+    """The committed version of ``results/<name>``, or None if unreadable."""
+    try:
+        completed = subprocess.run(
+            ["git", "show", f"HEAD:{relative}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(completed.stdout)
+    except (subprocess.CalledProcessError, OSError, json.JSONDecodeError):
+        return None
+
+
+def compare_document(
+    name: str, fresh: Any, baseline: Optional[Any], tolerance: float
+) -> Tuple[List[str], bool]:
+    """Report lines for one benchmark; second element flags a regression."""
+    lines: List[str] = []
+    if baseline is None:
+        lines.append(f"{name}: no committed baseline — skipped (new benchmark?)")
+        return lines, False
+    fresh_mode, base_mode = run_mode(fresh), run_mode(baseline)
+    if fresh_mode != base_mode:
+        lines.append(
+            f"{name}: mode mismatch (fresh={fresh_mode}, baseline={base_mode})"
+            " — numeric comparison skipped"
+        )
+        return lines, False
+
+    fresh_figures = extract_throughput(fresh)
+    base_figures = extract_throughput(baseline)
+    regressed = False
+    for path in sorted(set(fresh_figures) | set(base_figures)):
+        if path not in base_figures:
+            lines.append(f"{name}: {path} is new ({fresh_figures[path]:.4g})")
+            continue
+        if path not in fresh_figures:
+            lines.append(f"{name}: {path} disappeared (was {base_figures[path]:.4g})")
+            continue
+        base, current = base_figures[path], fresh_figures[path]
+        if base <= 0.0:
+            continue  # a zero/negative baseline cannot be regressed against
+        ratio = current / base
+        status = "ok"
+        if ratio < tolerance:
+            status = "REGRESSED"
+            regressed = True
+        lines.append(
+            f"{name}: {path}: {base:.4g} -> {current:.4g} "
+            f"(x{ratio:.3f}, floor x{tolerance:.2f}) {status}"
+        )
+    if not fresh_figures and not base_figures:
+        lines.append(f"{name}: no throughput figures on either side")
+    return lines, regressed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="minimum current/baseline ratio before a figure counts as "
+        f"regressed (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=REPO_ROOT / "results",
+        help="directory holding the freshly written BENCH_*.json files",
+    )
+    options = parser.parse_args(argv)
+    if not 0.0 < options.tolerance <= 1.0:
+        parser.error("--tolerance must be in (0, 1]")
+
+    fresh_paths = sorted(options.results.glob("BENCH_*.json"))
+    if not fresh_paths:
+        print(f"no BENCH_*.json files under {options.results} — nothing to check")
+        return 0
+
+    any_regressed = False
+    for path in fresh_paths:
+        try:
+            fresh = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path.name}: unreadable fresh result ({exc}) — skipped")
+            continue
+        baseline = baseline_document(f"results/{path.name}")
+        lines, regressed = compare_document(
+            path.name, fresh, baseline, options.tolerance
+        )
+        any_regressed |= regressed
+        for line in lines:
+            print(line)
+
+    if any_regressed:
+        print("\nbenchmark regression detected (see REGRESSED lines above)")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,11 @@ slack (near-zero on a quiet machine), and a miss triggers a bounded
 re-measure — a real regression fails every attempt, a throttling burst
 does not.  Asserts instrumented QPS >= 0.95x baseline (noise-adjusted) and
 emits ``results/BENCH_obs.json``; ``REPRO_SMOKE=1`` shrinks the workload.
+
+A second test prices the *profiler-on* posture the same way: the sampling
+profiler runs (service-default 10 ms interval) during the instrumented
+passes only, the bar relaxes to 0.90x, and the collapsed-stack dump is
+published to ``results/profile_obs_overhead.collapsed``.
 """
 
 from __future__ import annotations
@@ -55,6 +60,10 @@ PASS_REPEATS = 2 if SMOKE else 8
 MAX_ATTEMPTS = 3                             # re-measure on a noisy miss
 TRACE_SAMPLE_RATE = 0.01                     # the service default
 MIN_QPS_RATIO = 0.95                         # instrumented vs baseline
+MIN_QPS_RATIO_PROFILER = 0.90                # ... with the profiler sampling too
+# Service-default interval; the shrunken smoke passes finish in ~5 ms, so
+# smoke samples faster or the profiler would never observe a pass at all.
+PROFILER_INTERVAL_MS = 1.0 if SMOKE else 10.0
 
 
 @pytest.fixture(scope="module")
@@ -94,16 +103,25 @@ def _score_pass(engine, batches, tracer, repeats: int = PASS_REPEATS) -> float:
     return time.perf_counter() - start
 
 
-def _measure(engine, batches, tracer):
-    """One full interleaved A/B measurement; returns paired pass times."""
+def _measure(engine, batches, tracer, profiler=None):
+    """One full interleaved A/B measurement; returns paired pass times.
+
+    When ``profiler`` is given it samples *only* during the instrumented
+    passes, so the paired ratio prices "default posture + profiler on"
+    against the same recording-off baseline.
+    """
     instrumented_times = []
     baseline_times = []
 
     def instrumented_pass() -> None:
         set_enabled(True)
+        if profiler is not None:
+            profiler.start()
         try:
             instrumented_times.append(_score_pass(engine, batches, tracer))
         finally:
+            if profiler is not None:
+                profiler.stop()
             set_enabled(True)
 
     def baseline_pass() -> None:
@@ -190,6 +208,87 @@ def test_default_instrumentation_overhead_is_within_budget(workload, results_dir
 
     assert best["qps_ratio"] >= best["allowed_ratio"], (
         f"instrumentation costs more than {(1 - MIN_QPS_RATIO):.0%} beyond "
+        f"measured noise: ratio {best['qps_ratio']:.3f} < "
+        f"{best['allowed_ratio']:.3f} on every attempt ({json.dumps(record)})"
+    )
+
+
+def test_profiler_on_overhead_is_within_budget(workload, results_dir):
+    """Continuous profiling costs at most 10% on top of the same baseline.
+
+    Same paired interleaved design as the default-posture test, but the
+    instrumented side also runs the sampling profiler at its service
+    default interval.  Besides the throughput bar, the run must actually
+    profile: it asserts samples landed and publishes the collapsed-stack
+    dump as a CI artifact next to the BENCH record.
+    """
+    from repro.obs.profile import SamplingProfiler
+
+    engine, batches = workload
+    num_queries = sum(len(batch) for batch in batches)
+    _score_pass(engine, batches, None)  # warm posterior tables / allocator
+
+    tracer = Tracer(sample_rate=TRACE_SAMPLE_RATE, seed=11)
+    profiler = SamplingProfiler(interval_ms=PROFILER_INTERVAL_MS)
+    queries_per_pass = num_queries * PASS_REPEATS
+    attempts = []
+    for _ in range(MAX_ATTEMPTS):
+        instrumented_times, baseline_times = _measure(
+            engine, batches, tracer, profiler=profiler
+        )
+        paired = [
+            baseline / instrumented
+            for baseline, instrumented in zip(baseline_times, instrumented_times)
+        ]
+        ratio = statistics.median(paired)
+        noise = statistics.median(abs(sample - ratio) for sample in paired)
+        allowed = MIN_QPS_RATIO_PROFILER - 2.0 * noise
+        attempts.append(
+            {
+                "qps_ratio": ratio,
+                "noise_mad": noise,
+                "allowed_ratio": allowed,
+                "instrumented_qps": queries_per_pass
+                / statistics.median(instrumented_times),
+                "baseline_qps": queries_per_pass / statistics.median(baseline_times),
+            }
+        )
+        if ratio >= allowed:
+            break
+
+    best = max(attempts, key=lambda attempt: attempt["qps_ratio"])
+    profile_path = results_dir / "profile_obs_overhead.collapsed"
+    profile_lines = profiler.dump(profile_path)
+    record = {
+        "benchmark": "observability_profiler_overhead",
+        "smoke": SMOKE,
+        "database_size": DATABASE_SIZE,
+        "num_queries": num_queries,
+        "batch_size": BATCH_SIZE,
+        "rounds": NUM_ROUNDS,
+        "pass_repeats": PASS_REPEATS,
+        "trace_sample_rate": TRACE_SAMPLE_RATE,
+        "profiler_interval_ms": PROFILER_INTERVAL_MS,
+        "min_qps_ratio": MIN_QPS_RATIO_PROFILER,
+        "profile_samples": profiler.samples,
+        "profile_stacks": profile_lines,
+        "attempts": attempts,
+        **best,
+    }
+    path = results_dir / "BENCH_obs_profiler.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(
+        f"profiler-on overhead: instrumented {best['instrumented_qps']:.1f} qps "
+        f"vs baseline {best['baseline_qps']:.1f} qps (ratio "
+        f"{best['qps_ratio']:.3f}, noise ±{best['noise_mad']:.3f}, "
+        f"{profiler.samples} profile samples, {profile_lines} stacks)"
+    )
+
+    assert profiler.samples > 0, "the profiler never sampled the workload"
+    assert profile_lines >= 1 and profile_path.exists()
+    assert best["qps_ratio"] >= best["allowed_ratio"], (
+        f"profiling costs more than {(1 - MIN_QPS_RATIO_PROFILER):.0%} beyond "
         f"measured noise: ratio {best['qps_ratio']:.3f} < "
         f"{best['allowed_ratio']:.3f} on every attempt ({json.dumps(record)})"
     )

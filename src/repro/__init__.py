@@ -18,8 +18,10 @@ Its three layers are exposed here for convenience:
   micro-batches concurrent remote clients into ``query_batch`` calls, with
   admission control and zero-downtime snapshot hot swap,
 * the observability layer (:mod:`repro.obs`): a low-overhead metrics
-  registry instrumenting all of the above, sampled per-query stage
-  waterfalls, a slow-query log, and Prometheus text exposition.
+  registry instrumenting all of the above, distributed per-query stage
+  waterfalls (one trace id from client to core), structured event
+  logging, burn-rate SLOs, an on-demand sampling profiler, a slow-query
+  log, and Prometheus text exposition.
 
 Quickstart
 ----------
@@ -82,10 +84,16 @@ from repro.service import (
 )
 from repro.obs import (
     MetricsRegistry,
+    SamplingProfiler,
+    SLOEngine,
     SlowQueryLog,
+    TraceContext,
     Tracer,
+    build_info,
+    get_logger,
     get_registry,
     prometheus_text,
+    register_build_info,
     set_enabled,
 )
 from repro.baselines import (
@@ -112,7 +120,22 @@ from repro.exceptions import (
     SnapshotError,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
+
+
+def _resolved_kernel_backend() -> str:
+    """Best-effort concrete kernel backend for the build-info labels."""
+    try:
+        from repro.db.kernels import resolve_backend
+
+        return resolve_backend("auto")
+    except Exception:
+        return "unknown"
+
+
+#: ``repro_build_info`` is registered once at import so every scrape —
+#: including one taken before any query ran — identifies the build.
+register_build_info(__version__, _resolved_kernel_backend())
 
 __all__ = [
     "Graph",
@@ -153,10 +176,16 @@ __all__ = [
     "Deadline",
     "MetricsRegistry",
     "Tracer",
+    "TraceContext",
     "SlowQueryLog",
+    "SLOEngine",
+    "SamplingProfiler",
     "get_registry",
+    "get_logger",
     "prometheus_text",
     "set_enabled",
+    "register_build_info",
+    "build_info",
     "AStarGED",
     "exact_ged",
     "LSAPGED",

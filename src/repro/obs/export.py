@@ -64,13 +64,31 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
             labels = _render_labels(family.labelnames, label_values)
             if family.kind == "histogram":
                 cumulative = child.cumulative_counts()
-                for bound, count in zip(child.bounds, cumulative):
+                exemplars = child.exemplars
+                for slot, (bound, count) in enumerate(zip(child.bounds, cumulative)):
                     bucket_labels = _render_labels(
                         family.labelnames, label_values, {"le": _format_value(bound)}
                     )
                     lines.append(f"{family.name}_bucket{bucket_labels} {count}")
+                    exemplar = exemplars.get(slot)
+                    if exemplar is not None:
+                        # OpenMetrics-style exemplar on its own comment line:
+                        # a v0.0.4 scraper skips it, an exemplar-aware reader
+                        # links the bucket to a sampled trace's waterfall.
+                        trace_id, observed = exemplar
+                        lines.append(
+                            f'# {{trace_id="{_escape_label_value(trace_id)}"}} '
+                            f"{_format_value(observed)}"
+                        )
                 inf_labels = _render_labels(family.labelnames, label_values, {"le": "+Inf"})
                 lines.append(f"{family.name}_bucket{inf_labels} {cumulative[-1]}")
+                inf_exemplar = exemplars.get(len(child.bounds))
+                if inf_exemplar is not None:
+                    trace_id, observed = inf_exemplar
+                    lines.append(
+                        f'# {{trace_id="{_escape_label_value(trace_id)}"}} '
+                        f"{_format_value(observed)}"
+                    )
                 lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
                 lines.append(f"{family.name}_count{labels} {child.count}")
             else:
@@ -99,14 +117,19 @@ def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
                     for bound, count in zip(child.bounds, cumulative)
                 }
                 buckets["+Inf"] = cumulative[-1]
-                samples.append(
-                    {
-                        "labels": labels,
-                        "count": child.count,
-                        "sum": child.sum,
-                        "buckets": buckets,
+                sample = {
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": buckets,
+                }
+                if child.exemplars:
+                    bound_names = [_format_value(bound) for bound in child.bounds] + ["+Inf"]
+                    sample["exemplars"] = {
+                        bound_names[slot]: {"trace_id": trace_id, "value": observed}
+                        for slot, (trace_id, observed) in sorted(child.exemplars.items())
                     }
-                )
+                samples.append(sample)
             else:
                 samples.append({"labels": labels, "value": child.value})
         out[family.name] = {"kind": family.kind, "help": family.help, "samples": samples}

@@ -150,9 +150,18 @@ class Histogram:
     ``+Inf`` bucket catches everything above the last bound.  ``observe``
     is one bisect plus three attribute writes — cheap enough for per-query
     hot paths.
+
+    **Exemplars.**  An observation made with ``trace_id=...`` additionally
+    stamps that trace id (plus the observed value) as the bucket's
+    exemplar — the most recent sampled trace that landed there — so a bad
+    latency bucket links straight to a concrete stage waterfall.
+    Exemplars are *process-local* annotations: they ride the JSON
+    ``snapshot()`` and the OpenMetrics-style exposition comments, but are
+    deliberately excluded from :meth:`state` so the worker dump/merge/diff
+    delta protocol is byte-for-byte unchanged.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("bounds", "bucket_counts", "sum", "count", "exemplars")
     kind = "histogram"
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
@@ -162,12 +171,18 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> (trace_id, observed value); written only on the
+        #: (rare) sampled path, read by the exposition layer.
+        self.exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         if _ENABLED:
-            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            slot = bisect_left(self.bounds, value)
+            self.bucket_counts[slot] += 1
             self.sum += value
             self.count += 1
+            if trace_id is not None:
+                self.exemplars[slot] = (trace_id, value)
 
     def cumulative_counts(self) -> List[int]:
         """Cumulative per-``le`` counts (Prometheus exposition form)."""

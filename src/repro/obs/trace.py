@@ -30,10 +30,22 @@ and the service.
 end-to-end latency exceeds a configurable threshold are appended to a
 bounded ring together with their waterfall (when sampled), exposed by the
 service's ``slow`` admin command.
+
+Distributed traces (:class:`TraceContext`): every trace carries a 128-bit
+``trace_id`` and a 64-bit ``span_id``; :meth:`QueryTrace.context` exports
+them (plus the head-sampling decision) as a W3C-``traceparent``-style
+string — ``00-<trace_id>-<span_id>-<flags>`` — that rides the wire in the
+service protocol's optional ``trace`` field.  A server (or, later, a
+router hop) joins the propagated context via
+:meth:`Tracer.sample(..., context=...)`: the *head* sampling decision
+wins, so a sampled client query is traced at every hop regardless of the
+hop's own sample rate, and the per-process waterfalls correlate into one
+end-to-end tree by shared ``trace_id``.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -44,8 +56,11 @@ from typing import Any, Deque, Dict, List, Optional
 __all__ = [
     "Span",
     "QueryTrace",
+    "TraceContext",
     "Tracer",
     "SlowQueryLog",
+    "new_trace_id",
+    "new_span_id",
     "activate",
     "deactivate",
     "active_trace",
@@ -53,24 +68,115 @@ __all__ = [
 ]
 
 
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars (never all-zero)."""
+    value = os.urandom(16).hex()
+    return value if value != "0" * 32 else new_trace_id()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars (never all-zero)."""
+    value = os.urandom(8).hex()
+    return value if value != "0" * 16 else new_span_id()
+
+
+class TraceContext:
+    """The propagated identity of a distributed trace: ids + sampling flag.
+
+    Serialized as a W3C-``traceparent``-style string —
+    ``00-<trace_id:32hex>-<span_id:16hex>-<flags:2hex>`` with flag bit 0
+    carrying the head sampling decision — so the service's ``trace`` frame
+    field stays forward-compatible with the planned router→backend hop
+    (each hop re-parents by substituting its own span id, keeping the
+    trace id).
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    VERSION = "00"
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = bool(sampled)
+
+    def to_traceparent(self) -> str:
+        """Render as ``00-<trace_id>-<span_id>-<flags>``."""
+        return (
+            f"{self.VERSION}-{self.trace_id}-{self.span_id}-"
+            f"{'01' if self.sampled else '00'}"
+        )
+
+    @classmethod
+    def parse(cls, value: Any) -> Optional["TraceContext"]:
+        """Parse a traceparent string; ``None`` for anything malformed.
+
+        Lenient by design: a bad ``trace`` field must never reject a query
+        — the request is simply served untraced.  Unknown future versions
+        are accepted (ids still correlate); ``ff`` is reserved-invalid.
+        """
+        if not isinstance(value, str):
+            return None
+        parts = value.split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, flags = parts
+        if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16 or len(flags) != 2:
+            return None
+        try:
+            flag_bits = int(flags, 16)
+            int(trace_id, 16)
+            int(span_id, 16)
+            int(version, 16)
+        except ValueError:
+            return None
+        if version.lower() == "ff":
+            return None
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None
+        return cls(trace_id.lower(), span_id.lower(), sampled=bool(flag_bits & 0x01))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id, "sampled": self.sampled}
+
+    def __repr__(self) -> str:
+        return f"<TraceContext {self.to_traceparent()}>"
+
+
 class Span:
-    """One timed stage of a trace: name, offset from trace start, duration."""
+    """One timed stage of a trace: name, offset from trace start, duration.
 
-    __slots__ = ("name", "offset", "seconds", "depth")
+    ``tags`` (optional, usually absent) carries small structured
+    annotations — the retry/hedge attempt number and outcome on client
+    attempt spans — without growing the common four-field case.
+    """
 
-    def __init__(self, name: str, offset: float, seconds: float, depth: int = 0) -> None:
+    __slots__ = ("name", "offset", "seconds", "depth", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        offset: float,
+        seconds: float,
+        depth: int = 0,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.name = name
         self.offset = offset
         self.seconds = seconds
         self.depth = depth
+        self.tags = tags
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "offset_ms": self.offset * 1e3,
             "duration_ms": self.seconds * 1e3,
             "depth": self.depth,
         }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        return out
 
     def __repr__(self) -> str:
         return f"<Span {self.name} +{self.offset * 1e3:.2f}ms {self.seconds * 1e3:.3f}ms d{self.depth}>"
@@ -82,27 +188,61 @@ class QueryTrace:
     Spans are appended in completion order; :attr:`total_seconds` is
     stamped by :meth:`finish`.  ``detail`` carries query identity (τ̂, γ,
     top-k, connection) for the slow log and the admin ``traces`` command.
+
+    Each trace owns a distributed identity: ``trace_id`` (shared by every
+    process that handled the query) and ``span_id`` (this process's hop).
+    A root trace generates both; a trace joined from a propagated
+    :class:`TraceContext` inherits the trace id and records the sender's
+    span id as ``parent_span_id``.
     """
 
-    __slots__ = ("spans", "detail", "started_at", "total_seconds", "_owner")
+    __slots__ = (
+        "spans",
+        "detail",
+        "started_at",
+        "total_seconds",
+        "trace_id",
+        "span_id",
+        "parent_span_id",
+        "_owner",
+    )
 
-    def __init__(self, detail: Optional[Dict[str, Any]] = None, owner: Optional["Tracer"] = None):
+    def __init__(
+        self,
+        detail: Optional[Dict[str, Any]] = None,
+        owner: Optional["Tracer"] = None,
+        *,
+        context: Optional[TraceContext] = None,
+    ):
         self.spans: List[Span] = []
         self.detail: Dict[str, Any] = detail or {}
         self.started_at = time.perf_counter()
         self.total_seconds: Optional[float] = None
+        self.trace_id = context.trace_id if context is not None else new_trace_id()
+        self.span_id = new_span_id()
+        self.parent_span_id = context.span_id if context is not None else None
         self._owner = owner
+
+    def context(self) -> TraceContext:
+        """The propagation context for the next hop (this span as parent)."""
+        return TraceContext(self.trace_id, self.span_id, sampled=True)
 
     # ------------------------------------------------------------------ #
     # recording
     # ------------------------------------------------------------------ #
     def add(
-        self, name: str, seconds: float, *, depth: int = 0, offset: Optional[float] = None
+        self,
+        name: str,
+        seconds: float,
+        *,
+        depth: int = 0,
+        offset: Optional[float] = None,
+        tags: Optional[Dict[str, Any]] = None,
     ) -> Span:
         """Record an externally-timed stage; offset defaults to 'now - duration'."""
         if offset is None:
             offset = max(time.perf_counter() - self.started_at - seconds, 0.0)
-        span = Span(name, offset, seconds, depth)
+        span = Span(name, offset, seconds, depth, tags)
         self.spans.append(span)
         return span
 
@@ -126,7 +266,13 @@ class QueryTrace:
         base = max(time.perf_counter() - self.started_at - (other.elapsed_seconds()), 0.0)
         for span in other.spans:
             self.spans.append(
-                Span(span.name, base + span.offset, span.seconds, span.depth + depth_shift)
+                Span(
+                    span.name,
+                    base + span.offset,
+                    span.seconds,
+                    span.depth + depth_shift,
+                    None if span.tags is None else dict(span.tags),
+                )
             )
 
     def finish(self, total_seconds: Optional[float] = None) -> "QueryTrace":
@@ -167,6 +313,9 @@ class QueryTrace:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able form (admin ``traces`` command / slow log entries)."""
         return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
             "total_ms": None if self.total_seconds is None else self.total_seconds * 1e3,
             "detail": dict(self.detail),
             "spans": [span.to_dict() for span in sorted(self.spans, key=lambda s: s.offset)],
@@ -202,13 +351,32 @@ class Tracer:
         self.sample_rate = float(sample_rate)
         self.seen = 0
         self.sampled = 0
+        self.joined = 0
         self.recent: Deque[QueryTrace] = deque(maxlen=int(keep))
         self._random = random.Random(seed)
         self._lock = threading.Lock()
 
-    def sample(self, detail: Optional[Dict[str, Any]] = None) -> Optional[QueryTrace]:
-        """Return a new trace for ~``sample_rate`` of calls, else ``None``."""
+    def sample(
+        self,
+        detail: Optional[Dict[str, Any]] = None,
+        *,
+        context: Optional[TraceContext] = None,
+    ) -> Optional[QueryTrace]:
+        """Return a new trace for ~``sample_rate`` of calls, else ``None``.
+
+        With a propagated ``context`` the *head* sampling decision wins:
+        a sampled upstream context always yields a joined trace (sharing
+        its trace id, recording its span id as parent) regardless of this
+        tracer's own rate, and an unsampled one never does — so one
+        decision at the client governs the whole distributed tree.
+        """
         self.seen += 1
+        if context is not None:
+            if not context.sampled:
+                return None
+            self.sampled += 1
+            self.joined += 1
+            return QueryTrace(detail, owner=self, context=context)
         if self.sample_rate <= 0.0 or self._random.random() >= self.sample_rate:
             return None
         self.sampled += 1
@@ -224,11 +392,23 @@ class Tracer:
             newest = list(self.recent)[-int(limit):]
         return [trace.to_dict() for trace in reversed(newest)]
 
+    def find(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every retained finished trace with this ``trace_id`` (oldest first).
+
+        The cross-process correlation primitive: given the trace id of a
+        client root span, the server's ``traces`` admin reply (or this
+        method in-process) yields the hop's matching waterfalls.
+        """
+        with self._lock:
+            matches = [trace for trace in self.recent if trace.trace_id == trace_id]
+        return [trace.to_dict() for trace in matches]
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "sample_rate": self.sample_rate,
             "seen": self.seen,
             "sampled": self.sampled,
+            "joined": self.joined,
             "retained": len(self.recent),
         }
 

@@ -269,10 +269,10 @@ class MicroBatcher:
         # engine activates it in the scoring thread (cache probe + core
         # stages land in it), and each sampled query grafts a copy below its
         # own queue_wait/score spans.
-        sampled = any(item[2] is not None for item in batch)
+        sampled_ids = [item[2].trace_id for item in batch if item[2] is not None]
         batch_trace = (
-            QueryTrace(detail={"batch_size": len(batch)})
-            if sampled and self._runner_takes_trace
+            QueryTrace(detail={"batch_size": len(batch), "trace_ids": sampled_ids})
+            if sampled_ids and self._runner_takes_trace
             else None
         )
         flush_started = time.perf_counter()

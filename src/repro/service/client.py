@@ -45,6 +45,15 @@ backoff), ``DEADLINE_EXCEEDED`` raises
 :class:`~repro.exceptions.ProtocolError`, a dead or poisoned connection
 raises :class:`~repro.exceptions.ConnectionLostError`, anything else
 :class:`~repro.exceptions.ServiceError`.
+
+Distributed tracing: pass a :class:`~repro.obs.trace.Tracer` and each
+*logical* query sampled by it becomes the **root span** of an end-to-end
+distributed trace — the client propagates the context on the wire
+(``trace`` frame field), the server joins it, and every retry / hedge
+attempt is recorded as a tagged child span (attempt number + outcome:
+``answered``, ``idempotency-cache-hit``, ``won``, ``cancelled``, or the
+failure's exception name), so one trace id tells the whole story of a
+flaky request.
 """
 
 from __future__ import annotations
@@ -57,6 +66,7 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.db.query import QueryAnswer, SimilarityQuery
 from repro.exceptions import ConnectionLostError, ProtocolError, ServiceError
+from repro.obs.trace import QueryTrace, Tracer
 from repro.service.protocol import (
     decode_answer,
     encode_frame,
@@ -88,6 +98,18 @@ def _new_key_prefix() -> str:
     return os.urandom(8).hex()
 
 
+def _future_outcome(future, won: str = "answered") -> str:
+    """Trace-tag outcome of a completed request future.
+
+    ``won`` is what a plain scored answer is called ("answered" for the
+    primary send, "won" for a hedge duplicate); an answer the server
+    marked ``cached`` is an idempotency-cache hit either way.
+    """
+    if getattr(future, "served_from_cache", False):
+        return "idempotency-cache-hit"
+    return won
+
+
 class ServiceClient:
     """Blocking-socket client with pipelined requests and optional retries.
 
@@ -110,6 +132,10 @@ class ServiceClient:
         queries with their original ``request_key``.
     breaker:
         Optional :class:`CircuitBreaker` for this endpoint.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`: queries it samples
+        become client-side root traces whose context is propagated to the
+        server, with every retry attempt a tagged child span.
     """
 
     def __init__(
@@ -122,6 +148,7 @@ class ServiceClient:
         read_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._host = host
         self._port = port
@@ -129,6 +156,7 @@ class ServiceClient:
         self.read_timeout = timeout if read_timeout is None else float(read_timeout)
         self.retry = retry
         self.breaker = breaker
+        self.tracer = tracer
         self._key_prefix = _new_key_prefix()
         self._next_key = 0
         self._next_id = 0
@@ -210,53 +238,85 @@ class ServiceClient:
         if not stream:
             return []
         keys = [self._new_request_key() for _ in stream]
+        traces: List[Optional[QueryTrace]] = [None] * len(stream)
+        if self.tracer is not None:
+            endpoint = f"{self._host}:{self._port}"
+            traces = [
+                self.tracer.sample({"endpoint": endpoint, "request_key": key})
+                for key in keys
+            ]
         results: List = [None] * len(stream)
         outstanding = list(range(len(stream)))
         attempt = 1
-        while True:
-            if self.breaker is not None:
-                self.breaker.check()
-            try:
-                roundtrip = self._pipeline(
-                    [stream[slot] for slot in outstanding],
-                    [keys[slot] for slot in outstanding],
-                    deadline_ms,
-                )
-            except (ConnectionError, TimeoutError, OSError, ProtocolError) as exc:
-                # The stream is poisoned: responses can no longer be matched.
-                if isinstance(exc, ProtocolError):
-                    exc = ConnectionLostError(f"response stream poisoned: {exc}")
+        try:
+            while True:
                 if self.breaker is not None:
-                    self.breaker.record_failure()
+                    self.breaker.check()
+                round_started = time.perf_counter()
+                try:
+                    roundtrip = self._pipeline(
+                        [stream[slot] for slot in outstanding],
+                        [keys[slot] for slot in outstanding],
+                        deadline_ms,
+                        [traces[slot] for slot in outstanding],
+                        attempt,
+                    )
+                except (ConnectionError, TimeoutError, OSError, ProtocolError) as exc:
+                    # The stream is poisoned: responses can no longer be matched.
+                    if isinstance(exc, ProtocolError):
+                        exc = ConnectionLostError(f"response stream poisoned: {exc}")
+                    for slot in outstanding:
+                        trace = traces[slot]
+                        if trace is not None:
+                            trace.add(
+                                "attempt",
+                                time.perf_counter() - round_started,
+                                depth=1,
+                                offset=round_started - trace.started_at,
+                                tags={"attempt": attempt, "outcome": type(exc).__name__},
+                            )
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    if (
+                        self.retry is None
+                        or attempt >= self.retry.max_attempts
+                        or not self.retry.is_retryable(exc)
+                    ):
+                        raise exc
+                    self.retry.record_retry(exc)
+                    time.sleep(self.retry.delay_for(attempt))
+                    attempt += 1
+                    self._reconnect()
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                retryable_slots: List[int] = []
+                for slot, result in zip(outstanding, roundtrip):
+                    results[slot] = result
+                    if (
+                        isinstance(result, Exception)
+                        and self.retry is not None
+                        and self.retry.is_retryable(result)
+                    ):
+                        retryable_slots.append(slot)
                 if (
-                    self.retry is None
-                    or attempt >= self.retry.max_attempts
-                    or not self.retry.is_retryable(exc)
-                ):
-                    raise exc
-                self.retry.record_retry(exc)
-                time.sleep(self.retry.delay_for(attempt))
-                attempt += 1
-                self._reconnect()
-                continue
-            if self.breaker is not None:
-                self.breaker.record_success()
-            retryable_slots: List[int] = []
-            for slot, result in zip(outstanding, roundtrip):
-                results[slot] = result
-                if (
-                    isinstance(result, Exception)
+                    retryable_slots
                     and self.retry is not None
-                    and self.retry.is_retryable(result)
+                    and attempt < self.retry.max_attempts
                 ):
-                    retryable_slots.append(slot)
-            if retryable_slots and self.retry is not None and attempt < self.retry.max_attempts:
-                self.retry.record_retry(results[retryable_slots[0]])
-                time.sleep(self.retry.delay_for(attempt))
-                attempt += 1
-                outstanding = retryable_slots
-                continue
-            break
+                    self.retry.record_retry(results[retryable_slots[0]])
+                    time.sleep(self.retry.delay_for(attempt))
+                    attempt += 1
+                    outstanding = retryable_slots
+                    continue
+                break
+        finally:
+            # One root trace per logical query, however many attempts it took
+            # (and even when the whole call raises) — never an orphaned span.
+            for trace in traces:
+                if trace is not None:
+                    trace.detail["attempts"] = attempt
+                    trace.finish()
         if not return_errors:
             for result in results:
                 if isinstance(result, Exception):
@@ -268,25 +328,67 @@ class ServiceClient:
         queries: List[SimilarityQuery],
         keys: List[str],
         deadline_ms: Optional[float],
+        traces: Optional[List[Optional[QueryTrace]]] = None,
+        attempt: int = 1,
     ) -> List[Union[QueryAnswer, ServiceError]]:
         """One pipelined send-all-then-read-all pass (no retry logic)."""
+        if traces is None:
+            traces = [None] * len(queries)
         pending: Dict[int, int] = {}
-        for position, (query, key) in enumerate(zip(queries, keys)):
+        send_started: List[float] = [0.0] * len(queries)
+        send_done: List[float] = [0.0] * len(queries)
+        for position, (query, key, trace) in enumerate(zip(queries, keys, traces)):
             message_id = self._new_id()
             pending[message_id] = position
+            send_started[position] = time.perf_counter()
             send_frame(
                 self._sock,
                 query_request(
-                    message_id, query, deadline_ms=deadline_ms, request_key=key
+                    message_id,
+                    query,
+                    deadline_ms=deadline_ms,
+                    request_key=key,
+                    trace=None if trace is None else trace.context().to_traceparent(),
                 ),
             )
+            send_done[position] = time.perf_counter()
+            if trace is not None and attempt == 1:
+                trace.add(
+                    "send",
+                    send_done[position] - send_started[position],
+                    offset=send_started[position] - trace.started_at,
+                )
         results: List = [None] * len(queries)
         while pending:
             message = self._read_response()
             message_id = message.get("id")
             if message_id not in pending:
                 raise ProtocolError(f"response for unknown request id {message_id!r}")
-            results[pending.pop(message_id)] = _response_payload(message)
+            position = pending.pop(message_id)
+            arrival = time.perf_counter()
+            result = _response_payload(message)
+            results[position] = result
+            trace = traces[position]
+            if trace is not None:
+                if isinstance(result, Exception):
+                    outcome = type(result).__name__
+                elif message.get("cached"):
+                    outcome = "idempotency-cache-hit"
+                else:
+                    outcome = "answered"
+                trace.add(
+                    "attempt",
+                    arrival - send_started[position],
+                    depth=1,
+                    offset=send_started[position] - trace.started_at,
+                    tags={"attempt": attempt, "outcome": outcome},
+                )
+                if not isinstance(result, Exception):
+                    trace.add(
+                        "reply",
+                        arrival - send_done[position],
+                        offset=send_done[position] - trace.started_at,
+                    )
         return results
 
     # ------------------------------------------------------------------ #
@@ -322,6 +424,18 @@ class ServiceClient:
     def prometheus(self) -> str:
         """Fetch the Prometheus text exposition of the server's metrics registry."""
         return self._admin("prometheus")["text"]
+
+    def logs(self, limit: int = 64, **filters: str) -> Dict[str, Any]:
+        """Fetch the structured event log (filters: logger=, level=, trace_id=)."""
+        return self._admin("logs", limit=int(limit), **filters)
+
+    def slo(self) -> Dict[str, Any]:
+        """Evaluate the server's SLOs: burn rates and ok/warn/page states."""
+        return self._admin("slo")
+
+    def profile(self, action: str = "status") -> Dict[str, Any]:
+        """Drive the server's sampling profiler (start/stop/dump/reset/status)."""
+        return self._admin("profile", action=str(action))
 
     def reload(self, path=None) -> Dict[str, Any]:
         """Hot-swap the server's engine from a snapshot (its default path if None).
@@ -377,6 +491,7 @@ class AsyncServiceClient:
         retry: Optional[RetryPolicy] = None,
         hedge: Optional[HedgePolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._reader = reader
         self._writer = writer
@@ -384,6 +499,7 @@ class AsyncServiceClient:
         self.retry = retry
         self.hedge = hedge
         self.breaker = breaker
+        self.tracer = tracer
         self._host: Optional[str] = None
         self._port: Optional[int] = None
         self._connect_timeout: float = 30.0
@@ -405,6 +521,7 @@ class AsyncServiceClient:
         retry: Optional[RetryPolicy] = None,
         hedge: Optional[HedgePolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "AsyncServiceClient":
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), connect_timeout
@@ -416,6 +533,7 @@ class AsyncServiceClient:
             retry=retry,
             hedge=hedge,
             breaker=breaker,
+            tracer=tracer,
         )
         # Remember the endpoint so retries can re-dial a dead connection.
         client._host, client._port = host, port
@@ -436,6 +554,10 @@ class AsyncServiceClient:
                 if future is None or future.done():
                     continue  # late hedge loser / abandoned timeout — discard
                 result = _response_payload(message)
+                if message.get("cached"):
+                    # Served from the server's idempotency cache (a retry or
+                    # hedge duplicate) — the trace tags the attempt outcome.
+                    future.served_from_cache = True
                 if isinstance(result, Exception):
                     future.set_exception(result)
                 else:
@@ -520,38 +642,64 @@ class AsyncServiceClient:
         """Answer one query (concurrent callers share the connection).
 
         Applies, in order: circuit breaker → hedging → retry policy.
+        With a ``tracer``, the logical query is one root trace: every
+        retry attempt (and its hedge duplicate, when sent) is a tagged
+        depth-1 child span.
         """
         attempt = 1
         request_key = self._new_request_key()
-        while True:
-            if self.breaker is not None:
-                self.breaker.check()
-            try:
-                if self.retry is not None:
-                    await self._ensure_connection()
-                answer = await self._query_once(query, deadline_ms, request_key)
-            except Exception as exc:
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.sample(
+                {"endpoint": f"{self._host}:{self._port}", "request_key": request_key}
+            )
+        try:
+            while True:
                 if self.breaker is not None:
-                    self.breaker.record_failure()
-                if (
-                    self.retry is None
-                    or attempt >= self.retry.max_attempts
-                    or not self.retry.is_retryable(exc)
-                ):
-                    raise
-                self.retry.record_retry(exc)
-                await asyncio.sleep(self.retry.delay_for(attempt))
-                attempt += 1
-                continue
-            if self.breaker is not None:
-                self.breaker.record_success()
-            return answer
+                    self.breaker.check()
+                attempt_started = time.perf_counter()
+                try:
+                    if self.retry is not None:
+                        await self._ensure_connection()
+                    answer = await self._query_once(
+                        query, deadline_ms, request_key, trace, attempt
+                    )
+                except Exception as exc:
+                    if trace is not None:
+                        trace.add(
+                            "attempt",
+                            time.perf_counter() - attempt_started,
+                            depth=1,
+                            offset=attempt_started - trace.started_at,
+                            tags={"attempt": attempt, "outcome": type(exc).__name__},
+                        )
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    if (
+                        self.retry is None
+                        or attempt >= self.retry.max_attempts
+                        or not self.retry.is_retryable(exc)
+                    ):
+                        raise
+                    self.retry.record_retry(exc)
+                    await asyncio.sleep(self.retry.delay_for(attempt))
+                    attempt += 1
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return answer
+        finally:
+            if trace is not None:
+                trace.detail["attempts"] = attempt
+                trace.finish()
 
     async def _query_once(
         self,
         query: SimilarityQuery,
         deadline_ms: Optional[float],
         request_key: str,
+        trace: Optional[QueryTrace] = None,
+        attempt: int = 1,
     ) -> QueryAnswer:
         """One attempt: send (and possibly hedge) a single query request."""
         wait = self.read_timeout
@@ -559,10 +707,17 @@ class AsyncServiceClient:
             wait = min(wait, float(deadline_ms) / 1000.0)
         started = time.perf_counter()
         message = query_request(
-            None, query, deadline_ms=deadline_ms, request_key=request_key
+            None,
+            query,
+            deadline_ms=deadline_ms,
+            request_key=request_key,
+            trace=None if trace is None else trace.context().to_traceparent(),
         )
         primary = self._register(dict(message))
         await self._writer.drain()
+        send_done = time.perf_counter()
+        if trace is not None and attempt == 1:
+            trace.add("send", send_done - started, offset=started - trace.started_at)
         if self.hedge is None:
             try:
                 answer = await asyncio.wait_for(asyncio.shield(primary), wait)
@@ -570,10 +725,22 @@ class AsyncServiceClient:
                 self._abandon(primary)
                 raise TimeoutError(f"no response within {wait:.3f}s") from None
             self._observe_latency(started)
+            if trace is not None:
+                arrival = time.perf_counter()
+                trace.add(
+                    "attempt",
+                    arrival - started,
+                    depth=1,
+                    offset=started - trace.started_at,
+                    tags={"attempt": attempt, "outcome": _future_outcome(primary)},
+                )
+                trace.add("reply", arrival - send_done, offset=send_done - trace.started_at)
             return answer
 
         hedge_delay = min(self.hedge.hedge_delay(), wait)
         futures = [primary]
+        hedged = None
+        hedge_sent_at = 0.0
         try:
             done, _ = await asyncio.wait({primary}, timeout=hedge_delay)
             if not done:
@@ -581,6 +748,7 @@ class AsyncServiceClient:
                 # the server can answer from its idempotency cache) and let
                 # the first response win.
                 self.hedge.record_sent()
+                hedge_sent_at = time.perf_counter()
                 hedged = self._register(dict(message))
                 futures.append(hedged)
                 await self._writer.drain()
@@ -598,7 +766,36 @@ class AsyncServiceClient:
             else:
                 winner = primary
             self._observe_latency(started)
-            return winner.result()
+            answer = winner.result()
+            if trace is not None:
+                arrival = time.perf_counter()
+                primary_outcome = (
+                    "cancelled"
+                    if hedged is not None and winner is hedged
+                    else _future_outcome(primary)
+                )
+                trace.add(
+                    "attempt",
+                    arrival - started,
+                    depth=1,
+                    offset=started - trace.started_at,
+                    tags={"attempt": attempt, "outcome": primary_outcome},
+                )
+                if hedged is not None:
+                    hedge_outcome = (
+                        _future_outcome(hedged, won="won")
+                        if winner is hedged
+                        else "cancelled"
+                    )
+                    trace.add(
+                        "hedge",
+                        arrival - hedge_sent_at,
+                        depth=1,
+                        offset=hedge_sent_at - trace.started_at,
+                        tags={"attempt": attempt, "outcome": hedge_outcome},
+                    )
+                trace.add("reply", arrival - send_done, offset=send_done - trace.started_at)
+            return answer
         finally:
             for future in futures:
                 if not future.done():
@@ -644,6 +841,19 @@ class AsyncServiceClient:
     async def prometheus(self) -> str:
         result = await self._request({"kind": "admin", "command": "prometheus"})
         return result["text"]
+
+    async def logs(self, limit: int = 64, **filters: str) -> Dict[str, Any]:
+        return await self._request(
+            {"kind": "admin", "command": "logs", "limit": int(limit), **filters}
+        )
+
+    async def slo(self) -> Dict[str, Any]:
+        return await self._request({"kind": "admin", "command": "slo"})
+
+    async def profile(self, action: str = "status") -> Dict[str, Any]:
+        return await self._request(
+            {"kind": "admin", "command": "profile", "action": str(action)}
+        )
 
     async def reload(self, path=None) -> Dict[str, Any]:
         message: Dict[str, Any] = {"kind": "admin", "command": "reload"}

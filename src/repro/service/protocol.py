@@ -30,7 +30,7 @@ typed load-shedding response of the admission controller and maps to
 before scoring (the server dropped it without wasting engine cycles) and
 maps to :class:`~repro.exceptions.DeadlineExceededError`.
 
-Resilience fields (both optional, both ignored by old servers):
+Resilience fields (all optional, all ignored by old servers):
 ``deadline_ms`` is the request's *relative* latency budget in
 milliseconds — relative, because the two ends' wall clocks are never
 comparable; the server converts it to an absolute monotonic deadline at
@@ -38,6 +38,16 @@ receipt.  ``request_key`` is an opaque client-chosen idempotency key:
 retried and hedged duplicates of one logical request reuse it, and the
 server answers duplicates of an already-completed request from its
 idempotency cache, bit-identically, without re-scoring.
+
+Trace propagation: ``trace`` carries the query's distributed trace
+context as a ``traceparent``-style string
+(``00-<trace_id>-<parent span_id>-<sampled flags>``, see
+:class:`~repro.obs.trace.TraceContext`).  The server joins a sampled
+context — its waterfall shares the client's trace id — and a malformed
+value is silently ignored (observability must never reject a query).
+Answer responses may carry ``"cached": true`` when served from the
+idempotency cache, so a retrying/hedging client can tag the attempt's
+outcome in its trace.
 
 Codecs
 ------
@@ -271,8 +281,14 @@ def query_request(
     *,
     deadline_ms: Optional[float] = None,
     request_key: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Build one query request frame body with the resilience fields."""
+    """Build one query request frame body with the resilience/trace fields.
+
+    ``trace`` is a ``traceparent``-style context string
+    (:meth:`~repro.obs.trace.TraceContext.to_traceparent`) propagating the
+    client's trace id, parent span id, and sampling decision.
+    """
     message: Dict[str, Any] = {
         "id": message_id,
         "kind": "query",
@@ -282,6 +298,8 @@ def query_request(
         message["deadline_ms"] = float(deadline_ms)
     if request_key is not None:
         message["request_key"] = str(request_key)
+    if trace is not None:
+        message["trace"] = str(trace)
     return message
 
 

@@ -60,8 +60,11 @@ from repro.exceptions import (
     ServiceError,
 )
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE, prometheus_text
+from repro.obs.logging import get_event_log, get_logger
 from repro.obs.metrics import get_registry
-from repro.obs.trace import SlowQueryLog, Tracer
+from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import SLOEngine, error_rate_slo, latency_slo
+from repro.obs.trace import SlowQueryLog, TraceContext, Tracer
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.snapshot import load_engine
 from repro.serving.stats import ServingStats
@@ -108,6 +111,47 @@ _CONNECTIONS = get_registry().gauge(
 )
 
 
+def _requests_grand_total() -> float:
+    """Cumulative requests across every outcome (availability SLO total)."""
+    return sum(child.value for _labels, child in _REQUESTS.series())
+
+
+def _requests_failed() -> float:
+    """Cumulative server-fault requests (availability SLO bad count)."""
+    return _REQ_ERROR.value
+
+
+def _repro_build_info() -> Dict[str, str]:
+    """Build/runtime identity labels (lazy import avoids a package cycle)."""
+    from repro.obs import build_info
+
+    return build_info()
+
+
+def _default_slo_engine(**kwargs) -> SLOEngine:
+    """The service's stock objectives over the request metrics.
+
+    * ``latency``: 99% of answered requests within 250 ms (the largest
+      request-seconds bucket at or under the classic interactive budget);
+    * ``availability``: 99.9% of requests not ending in ``SERVER_ERROR``
+      (shed load and client mistakes are not availability failures).
+    """
+    engine = SLOEngine(**kwargs)
+    engine.add(
+        latency_slo("latency", _REQUEST_SECONDS, 0.25, objective=0.99)
+    )
+    engine.add(
+        error_rate_slo(
+            "availability",
+            _requests_grand_total,
+            _requests_failed,
+            objective=0.999,
+            description="99.90% of requests complete without a server error",
+        )
+    )
+    return engine
+
+
 class SimilarityService:
     """Serve similarity queries over TCP with dynamic micro-batching.
 
@@ -142,6 +186,15 @@ class SimilarityService:
         Ring size of the completed-request idempotency cache (duplicate
         ``request_key`` sends — client retries and hedges — are answered
         from it bit-identically without re-scoring; 0 disables it).
+    slo_engine:
+        Optional pre-built :class:`~repro.obs.slo.SLOEngine`; by default
+        the service registers its stock latency/availability objectives
+        (evaluated by the ``slo`` admin command and on every ``stats``
+        scrape into ``repro_slo_*`` gauges).
+    profiler_interval_ms:
+        Sampling interval of the on-demand continuous profiler (started
+        and stopped through the ``profile`` admin command; never running
+        unless asked).
     """
 
     def __init__(
@@ -161,6 +214,8 @@ class SimilarityService:
         slow_log_size: int = 128,
         metrics_port: Optional[int] = None,
         idempotency_capacity: int = 2048,
+        slo_engine: Optional[SLOEngine] = None,
+        profiler_interval_ms: float = 10.0,
     ) -> None:
         if engine is None and snapshot_path is None:
             raise ServiceError("a SimilarityService needs an engine or a snapshot_path")
@@ -178,6 +233,20 @@ class SimilarityService:
         self.idempotency = IdempotencyCache(capacity=idempotency_capacity)
         self.tracer = Tracer(sample_rate=trace_sample_rate)
         self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms, capacity=slow_log_size)
+        self.log = get_logger("service")
+        # The per-query slow_query warnings get their own logger (and thus
+        # their own rate-limit bucket): a chatty slow patch must never
+        # starve rare lifecycle events (reloads, SLO transitions) of
+        # tokens on the shared "service" logger.
+        self.slow_query_logger = get_logger("service.slow")
+        self.slo = (
+            slo_engine
+            if slo_engine is not None
+            else _default_slo_engine(on_transition=self._on_slo_transition)
+        )
+        if self.slo.on_transition is None:
+            self.slo.on_transition = self._on_slo_transition
+        self.profiler = SamplingProfiler(interval_ms=profiler_interval_ms)
         self.metrics_port = None if metrics_port is None else int(metrics_port)
         self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -197,6 +266,17 @@ class SimilarityService:
         #: garbage-collected mid-execution.
         self._background: set = set()
         self._signal_registered = False
+
+    def _on_slo_transition(self, name, old_state, new_state, burns) -> None:
+        """Alert state changes are structured-log events (page-worthy loudest)."""
+        emit = self.log.error if new_state == "page" else self.log.warning
+        emit(
+            "slo_state_change",
+            slo=name,
+            from_state=old_state,
+            to_state=new_state,
+            burn_rates={window: round(burn, 3) for window, burn in burns.items()},
+        )
 
     # ------------------------------------------------------------------ #
     # engine access / hot swap
@@ -237,14 +317,28 @@ class SimilarityService:
             loop = asyncio.get_running_loop()
             try:
                 engine = await loop.run_in_executor(None, load_engine, path)
-            except BaseException:
+            except BaseException as exc:
                 self._reload_failures += 1
                 _RELOAD_FAILURES.inc()
+                self.log.error(
+                    "engine_reload_failed", path=str(path), error=f"{type(exc).__name__}: {exc}"
+                )
                 raise
             previous = self._engine
             self._engine = engine
             self._reloads += 1
             _RELOADS.inc()
+        # The tracer ring and slow log intentionally survive the swap (their
+        # history is still real); every entry is stamped with the
+        # model_version that served it, so post-reload scrapes attribute old
+        # waterfalls to the old model instead of silently implying the new one.
+        self.log.info(
+            "engine_reloaded",
+            path=str(path),
+            model_version=engine.model_version,
+            previous_model_version=None if previous is None else previous.model_version,
+            reload_count=self._reloads,
+        )
         return {
             "reloaded_from": str(path),
             "model_version": engine.model_version,
@@ -374,6 +468,7 @@ class SimilarityService:
             except (NotImplementedError, RuntimeError, ValueError, AttributeError):
                 pass
             self._signal_registered = False
+        self.profiler.stop()
         assert self._stopped is not None
         self._stopped.set()
 
@@ -467,6 +562,16 @@ class SimilarityService:
                 ),
             )
             return
+        arrival = time.perf_counter()
+        # Distributed trace join: a sampled propagated context forces a trace
+        # (head sampling wins) sharing the client's trace id; no context
+        # falls back to this server's own sample rate.  Sampling before
+        # admission lets the waterfall's depth-0 "admission" span cover
+        # everything between frame receipt and queue entry.
+        trace = self.tracer.sample(
+            {"connection": connection_id},
+            context=TraceContext.parse(message.get("trace")),
+        )
         # Resilience fields ride next to the query payload: a relative
         # latency budget (converted to an absolute monotonic deadline at
         # receipt) and an opaque idempotency key for retried/hedged sends.
@@ -492,12 +597,20 @@ class SimilarityService:
             cached = self.idempotency.get(str(request_key))
             if cached is not None:
                 # A duplicate of an already-answered request (client retry
-                # or hedge): answer bit-identically without re-scoring.
+                # or hedge): answer bit-identically without re-scoring.  The
+                # "cached" marker lets the client tag this attempt's span as
+                # an idempotency-cache hit.
                 _REQ_ANSWERED.inc()
+                if trace is not None:
+                    trace.add("idempotency_hit", time.perf_counter() - arrival, depth=0)
+                    trace.detail.update(
+                        {"request_key": str(request_key), "model_version": self._model_version()}
+                    )
+                    trace.finish()
                 await self._respond(
                     writer,
                     write_lock,
-                    {"id": message_id, "kind": "answer", "answer": cached},
+                    {"id": message_id, "kind": "answer", "answer": cached, "cached": True},
                 )
                 return
         if self.admission.deadline_expired_on_arrival(deadline):
@@ -526,10 +639,11 @@ class SimilarityService:
             )
             return
         start = time.perf_counter()
-        # Sampled stage waterfall: the depth-0 spans recorded here (decode,
-        # batcher, serialize) partition the end-to-end latency; everything
-        # below them is grafted in by the micro-batcher.
-        trace = self.tracer.sample({"connection": connection_id})
+        # Sampled stage waterfall: the depth-0 spans recorded here
+        # (admission, decode, batcher, serialize) partition the end-to-end
+        # latency; everything below them is grafted in by the micro-batcher.
+        if trace is not None:
+            trace.add("admission", start - arrival, depth=0)
         try:
             query: SimilarityQuery = decode_query(message.get("query"))
             if trace is not None:
@@ -579,19 +693,39 @@ class SimilarityService:
         latency = time.perf_counter() - start
         self.stats.record_latency(latency)
         _REQ_ANSWERED.inc()
-        _REQUEST_SECONDS.observe(latency)
+        # Exemplar: a sampled query's trace id rides on its latency bucket,
+        # linking a bad bucket straight to a concrete waterfall.
+        _REQUEST_SECONDS.observe(
+            latency, trace_id=None if trace is None else trace.trace_id
+        )
         detail = {
             "connection": connection_id,
             "tau_hat": query.tau_hat,
             "gamma": query.gamma,
             "top_k": query.top_k,
+            # Stamped per entry (not per ring): the tracer ring and slow log
+            # survive hot swaps, so old entries must say which model served
+            # them (regression: post-reload scrapes implied the new version).
+            "model_version": self._model_version(),
         }
         if trace is not None:
             trace.add("serialize", latency - (serialize_started - start), depth=0)
             trace.detail.update(detail)
-            trace.finish(latency)
-        self.slow_log.record(latency, detail, trace)
+            trace.finish(latency + (start - arrival))
+        if self.slow_log.record(latency, detail, trace):
+            self.slow_query_logger.warning(
+                "slow_query",
+                trace_id=None if trace is None else trace.trace_id,
+                latency_ms=latency * 1e3,
+                connection=connection_id,
+                model_version=detail["model_version"],
+            )
         await self._respond(writer, write_lock, payload)
+
+    def _model_version(self):
+        """The serving engine's model version, or None before start()."""
+        engine = self._engine
+        return None if engine is None else engine.model_version
 
     async def _handle_admin(self, message_id, message, writer, write_lock) -> None:
         command = message.get("command")
@@ -612,6 +746,19 @@ class SimilarityService:
                     "content_type": PROMETHEUS_CONTENT_TYPE,
                     "text": prometheus_text(),
                 }
+            elif command == "logs":
+                filters = {
+                    key: str(message[key])
+                    for key in ("logger", "level", "trace_id")
+                    if message.get(key) is not None
+                }
+                result = get_event_log().as_dict(
+                    limit=int(message.get("limit", 64)), **filters
+                )
+            elif command == "slo":
+                result = self.slo.evaluate()
+            elif command == "profile":
+                result = self._profile_admin(str(message.get("action", "status")))
             elif command == "reload":
                 result = await self.reload_engine(message.get("path"))
             else:
@@ -634,6 +781,31 @@ class SimilarityService:
             return
         await self._respond(
             writer, write_lock, {"id": message_id, "kind": "admin", "result": result}
+        )
+
+    def _profile_admin(self, action: str) -> Dict[str, Any]:
+        """The ``profile`` admin command: start/stop/status/dump/reset."""
+        profiler = self.profiler
+        if action == "start":
+            started = profiler.start()
+            if started:
+                self.log.info("profiler_started", interval_ms=profiler.interval * 1e3)
+            return {"started": started, **profiler.as_dict()}
+        if action == "stop":
+            stopped = profiler.stop()
+            if stopped:
+                self.log.info("profiler_stopped", samples=profiler.samples)
+            return {"stopped": stopped, **profiler.as_dict()}
+        if action == "dump":
+            return {"collapsed": profiler.collapsed(), **profiler.as_dict()}
+        if action == "reset":
+            profiler.reset()
+            return profiler.as_dict()
+        if action == "status":
+            return profiler.as_dict()
+        raise ServiceError(
+            f"unknown profile action {action!r} "
+            "(expected start/stop/status/dump/reset)"
         )
 
     # ------------------------------------------------------------------ #
@@ -708,11 +880,27 @@ class SimilarityService:
             },
             "batcher": self.batcher.as_dict(),
             "admission": self.admission.as_dict(),
+            "build": _repro_build_info(),
             "observability": {
                 "tracer": self.tracer.as_dict(),
                 "slow_queries": {
                     "threshold_ms": self.slow_log.threshold_ms,
                     "total_slow": self.slow_log.total_slow,
+                },
+                "slo": {
+                    objective["name"]: {
+                        "state": objective["state"],
+                        "burn_rates": objective["burn_rates"],
+                    }
+                    for objective in self.slo.evaluate()["objectives"]
+                },
+                "logs": {
+                    "total_events": get_event_log().total_events,
+                    "total_dropped": get_event_log().total_dropped,
+                },
+                "profiler": {
+                    "running": self.profiler.running,
+                    "samples": self.profiler.samples,
                 },
             },
         }

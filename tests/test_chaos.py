@@ -29,6 +29,7 @@ from repro.db.database import GraphDatabase
 from repro.db.query import QueryAnswer, SimilarityQuery
 from repro.exceptions import ReproError
 from repro.graphs.generators import random_labeled_graph
+from repro.obs.trace import Tracer
 from repro.serving import BatchQueryEngine
 from repro.service import RetryPolicy, ServiceClient, start_service_thread
 from repro.testing import ChaosService, FaultInjector, FaultyEngine, start_fault_proxy
@@ -288,6 +289,78 @@ class TestCombinedChaos:
             replay = json.loads(json.dumps(injector.as_dict()))
             assert replay["seed"] == CHAOS_SEED
             assert replay["injected"] == len(replay["schedule"])
+        finally:
+            proxy.stop()
+            handle.stop()
+
+    def test_tracing_survives_wire_faults_without_orphans(self, engine, workload):
+        """Dropped/retried frames still yield exactly one root trace each.
+
+        Every logical query must map to a single client-rooted trace whose
+        child spans record every attempt (tagged with its number and
+        outcome), and every server-side hop must join one of those roots —
+        no orphan traces, however the wire misbehaved.
+        """
+        queries, _ = workload
+        injector = FaultInjector(CHAOS_SEED, drop=0.25)
+        tracer = Tracer(sample_rate=1.0, keep=4 * len(queries), seed=CHAOS_SEED)
+        handle = start_service_thread(engine, max_batch=8, max_delay_ms=2.0)
+        proxy = start_fault_proxy(handle.address, injector)
+        try:
+            client = ServiceClient(
+                *proxy.address,
+                retry=_retry_policy(),
+                read_timeout=1.0,
+                tracer=tracer,
+            )
+            try:
+                for query in queries:
+                    try:
+                        client.query(query)
+                    except TYPED_ERRORS:
+                        try:
+                            client._reconnect()
+                        except TYPED_ERRORS:
+                            pass
+            finally:
+                client.close()
+            assert injector.injected > 0, "the fault class must actually fire"
+
+            client_docs = tracer.recent_traces(limit=4 * len(queries))
+            # Exactly one root per logical query, each finished with its
+            # attempt count, no duplicated trace ids.
+            assert len(client_docs) == len(queries)
+            client_ids = {doc["trace_id"] for doc in client_docs}
+            assert len(client_ids) == len(queries)
+            retried = 0
+            for doc in client_docs:
+                assert doc["parent_span_id"] is None
+                attempts = sorted(
+                    (span for span in doc["spans"] if span["name"] == "attempt"),
+                    key=lambda span: span["tags"]["attempt"],
+                )
+                assert attempts, f"trace {doc['trace_id']} recorded no attempts"
+                numbers = [span["tags"]["attempt"] for span in attempts]
+                assert numbers == list(range(1, len(attempts) + 1))
+                assert all(span["depth"] == 1 for span in attempts)
+                assert all(span["tags"]["outcome"] for span in attempts)
+                assert doc["detail"]["attempts"] == numbers[-1]
+                if len(attempts) > 1:
+                    retried += 1
+            assert retried > 0, "drops at 25% over 8 attempts must retry somewhere"
+
+            # No orphans: every server hop belongs to a client root.
+            server_docs = handle.service.tracer.recent_traces(limit=256)
+            assert server_docs, "server joined none of the propagated contexts"
+            for doc in server_docs:
+                assert doc["trace_id"] in client_ids
+                assert doc["parent_span_id"] is not None
+        except AssertionError:
+            artifact = _dump_schedule("tracing", injector)
+            raise AssertionError(
+                f"chaos tracing invariant violated (seed={injector.seed}); "
+                f"fault schedule dumped to {artifact}"
+            ) from None
         finally:
             proxy.stop()
             handle.stop()

@@ -11,11 +11,14 @@ from repro.obs.trace import (
     QueryTrace,
     SlowQueryLog,
     Span,
+    TraceContext,
     Tracer,
     activate,
     activated,
     active_trace,
     deactivate,
+    new_span_id,
+    new_trace_id,
 )
 
 
@@ -82,6 +85,111 @@ class TestQueryTrace:
         span = Span("verify", 0.001, 0.002, depth=2)
         assert span.to_dict()["depth"] == 2
         assert "verify" in repr(span)
+
+
+class TestTraceContext:
+    def test_id_generators_shape(self):
+        trace_id, span_id = new_trace_id(), new_span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert len(span_id) == 16 and int(span_id, 16) >= 0
+        assert new_trace_id() != trace_id  # 128-bit collisions don't happen
+
+    def test_traceparent_round_trip(self):
+        context = TraceContext(new_trace_id(), new_span_id(), sampled=True)
+        parsed = TraceContext.parse(context.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+        assert parsed.sampled is True
+
+    def test_unsampled_flag_round_trips(self):
+        context = TraceContext(new_trace_id(), new_span_id(), sampled=False)
+        assert context.to_traceparent().endswith("-00")
+        assert TraceContext.parse(context.to_traceparent()).sampled is False
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            42,
+            "",
+            "not-a-traceparent",
+            "00-abc-def-01",  # wrong lengths
+            "00" + "-" + "g" * 32 + "-" + "0" * 15 + "1" + "-01",  # non-hex
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # reserved version
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "00-" + "a" * 32 + "-" + "b" * 16 + "-01-extra",
+        ],
+    )
+    def test_malformed_values_parse_to_none(self, value):
+        assert TraceContext.parse(value) is None
+
+    def test_unknown_future_version_is_accepted(self):
+        parsed = TraceContext.parse("42-" + "a" * 32 + "-" + "b" * 16 + "-01")
+        assert parsed is not None and parsed.sampled is True
+
+    def test_root_trace_generates_ids(self):
+        trace = QueryTrace()
+        assert len(trace.trace_id) == 32
+        assert len(trace.span_id) == 16
+        assert trace.parent_span_id is None
+
+    def test_joined_trace_inherits_trace_id_and_parent(self):
+        root = QueryTrace()
+        joined = QueryTrace(context=root.context())
+        assert joined.trace_id == root.trace_id
+        assert joined.parent_span_id == root.span_id
+        assert joined.span_id != root.span_id
+        doc = joined.to_dict()
+        assert doc["trace_id"] == root.trace_id
+        assert doc["parent_span_id"] == root.span_id
+
+    def test_span_tags_survive_to_dict_and_graft(self):
+        trace = QueryTrace()
+        trace.add("attempt", 0.001, depth=1, offset=0.0, tags={"attempt": 2, "outcome": "won"})
+        trace.add("plain", 0.001, depth=0, offset=0.0)
+        docs = {span["name"]: span for span in trace.to_dict()["spans"]}
+        assert docs["attempt"]["tags"] == {"attempt": 2, "outcome": "won"}
+        assert "tags" not in docs["plain"]
+        target = QueryTrace()
+        target.graft(trace, depth_shift=1)
+        tagged = [span for span in target.spans if span.name == "attempt"][0]
+        assert tagged.tags == {"attempt": 2, "outcome": "won"}
+        assert tagged.tags is not trace.spans[0].tags  # copied, not shared
+
+
+class TestContextSampling:
+    def test_sampled_context_always_joins(self):
+        tracer = Tracer(sample_rate=0.0, seed=0)  # local rate would never sample
+        context = TraceContext(new_trace_id(), new_span_id(), sampled=True)
+        trace = tracer.sample(context=context)
+        assert trace is not None
+        assert trace.trace_id == context.trace_id
+        assert tracer.joined == 1 and tracer.sampled == 1
+
+    def test_unsampled_context_never_joins(self):
+        tracer = Tracer(sample_rate=1.0, seed=0)  # local rate would always sample
+        context = TraceContext(new_trace_id(), new_span_id(), sampled=False)
+        assert tracer.sample(context=context) is None
+        assert tracer.joined == 0 and tracer.sampled == 0
+
+    def test_find_returns_matching_retained_traces(self):
+        tracer = Tracer(sample_rate=1.0, seed=0)
+        root = tracer.sample({"hop": "client"})
+        root.finish(0.001)
+        joined = tracer.sample({"hop": "server"}, context=root.context())
+        joined.finish(0.001)
+        other = tracer.sample({"hop": "unrelated"})
+        other.finish(0.001)
+        matches = tracer.find(root.trace_id)
+        assert [doc["detail"]["hop"] for doc in matches] == ["client", "server"]
+        assert tracer.find("f" * 32) == []
+
+    def test_as_dict_reports_joined(self):
+        tracer = Tracer(sample_rate=1.0, seed=0)
+        tracer.sample()
+        assert tracer.as_dict()["joined"] == 0
 
 
 class TestTracer:
